@@ -1,0 +1,243 @@
+// Package bsmp is a library-scale reproduction of
+//
+//	G. Bilardi and F. P. Preparata,
+//	"Upper Bounds to Processor-Time Tradeoffs under Bounded-Speed
+//	Message Propagation", SPAA 1995, pp. 185–194.
+//
+// In the paper's "limiting technology" — where message latency is
+// proportional to physical distance — simulating an n-processor mesh on
+// p < n processors costs more than Brent's classical n/p factor: an extra
+// multiplicative locality slowdown A(n, m, p) appears, with four regimes
+// depending on the memory density m. Equivalently, parallel machines
+// enjoy speedups superlinear in their processor count, because deploying
+// processors also buys proximity to memory.
+//
+// The package exposes:
+//
+//   - the machine models: f(x)-H-RAMs (hram), bounded-speed meshes
+//     Md(n, p, m) (network), and the virtual-time cost engine (cost);
+//   - the computation model: the dags G_T(H) of Definition 3 (dag), the
+//     diamond/octahedron/tetrahedron domains and the Figure 1–4
+//     decompositions (lattice), and the topological-separator executor of
+//     Propositions 2–3 (separator);
+//   - the paper's simulation algorithms: naive (Prop. 1), uniprocessor
+//     divide-and-conquer for d = 1 and 2 (Thms. 2, 5), the blocked
+//     general-m scheme (Thm. 3), and the multiprocessor scheme with
+//     memory rearrangement and cooperating mode (Thm. 4 / Thm. 1);
+//   - the closed-form bounds (analytic) and the experiment harness that
+//     reproduces every theorem and figure (exp).
+//
+// Everything is deterministic and functionally verified: every simulation
+// reproduces, bit-exactly, the output of a direct execution of the same
+// guest computation, while virtual time accumulates per the paper's cost
+// model. See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured results.
+package bsmp
+
+import (
+	"bsmp/internal/analytic"
+	"bsmp/internal/cost"
+	"bsmp/internal/dag"
+	"bsmp/internal/exp"
+	"bsmp/internal/guest"
+	"bsmp/internal/hram"
+	"bsmp/internal/lattice"
+	"bsmp/internal/network"
+	"bsmp/internal/simulate"
+)
+
+// Word is the machine word carried by every memory cell and message.
+type Word = hram.Word
+
+// Time is virtual model time (unit: one instruction at address 0).
+type Time = cost.Time
+
+// Machine is the mesh machine Md(n, p, m) of Definition 2.
+type Machine = network.Machine
+
+// NewMachine builds Md(n, p, m): a d-dimensional mesh (d in {1, 2}) of p
+// hierarchical-memory nodes with total volume n and memory density m.
+func NewMachine(d, n, p, m int) *Machine { return network.New(d, n, p, m) }
+
+// Program is a synchronous network computation: per-node m-word memory
+// plus a broadcast value, in the style of Definition 3.
+type Program = network.Program
+
+// DagProgram is the pure dag view of a computation (inputs at t = 0 and a
+// step rule), used by the m = 1 theorems.
+type DagProgram = dag.Program
+
+// Point is a dag vertex position (X, Y, T).
+type Point = lattice.Point
+
+// Result reports a simulation: outputs, final memories, virtual time, and
+// a cost ledger.
+type Result = simulate.Result
+
+// MultiOptions configures the Theorem 4 simulation; zero value = full
+// scheme, flags ablate the rearrangement or the cooperating mode.
+type MultiOptions = simulate.MultiOptions
+
+// MultiResult extends Result with multiprocessor accounting.
+type MultiResult = simulate.MultiResult
+
+// Multi2Options configures the d = 2 multiprocessor model.
+type Multi2Options = simulate.Multi2Options
+
+// Multi2Result reports the d = 2 multiprocessor run.
+type Multi2Result = simulate.Multi2Result
+
+// RunGuest executes prog for steps steps on the fully parallel machine
+// (P == N) with cost accounting, returning outputs and elapsed time Tn.
+func RunGuest(m *Machine, prog Program, steps int) ([]Word, Time) {
+	return network.RunGuest(m, prog, steps)
+}
+
+// GuestTime measures Tn for Md(n, n, m) running prog — the denominator of
+// every slowdown in the paper.
+func GuestTime(d, n, m, steps int, prog Program) Time {
+	return simulate.GuestTime(d, n, m, steps, prog)
+}
+
+// Naive runs the naive simulation of Proposition 1 (and its parallel
+// version): slowdown Θ((n/p)^(1+1/d)).
+func Naive(d, n, p, m, steps int, prog Program) (Result, error) {
+	return simulate.Naive(d, n, p, m, steps, prog)
+}
+
+// UniDC runs the uniprocessor divide-and-conquer simulation of Theorem 2
+// (d = 1) or Theorem 5 (d = 2) for m = 1: slowdown Θ(n log n).
+func UniDC(d, n, steps, leafSize int, prog DagProgram) (Result, error) {
+	return simulate.UniDC(d, n, steps, leafSize, prog)
+}
+
+// UniNaive runs the unsophisticated uniprocessor baseline over the same
+// dag: slowdown Θ(n^(1+1/d)).
+func UniNaive(d, n, steps int, prog DagProgram) (Result, error) {
+	return simulate.UniNaiveDag(d, n, steps, prog)
+}
+
+// MachineOption configures the underlying H-RAMs (e.g. PipelinedBlocks).
+type MachineOption = hram.Option
+
+// PipelinedBlocks makes block relocations cost latency + length instead of
+// per-word latency — the paper's concluding "pipelinable memory"
+// alternative, under which the locality slowdown largely disappears.
+func PipelinedBlocks() MachineOption { return hram.WithPipelinedBlocks() }
+
+// RestrictMem declares a guest that touches only m' < m memory words per
+// node — the conclusions' extra-locality scenario.
+type RestrictMem = guest.RestrictMem
+
+// BlockedD1 runs Theorem 3's blocked uniprocessor simulation for general
+// m: slowdown Θ(n·min(n, m·Log(n/m))). leafWidth 0 selects the paper's
+// executable-diamond width m. Options configure the host memory (e.g.
+// PipelinedBlocks).
+func BlockedD1(n, m, steps, leafWidth int, prog Program, opts ...MachineOption) (Result, error) {
+	return simulate.BlockedD1(n, m, steps, leafWidth, prog, opts...)
+}
+
+// BlockedD2 is the d = 2 analogue of BlockedD1: the blocked simulation
+// over octahedral domains (n = side² must be a perfect square).
+func BlockedD2(n, m, steps, leafSpan int, prog Program, opts ...MachineOption) (Result, error) {
+	return simulate.BlockedD2(n, m, steps, leafSpan, prog, opts...)
+}
+
+// BlockedD3 completes the d = 3 extension for general m over the Box6
+// separator (n = side³ must be a perfect cube).
+func BlockedD3(n, m, steps, leafSpan int, prog Program, opts ...MachineOption) (Result, error) {
+	return simulate.BlockedD3(n, m, steps, leafSpan, prog, opts...)
+}
+
+// MultiD1 runs Theorem 4's multiprocessor simulation: slowdown
+// Θ((n/p)·A(n, m, p)).
+func MultiD1(n, p, m, steps int, prog Program, opts MultiOptions) (MultiResult, error) {
+	return simulate.MultiD1(n, p, m, steps, prog, opts)
+}
+
+// MultiD1Cycles repeats the n-step Theorem 4 simulation to cover
+// cycles·n guest steps, amortizing the one-time rearrangement.
+func MultiD1Cycles(n, p, m, cycles int, prog Program, opts MultiOptions) (MultiResult, error) {
+	return simulate.MultiD1Cycles(n, p, m, cycles, prog, opts)
+}
+
+// MultiD2 runs the d = 2 case of Theorem 1 (model-grade orchestration;
+// see DESIGN.md).
+func MultiD2(n, p, m, steps int, prog Program, opts Multi2Options) (Multi2Result, error) {
+	return simulate.MultiD2(n, p, m, steps, prog, opts)
+}
+
+// Multi3Options configures the d = 3 multiprocessor model.
+type Multi3Options = simulate.Multi3Options
+
+// Multi3Result reports the d = 3 multiprocessor run.
+type Multi3Result = simulate.Multi3Result
+
+// MultiD3 evaluates the conjectured d = 3 case of Theorem 1 (model-grade,
+// with kernels measured by BlockedD3; see DESIGN.md).
+func MultiD3(n, p, m, steps int, prog Program, opts Multi3Options) (Multi3Result, error) {
+	return simulate.MultiD3(n, p, m, steps, prog, opts)
+}
+
+// VerifyDag checks a dag-level result against the reference execution.
+func VerifyDag(r Result, d, n int, prog DagProgram) error {
+	return simulate.VerifyDag(r, d, n, prog)
+}
+
+// Closed-form bounds (package analytic re-exported).
+
+// A is Theorem 1's locality-slowdown term A(n, m, p) for dimension d.
+func A(d, n, m, p int) float64 { return analytic.A(d, n, m, p) }
+
+// Slowdown is Theorem 1's full bound (n/p)·A(n, m, p).
+func Slowdown(d, n, m, p int) float64 { return analytic.Slowdown(d, n, m, p) }
+
+// Boundaries returns the three range boundaries of Theorem 1.
+func Boundaries(d, n, p int) (b12, b23, b34 float64) { return analytic.Boundaries(d, n, p) }
+
+// OptimalS is the optimal strip width s* of Theorem 4's analysis.
+func OptimalS(n, m, p int) float64 { return analytic.OptimalS(n, m, p) }
+
+// BrentSlowdown is the classical instantaneous-model slowdown ceil(n/p).
+func BrentSlowdown(n, p int) float64 { return analytic.Brent(n, p) }
+
+// NaiveSlowdownBound is Proposition 1's (n/p)^(1+1/d).
+func NaiveSlowdownBound(d, n, p int) float64 { return analytic.NaiveSlowdown(d, n, p) }
+
+// Workloads.
+
+// Rule90 is the elementary CA 90 guest (m = 1).
+type Rule90 = guest.Rule90
+
+// MixCA is the order-sensitive dense integer CA guest (any m).
+type MixCA = guest.MixCA
+
+// AsNetwork adapts a guest to the network Program interface; set Side for
+// d = 2 grids.
+type AsNetwork = guest.AsNetwork
+
+// Matrix multiplication — the paper's Section 1 example.
+
+// MatmulInput builds deterministic sq × sq test matrices.
+func MatmulInput(sq int, seed uint64) (a, b []Word) { return guest.MatmulInput(sq, seed) }
+
+// MeshMatmul multiplies on the fully parallel mesh in Θ(√n) time.
+func MeshMatmul(sq int, a, b []Word) ([]Word, Time) { return guest.MeshMatmul(sq, a, b) }
+
+// NaiveMatmul multiplies on a uniprocessor H-RAM in Θ(n²) time.
+func NaiveMatmul(sq int, a, b []Word) ([]Word, Time) { return guest.NaiveMatmul(sq, a, b) }
+
+// BlockedMatmul multiplies on a uniprocessor H-RAM with recursive
+// blocking in Θ(n^(3/2)·log n) time.
+func BlockedMatmul(sq int, a, b []Word) ([]Word, Time) { return guest.BlockedMatmul(sq, a, b) }
+
+// Experiments.
+
+// ExperimentTable is one experiment's formatted output.
+type ExperimentTable = exp.Table
+
+// RunAllExperiments reproduces every table and figure of the paper
+// (quick selects reduced sizes).
+func RunAllExperiments(quick bool) ([]*ExperimentTable, error) {
+	return exp.All(exp.Scale{Quick: quick})
+}

@@ -1,0 +1,49 @@
+// Command experiments runs the full reproduction suite: one experiment
+// per theorem (Prop. 1, Thms. 1-5, the Section 1 matmul example, the s*
+// sweep, the mechanism ablations) and one validation per figure, printing
+// paper-claim-versus-measured tables. With -md it emits the markdown
+// blocks recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"bsmp"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sizes (seconds instead of minutes)")
+	md := flag.Bool("md", false, "emit markdown instead of plain tables")
+	asJSON := flag.Bool("json", false, "emit the tables as JSON")
+	flag.Parse()
+
+	start := time.Now()
+	tabs, err := bsmp.RunAllExperiments(*quick)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tabs); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	for _, t := range tabs {
+		if *md {
+			fmt.Print(t.Markdown())
+		} else {
+			fmt.Print(t.Format())
+			fmt.Println()
+		}
+	}
+	if !*md {
+		fmt.Printf("ran %d experiments in %v\n", len(tabs), time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,175 @@
+// Command tradeoff prints processor-time tradeoff tables for the
+// bounded-speed model: Theorem 1's analytic slowdown (n/p)·A(n, m, p) and,
+// optionally, the measured slowdown from the executable simulations.
+//
+// Usage:
+//
+//	tradeoff -d 1 -n 1024 -p 16 -m 1,8,64,512,2048 [-measure] [-steps 64]
+//
+// Columns: the Brent baseline n/p, the naive bound, Theorem 1's range and
+// bound, and (with -measure) the measured slowdown of the corresponding
+// simulation scheme.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"strconv"
+	"strings"
+
+	"bsmp"
+)
+
+func main() {
+	d := flag.Int("d", 1, "mesh dimension (1 or 2)")
+	n := flag.Int("n", 1024, "machine volume n (d=2: a perfect square)")
+	p := flag.Int("p", 16, "host processors (divides n; d=2: a perfect square)")
+	ms := flag.String("m", "1,4,16,64,256,1024", "comma-separated memory densities")
+	measure := flag.Bool("measure", false, "also run the executable simulation")
+	steps := flag.Int("steps", 64, "guest steps to simulate when measuring")
+	sweep := flag.Bool("sweep", false, "dyadic m sweep with an ASCII curve of A(n,m,p)")
+	csv := flag.Bool("csv", false, "emit CSV instead of the aligned table")
+	flag.Parse()
+
+	if *sweep {
+		runSweep(*d, *n, *p, *csv)
+		return
+	}
+
+	var mvals []int
+	for _, s := range strings.Split(*ms, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			log.Fatalf("bad m value %q: %v", s, err)
+		}
+		mvals = append(mvals, v)
+	}
+
+	b12, b23, b34 := bsmp.Boundaries(*d, *n, *p)
+	fmt.Printf("M%d(%d, p, m): simulating %d guest processors on p = %d hosts\n",
+		*d, *n, *n, *p)
+	fmt.Printf("Brent slowdown (instantaneous model): %.0f\n", bsmp.BrentSlowdown(*n, *p))
+	fmt.Printf("naive slowdown bound:                 %.0f\n", bsmp.NaiveSlowdownBound(*d, *n, *p))
+	fmt.Printf("Theorem 1 range boundaries:           m = %.1f, %.1f, %.0f\n\n", b12, b23, b34)
+
+	hdr := fmt.Sprintf("%8s %8s %8s %14s %14s", "m", "range", "s*", "A(n,m,p)", "(n/p)·A")
+	if *measure {
+		hdr += fmt.Sprintf(" %14s %10s", "measured", "meas/bound")
+	}
+	fmt.Println(hdr)
+
+	for _, m := range mvals {
+		a := bsmp.A(*d, *n, m, *p)
+		bound := bsmp.Slowdown(*d, *n, m, *p)
+		row := fmt.Sprintf("%8d %8s %8.0f %14.1f %14.1f",
+			m, rangeName(*d, *n, m, *p), bsmp.OptimalS(*n, m, *p), a, bound)
+		if *measure {
+			slow, err := measured(*d, *n, *p, m, *steps)
+			if err != nil {
+				log.Fatalf("m=%d: %v", m, err)
+			}
+			row += fmt.Sprintf(" %14.1f %10.2f", slow, slow/bound)
+		}
+		fmt.Println(row)
+	}
+}
+
+// runSweep prints a dyadic sweep of the locality slowdown A(n, m, p) with
+// an ASCII curve and the range boundaries marked.
+func runSweep(d, n, p int, csv bool) {
+	b12, b23, b34 := bsmp.Boundaries(d, n, p)
+	if csv {
+		fmt.Println("m,range,A,slowdown,s_star")
+	} else {
+		fmt.Printf("Locality slowdown A(n=%d, m, p=%d), d=%d\n", n, p, d)
+		fmt.Printf("boundaries: %.1f | %.1f | %.0f\n\n", b12, b23, b34)
+	}
+	var maxA float64
+	var rows []struct {
+		m int
+		a float64
+	}
+	for m := 1; m <= 4*n; m *= 2 {
+		a := bsmp.A(d, n, m, p)
+		rows = append(rows, struct {
+			m int
+			a float64
+		}{m, a})
+		if a > maxA {
+			maxA = a
+		}
+	}
+	for _, r := range rows {
+		if csv {
+			fmt.Printf("%d,%s,%.3f,%.3f,%.1f\n",
+				r.m, rangeName(d, n, r.m, p), r.a,
+				bsmp.Slowdown(d, n, r.m, p), bsmp.OptimalS(n, r.m, p))
+			continue
+		}
+		bar := strings.Repeat("#", int(50*math.Log(1+r.a)/math.Log(1+maxA)))
+		mark := " "
+		mf := float64(r.m)
+		switch {
+		case mf/2 < b12 && b12 <= mf:
+			mark = "|" // crossing the range 1->2 boundary
+		case mf/2 < b23 && b23 <= mf:
+			mark = "|"
+		case mf/2 < b34 && b34 <= mf:
+			mark = "|"
+		}
+		fmt.Printf("m=%7d r%s %s %8.1f %s\n",
+			r.m, rangeName(d, n, r.m, p), mark, r.a, bar)
+	}
+	if !csv {
+		fmt.Println("\n('|' marks a range boundary crossed since the previous row)")
+	}
+}
+
+func rangeName(d, n, m, p int) string {
+	b12, b23, b34 := bsmp.Boundaries(d, n, p)
+	mf := float64(m)
+	switch {
+	case mf <= b12:
+		return "1"
+	case mf <= b23:
+		return "2"
+	case mf <= b34:
+		return "3"
+	default:
+		return "4"
+	}
+}
+
+func measured(d, n, p, m, steps int) (float64, error) {
+	side := 0
+	if d == 2 {
+		for side*side < n {
+			side++
+		}
+	}
+	prog := bsmp.AsNetwork{G: bsmp.MixCA{Seed: 9}, Side: side}
+	var t bsmp.Time
+	switch d {
+	case 1:
+		r, err := bsmp.MultiD1(n, p, m, steps, prog, bsmp.MultiOptions{})
+		if err != nil {
+			return 0, err
+		}
+		if err := r.Verify(1, n, m, prog); err != nil {
+			return 0, err
+		}
+		t = r.Time
+	case 2:
+		r, err := bsmp.MultiD2(n, p, m, steps, prog, bsmp.Multi2Options{})
+		if err != nil {
+			return 0, err
+		}
+		t = r.Time
+	default:
+		return 0, fmt.Errorf("dimension %d not supported", d)
+	}
+	tn := bsmp.GuestTime(d, n, m, steps, prog)
+	return float64(t) / float64(tn), nil
+}

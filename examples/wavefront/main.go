@@ -1,0 +1,55 @@
+// Wavefront demonstrates the two-dimensional results: a mesh cellular
+// automaton hosted on the uniprocessor M2(n, 1, 1) via the octahedral
+// topological separators of Section 5 (Theorem 5), compared against the
+// naive order — plus the Figure 3 decomposition statistics that make the
+// scheme work.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bsmp"
+	"bsmp/internal/exp"
+)
+
+func main() {
+	prog := bsmp.Rule90{Seed: 5}
+
+	fmt.Println("Theorem 5: simulating the mesh M2(n, n, 1) on M2(n, 1, 1)")
+	fmt.Println()
+	fmt.Printf("%6s %8s %14s %14s %12s\n", "side", "n", "T_separator", "T_naive", "naive/sep")
+	for _, side := range []int{8, 16, 32} {
+		n := side * side
+		sep, err := bsmp.UniDC(2, n, side, 8, prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := bsmp.VerifyDag(sep, 2, n, prog); err != nil {
+			log.Fatal(err)
+		}
+		naive, err := bsmp.UniNaive(2, n, side, prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d %8d %14.4g %14.4g %12.2f\n",
+			side, n, float64(sep.Time), float64(naive.Time),
+			float64(naive.Time)/float64(sep.Time))
+	}
+	fmt.Println()
+	fmt.Println("naive/sep grows with n (Θ(n²) vs Θ(n^1.5·log n) overall time); the")
+	fmt.Println("separator's large constant pushes the measured crossover beyond these")
+	fmt.Println("sizes, but the exponents — fitted in the test suite — already differ.")
+
+	fmt.Println()
+	fmt.Println("The machinery underneath — Figure 3's recursive decomposition:")
+	t3, err := exp.F3()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(t3.Format())
+
+	fmt.Println()
+	fmt.Println("One time-slice of the Figure 4 partition of V (side 16, t = 5):")
+	fmt.Print(exp.RenderFigure4Slice(16, 5))
+}

@@ -1,0 +1,3 @@
+module bsmp
+
+go 1.22

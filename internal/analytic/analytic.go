@@ -1,0 +1,199 @@
+// Package analytic provides the closed-form bounds of Bilardi & Preparata
+// (SPAA 1995) — Theorems 1 through 5, the locality-slowdown function A(s)
+// and its per-range optimum s*, the Brent and naive-simulation baselines,
+// and the Proposition 3 space/time constants — as executable formulas that
+// the experiment suite compares against measured virtual times.
+//
+// Following the paper's footnote, Log(a) denotes log2(a+2) throughout, so
+// Log(a) >= 1 for every non-negative a.
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Log is the paper's guarded logarithm: log2(a + 2).
+func Log(a float64) float64 {
+	if a < 0 {
+		a = 0
+	}
+	return math.Log2(a + 2)
+}
+
+// Brent is the classical parallelism slowdown of Brent's principle:
+// simulating n processors on p costs a factor ceil(n/p); no locality term.
+func Brent(n, p int) float64 {
+	return math.Ceil(float64(n) / float64(p))
+}
+
+// NaiveSlowdown is the slowdown of the naive step-by-step simulation of
+// Md(n, n, m) by Md(n, p, m) (Proposition 1 and its parallel version in
+// Section 4.2): (n/p)^(1+1/d). Each of the n/p simulated nodes per host
+// step requires an access at distance Θ((n/p)^(1/d)).
+func NaiveSlowdown(d, n, p int) float64 {
+	np := float64(n) / float64(p)
+	return np * math.Pow(np, 1/float64(d))
+}
+
+// Theorem2Slowdown is the d = 1, m = 1 uniprocessor bound: T1/Tn = O(n log n).
+func Theorem2Slowdown(n int) float64 {
+	return float64(n) * Log(float64(n))
+}
+
+// Theorem3Slowdown is the d = 1 uniprocessor bound for general m:
+// T1/Tn = O(n · min(n, m·Log(n/m))).
+func Theorem3Slowdown(n, m int) float64 {
+	nf, mf := float64(n), float64(m)
+	return nf * math.Min(nf, mf*Log(nf/mf))
+}
+
+// Theorem5Slowdown is the d = 2, m = 1 uniprocessor bound: T1/Tn = O(n log n).
+func Theorem5Slowdown(n int) float64 {
+	return float64(n) * Log(float64(n))
+}
+
+// Range identifies which of Theorem 1's four mechanisms dominates for a
+// given memory density m.
+type Range int
+
+const (
+	// Range1 is m <= (n/p)^(1/2d): rearrangement alone suffices; the
+	// recursive divide-and-conquer dominates.
+	Range1 Range = 1 + iota
+	// Range2 is (n/p)^(1/2d) < m <= (np)^(1/2d): Regime 1 relocation
+	// balanced against naive execution of D(m) diamonds.
+	Range2
+	// Range3 is (np)^(1/2d) < m <= n^(1/d): relocation recedes; naive
+	// execution of large diamonds dominates.
+	Range3
+	// Range4 is m > n^(1/d): only the naive simulation is profitable.
+	Range4
+)
+
+// String names the range.
+func (r Range) String() string { return fmt.Sprintf("range%d", int(r)) }
+
+// Boundaries returns Theorem 1's three range boundaries for dimension d:
+// (n/p)^(1/2d), (np)^(1/2d), n^(1/d).
+func Boundaries(d, n, p int) (b12, b23, b34 float64) {
+	nf, pf, df := float64(n), float64(p), float64(d)
+	b12 = math.Pow(nf/pf, 1/(2*df))
+	b23 = math.Pow(nf*pf, 1/(2*df))
+	b34 = math.Pow(nf, 1/df)
+	return
+}
+
+// RangeOf classifies m into Theorem 1's ranges.
+func RangeOf(d, n, m, p int) Range {
+	b12, b23, b34 := Boundaries(d, n, p)
+	mf := float64(m)
+	switch {
+	case mf <= b12:
+		return Range1
+	case mf <= b23:
+		return Range2
+	case mf <= b34:
+		return Range3
+	default:
+		return Range4
+	}
+}
+
+// A is the locality-slowdown term A(n, m, p) of Theorem 1 for dimension d:
+// the total slowdown is (n/p) · A. The four ranges use the paper's
+// expressions verbatim (with Log = log2(·+2)):
+//
+//	range 1: (m/p^(1/d))·Log(m) + m·Log(2·n^(1/d) / (p^(1/d)·m²))
+//	range 2: (m/p)·Log((n/p)^(1/2d)) + 2·(n/p)^(1/2d)
+//	range 3: (m/p^(1/d))·Log(2·n^(1/d)/m) + n^(1/d)/m
+//	range 4: (n/p)^(1/d)
+func A(d, n, m, p int) float64 {
+	nf, mf, pf, df := float64(n), float64(m), float64(p), float64(d)
+	switch RangeOf(d, n, m, p) {
+	case Range1:
+		p1d := math.Pow(pf, 1/df)
+		n1d := math.Pow(nf, 1/df)
+		return mf/p1d*Log(mf) + mf*Log(2*n1d/(p1d*mf*mf))
+	case Range2:
+		half := math.Pow(nf/pf, 1/(2*df))
+		return mf/pf*Log(half) + 2*half
+	case Range3:
+		p1d := math.Pow(pf, 1/df)
+		n1d := math.Pow(nf, 1/df)
+		return mf/p1d*Log(2*n1d/mf) + n1d/mf
+	default:
+		return math.Pow(nf/pf, 1/df)
+	}
+}
+
+// Slowdown is Theorem 1's full bound (n/p) · A(n, m, p).
+func Slowdown(d, n, m, p int) float64 {
+	return float64(n) / float64(p) * A(d, n, m, p)
+}
+
+// AOfS is the d = 1 locality-slowdown as a function of the strip width s
+// from the proof of Theorem 4:
+//
+//	A(s) = (m/p)·Log(n/(p·s)) + min(s, m·Log(s/m)) + n/(p·s)
+//
+// (Regime 1 relocation + per-strip execution + cooperating-mode exchange).
+func AOfS(n, m, p int, s float64) float64 {
+	nf, mf, pf := float64(n), float64(m), float64(p)
+	exec := math.Min(s, mf*Log(s/mf))
+	return mf/pf*Log(nf/(pf*s)) + exec + nf/(pf*s)
+}
+
+// OptimalS is the minimizing strip width s* of A(s) per Theorem 4's
+// analysis:
+//
+//	range 1: s* ≈ n/(m·p)      (width n/p at m = 1, shrinking to √(n/p))
+//	range 2: s* = (n/p)^(1/2)
+//	range 3: s* = m/p
+//	range 4: s* = n/p          (naive only)
+func OptimalS(n, m, p int) float64 {
+	nf, mf, pf := float64(n), float64(m), float64(p)
+	switch RangeOf(1, n, m, p) {
+	case Range1:
+		return nf / (mf * pf)
+	case Range2:
+		return math.Sqrt(nf / pf)
+	case Range3:
+		return mf / pf
+	default:
+		return nf / pf
+	}
+}
+
+// SeparatorSpaceBound is Proposition 3's space constant: executing a set
+// with a (c·x^γ, δ)-topological separator having q pieces takes space at
+// most σ0·k^γ with σ0 = q·c·δ^γ/(1-δ^γ).
+func SeparatorSpaceBound(q int, c, delta, gamma float64, k float64) float64 {
+	dg := math.Pow(delta, gamma)
+	sigma0 := float64(q) * c * dg / (1 - dg)
+	return sigma0 * math.Pow(k, gamma)
+}
+
+// SeparatorTimeBound is Proposition 3's time bound τ0·k·Log(k) on an
+// (a·x^α)-H-RAM with α <= (1-γ)/γ: τ0 = 4·q·a·σ0^α·c·δ^γ / log2(1/δ).
+func SeparatorTimeBound(q int, a, alpha, c, delta, gamma float64, k float64) float64 {
+	dg := math.Pow(delta, gamma)
+	sigma0 := float64(q) * c * dg / (1 - dg)
+	tau0 := 4 * float64(q) * a * math.Pow(sigma0, alpha) * c * dg / math.Log2(1/delta)
+	return tau0 * k * Log(k)
+}
+
+// MatmulMeshTime is the intro example's mesh time: multiplying two
+// √n × √n matrices on a √n × √n mesh takes Θ(√n) steps, each Θ(1) time.
+func MatmulMeshTime(n int) float64 { return math.Sqrt(float64(n)) }
+
+// MatmulNaiveUniTime is the intro example's straightforward uniprocessor
+// time: Θ(n^(3/2)) operations, each paying the average access distance
+// Θ(√n): Θ(n²) total.
+func MatmulNaiveUniTime(n int) float64 { return math.Pow(float64(n), 2) }
+
+// MatmulBlockedUniTime is the locality-aware uniprocessor time
+// (the [AACS87] observation): Θ(n^(3/2)·log n).
+func MatmulBlockedUniTime(n int) float64 {
+	return math.Pow(float64(n), 1.5) * Log(float64(n))
+}

@@ -1,0 +1,235 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogGuarded(t *testing.T) {
+	if got := Log(0); got != 1 {
+		t.Errorf("Log(0) = %v, want 1 (log2 of 2)", got)
+	}
+	if got := Log(2); got != 2 {
+		t.Errorf("Log(2) = %v, want 2", got)
+	}
+	if got := Log(-5); got != 1 {
+		t.Errorf("Log(-5) = %v, want clamp to 1", got)
+	}
+}
+
+func TestBrent(t *testing.T) {
+	if Brent(8, 2) != 4 {
+		t.Error("Brent(8,2) != 4")
+	}
+	if Brent(9, 2) != 5 {
+		t.Error("Brent(9,2) != 5 (ceil)")
+	}
+}
+
+func TestNaiveSlowdown(t *testing.T) {
+	if got := NaiveSlowdown(1, 16, 1); got != 256 {
+		t.Errorf("d=1 naive = %v, want (n/p)² = 256", got)
+	}
+	if got := NaiveSlowdown(2, 16, 1); math.Abs(got-64) > 1e-9 {
+		t.Errorf("d=2 naive = %v, want n^1.5 = 64", got)
+	}
+	if got := NaiveSlowdown(1, 16, 4); got != 16 {
+		t.Errorf("d=1 p=4 naive = %v, want 16", got)
+	}
+}
+
+func TestBoundaries(t *testing.T) {
+	b12, b23, b34 := Boundaries(1, 1024, 16)
+	if math.Abs(b12-8) > 1e-9 { // sqrt(64)
+		t.Errorf("b12 = %v, want 8", b12)
+	}
+	if math.Abs(b23-128) > 1e-9 { // sqrt(16384)
+		t.Errorf("b23 = %v, want 128", b23)
+	}
+	if math.Abs(b34-1024) > 1e-9 {
+		t.Errorf("b34 = %v, want 1024", b34)
+	}
+	// d = 2: fourth roots and square root.
+	b12, b23, b34 = Boundaries(2, 65536, 16)
+	if math.Abs(b12-8) > 1e-9 { // (4096)^(1/4)
+		t.Errorf("d2 b12 = %v, want 8", b12)
+	}
+	if math.Abs(b23-32) > 1e-9 { // (2^20)^(1/4)
+		t.Errorf("d2 b23 = %v, want 32", b23)
+	}
+	if math.Abs(b34-256) > 1e-9 {
+		t.Errorf("d2 b34 = %v, want 256", b34)
+	}
+}
+
+func TestRangeOf(t *testing.T) {
+	n, p := 1024, 16 // boundaries at 8, 128, 1024
+	cases := map[int]Range{
+		1: Range1, 8: Range1, 9: Range2, 128: Range2,
+		129: Range3, 1024: Range3, 1025: Range4, 4096: Range4,
+	}
+	for m, want := range cases {
+		if got := RangeOf(1, n, m, p); got != want {
+			t.Errorf("RangeOf(m=%d) = %v, want %v", m, got, want)
+		}
+	}
+}
+
+func TestRange4IsNaive(t *testing.T) {
+	// In range 4 the slowdown equals the naive bound (n/p)^(1+1/d).
+	n, p := 256, 4
+	m := 2 * n // range 4
+	if got, want := Slowdown(1, n, m, p), NaiveSlowdown(1, n, p); math.Abs(got-want) > 1e-9 {
+		t.Errorf("range-4 slowdown %v != naive %v", got, want)
+	}
+}
+
+func TestSlowdownAtLeastBrent(t *testing.T) {
+	// Locality can only add to the parallelism slowdown: A >= 1 wherever
+	// defined, so Slowdown >= n/p.
+	for _, d := range []int{1, 2} {
+		for _, m := range []int{1, 4, 64, 1024, 1 << 20} {
+			if got := Slowdown(d, 65536, m, 16); got < 4096 {
+				t.Errorf("d=%d m=%d: slowdown %v below Brent n/p", d, m, got)
+			}
+		}
+	}
+}
+
+func TestAContinuityAtBoundaries(t *testing.T) {
+	// The four branches should agree within a constant factor at the
+	// range boundaries (they describe the same mechanism changing over).
+	n, p := 1<<20, 16
+	b12, b23, b34 := Boundaries(1, n, p)
+	for _, b := range []float64{b12, b23, b34} {
+		lo := A(1, n, int(b), p)
+		hi := A(1, n, int(b)+1, p)
+		ratio := hi / lo
+		if ratio < 0.25 || ratio > 4 {
+			t.Errorf("A discontinuous at m=%v: %v vs %v (ratio %v)", b, lo, hi, ratio)
+		}
+	}
+}
+
+func TestAOfSMinimizedNearOptimalS(t *testing.T) {
+	// Sweeping s, the minimum of A(s) should be within a factor ~2 of
+	// A(s*) for each range's representative m.
+	n, p := 1<<16, 8
+	for _, m := range []int{2, 64, 2048} {
+		sStar := OptimalS(n, m, p)
+		best := math.Inf(1)
+		for s := 1.0; s <= float64(n)/float64(p); s *= 1.25 {
+			if v := AOfS(n, m, p, s); v < best {
+				best = v
+			}
+		}
+		atStar := AOfS(n, m, p, sStar)
+		if atStar > 2.5*best {
+			t.Errorf("m=%d: A(s*=%v) = %v, swept min %v — s* not near-optimal",
+				m, sStar, atStar, best)
+		}
+	}
+}
+
+func TestOptimalSContinuity(t *testing.T) {
+	// s* is continuous at the range boundaries: n/(mp) -> sqrt(n/p) at
+	// m = sqrt(n/p); m/p -> n/p is not continuous at m = n (the paper's
+	// regime collapse), but sqrt(n/p) -> m/p matches at m = sqrt(np).
+	n, p := 1<<16, 16
+	b12, b23, _ := Boundaries(1, n, p)
+	s1 := float64(n) / (b12 * float64(p))
+	s2 := math.Sqrt(float64(n) / float64(p))
+	if math.Abs(s1-s2)/s2 > 0.01 {
+		t.Errorf("s* mismatch at b12: %v vs %v", s1, s2)
+	}
+	s3 := b23 / float64(p)
+	if math.Abs(s3-s2)/s2 > 0.01 {
+		t.Errorf("s* mismatch at b23: %v vs %v", s3, s2)
+	}
+}
+
+func TestSeparatorBoundsPositive(t *testing.T) {
+	// Diamond separator: q=4, c=2√2, δ=1/4, γ=1/2 on f(x)=x (a=1, α=1).
+	k := 4096.0
+	space := SeparatorSpaceBound(4, 2*math.Sqrt2, 0.25, 0.5, k)
+	if space <= math.Sqrt(k) || space > 100*math.Sqrt(k) {
+		t.Errorf("space bound %v implausible for √k = %v", space, math.Sqrt(k))
+	}
+	tm := SeparatorTimeBound(4, 1, 1, 2*math.Sqrt2, 0.25, 0.5, k)
+	if tm <= k*Log(k) {
+		t.Errorf("time bound %v should exceed k·Log k = %v", tm, k*Log(k))
+	}
+}
+
+func TestMatmulBounds(t *testing.T) {
+	n := 4096
+	mesh := MatmulMeshTime(n)
+	naive := MatmulNaiveUniTime(n)
+	blocked := MatmulBlockedUniTime(n)
+	if !(mesh < blocked && blocked < naive) {
+		t.Errorf("ordering violated: mesh %v, blocked %v, naive %v", mesh, naive, blocked)
+	}
+	// Superlinear speedup: naive/mesh = n^1.5 >> n.
+	if naive/mesh < float64(n) {
+		t.Errorf("naive/mesh = %v, want > n = %d (superlinear)", naive/mesh, n)
+	}
+}
+
+// Property: A is positive and the range classification is monotone in m.
+func TestPropertyRangesMonotone(t *testing.T) {
+	f := func(mRaw uint16, pRaw uint8) bool {
+		n := 1 << 14
+		p := 1 << (pRaw % 8)
+		m1 := int(mRaw)%n + 1
+		m2 := m1 + int(mRaw%100) + 1
+		if RangeOf(1, n, m1, p) > RangeOf(1, n, m2, p) {
+			return false
+		}
+		return A(1, n, m1, p) > 0 && A(2, n*n, m1, p*p) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Slowdown never beats Brent by construction and never exceeds
+// the naive bound by more than the Log factors allow.
+func TestPropertySlowdownSandwich(t *testing.T) {
+	f := func(mRaw uint16, pExp uint8) bool {
+		n := 1 << 12
+		p := 1 << (pExp % 6)
+		m := int(mRaw)%(4*n) + 1
+		s := Slowdown(1, n, m, p)
+		if s < Brent(n, p) {
+			return false
+		}
+		// Upper sanity: A <= ~4·(naive locality term)·Log(n).
+		return s <= NaiveSlowdown(1, n, p)*4*Log(float64(n))*Log(float64(n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTheoremSlowdownForms(t *testing.T) {
+	if Theorem2Slowdown(64) != 64*Log(64) {
+		t.Error("Theorem2Slowdown mismatch")
+	}
+	// Small m: the m·Log branch wins; huge m: the n branch caps it.
+	if got, want := Theorem3Slowdown(64, 2), 64*2*Log(32); got != want {
+		t.Errorf("Theorem3Slowdown(64,2) = %v, want %v", got, want)
+	}
+	if got, want := Theorem3Slowdown(64, 1<<20), float64(64*64); got != want {
+		t.Errorf("Theorem3Slowdown cap = %v, want %v", got, want)
+	}
+	if Theorem5Slowdown(64) != 64*Log(64) {
+		t.Error("Theorem5Slowdown mismatch")
+	}
+}
+
+func TestRangeString(t *testing.T) {
+	if Range1.String() != "range1" || Range4.String() != "range4" {
+		t.Error("Range.String mismatch")
+	}
+}

@@ -1,0 +1,381 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockZeroValue(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock at %v, want 0", c.Now())
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(3)
+	c.Advance(0)
+	c.Advance(1.5)
+	if got := c.Now(); got != 4.5 {
+		t.Fatalf("Now() = %v, want 4.5", got)
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestClockAdvanceNaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(NaN) did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(math.NaN())
+}
+
+func TestClockWaitUntil(t *testing.T) {
+	var c Clock
+	c.Advance(5)
+	if idle := c.WaitUntil(3); idle != 0 {
+		t.Fatalf("WaitUntil(past) idle = %v, want 0", idle)
+	}
+	if c.Now() != 5 {
+		t.Fatalf("WaitUntil(past) moved clock to %v", c.Now())
+	}
+	if idle := c.WaitUntil(9); idle != 4 {
+		t.Fatalf("WaitUntil(9) idle = %v, want 4", idle)
+	}
+	if c.Now() != 9 {
+		t.Fatalf("clock at %v, want 9", c.Now())
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	var c Clock
+	c.Advance(7)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("after Reset, Now() = %v", c.Now())
+	}
+}
+
+func TestLedgerBasics(t *testing.T) {
+	var l Ledger
+	l.Add(Compute, 2)
+	l.Add(Compute, 3)
+	l.Add(Access, 10)
+	if got := l.Total(Compute); got != 5 {
+		t.Fatalf("Total(Compute) = %v, want 5", got)
+	}
+	if got := l.Count(Compute); got != 2 {
+		t.Fatalf("Count(Compute) = %v, want 2", got)
+	}
+	if got := l.Total(Access); got != 10 {
+		t.Fatalf("Total(Access) = %v, want 10", got)
+	}
+	if got := l.Sum(); got != 15 {
+		t.Fatalf("Sum() = %v, want 15", got)
+	}
+}
+
+func TestLedgerInvalidCategoryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(invalid) did not panic")
+		}
+	}()
+	var l Ledger
+	l.Add(Category(99), 1)
+}
+
+func TestLedgerMerge(t *testing.T) {
+	var a, b Ledger
+	a.Add(Message, 4)
+	b.Add(Message, 6)
+	b.Add(Sync, 1)
+	a.Merge(&b)
+	if a.Total(Message) != 10 || a.Total(Sync) != 1 {
+		t.Fatalf("merge result message=%v sync=%v", a.Total(Message), a.Total(Sync))
+	}
+	if a.Count(Message) != 2 {
+		t.Fatalf("merged count = %d, want 2", a.Count(Message))
+	}
+	// b unchanged
+	if b.Total(Message) != 6 {
+		t.Fatalf("merge mutated source: %v", b.Total(Message))
+	}
+}
+
+func TestLedgerString(t *testing.T) {
+	var l Ledger
+	if got := l.String(); got != "empty" {
+		t.Fatalf("empty ledger String = %q", got)
+	}
+	l.Add(Access, 2)
+	l.Add(Compute, 5)
+	if got := l.String(); got != "compute=5 access=2" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	names := map[Category]string{
+		Compute: "compute", Access: "access", Transfer: "transfer",
+		Message: "message", Sync: "sync",
+	}
+	for c, want := range names {
+		if got := c.String(); got != want {
+			t.Errorf("Category(%d).String() = %q, want %q", int(c), got, want)
+		}
+	}
+	if got := Category(42).String(); got != "category(42)" {
+		t.Errorf("unknown category String = %q", got)
+	}
+}
+
+func TestMeterChargeAdvancesAndRecords(t *testing.T) {
+	var m Meter
+	m.Charge(Access, 3)
+	m.Charge(Compute, 1)
+	if m.Now() != 4 {
+		t.Fatalf("Now() = %v, want 4", m.Now())
+	}
+	if m.Total(Access) != 3 || m.Total(Compute) != 1 {
+		t.Fatalf("ledger access=%v compute=%v", m.Total(Access), m.Total(Compute))
+	}
+}
+
+func TestMeterChargeN(t *testing.T) {
+	var m Meter
+	m.ChargeN(Transfer, 10, 2.5)
+	if m.Now() != 25 {
+		t.Fatalf("Now() = %v, want 25", m.Now())
+	}
+	if m.Count(Transfer) != 1 {
+		t.Fatalf("ChargeN recorded %d entries, want 1", m.Count(Transfer))
+	}
+}
+
+func TestMeterChargeNNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ChargeN(-1) did not panic")
+		}
+	}()
+	var m Meter
+	m.ChargeN(Transfer, -1, 1)
+}
+
+func TestMeterIdle(t *testing.T) {
+	var m Meter
+	m.Charge(Compute, 2)
+	m.Idle(5)
+	if m.Now() != 5 {
+		t.Fatalf("Now() = %v, want 5", m.Now())
+	}
+	if m.Total(Sync) != 3 {
+		t.Fatalf("Sync total = %v, want 3", m.Total(Sync))
+	}
+	m.Idle(1) // in the past: no-op
+	if m.Now() != 5 || m.Total(Sync) != 3 {
+		t.Fatalf("past Idle changed state: now=%v sync=%v", m.Now(), m.Total(Sync))
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	var m Meter
+	m.Charge(Compute, 2)
+	m.Reset()
+	if m.Now() != 0 || m.Sum() != 0 {
+		t.Fatalf("after Reset: now=%v sum=%v", m.Now(), m.Sum())
+	}
+}
+
+func TestBankSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBank(0) did not panic")
+		}
+	}()
+	NewBank(0)
+}
+
+func TestBankBarrier(t *testing.T) {
+	b := NewBank(3)
+	b.Proc(0).Charge(Compute, 1)
+	b.Proc(1).Charge(Compute, 5)
+	b.Proc(2).Charge(Compute, 3)
+	if got := b.MaxNow(); got != 5 {
+		t.Fatalf("MaxNow = %v, want 5", got)
+	}
+	if got := b.MinNow(); got != 1 {
+		t.Fatalf("MinNow = %v, want 1", got)
+	}
+	bt := b.Barrier()
+	if bt != 5 {
+		t.Fatalf("Barrier returned %v, want 5", bt)
+	}
+	for i := 0; i < 3; i++ {
+		if b.Proc(i).Now() != 5 {
+			t.Fatalf("proc %d at %v after barrier", i, b.Proc(i).Now())
+		}
+	}
+	if got := b.Proc(0).Total(Sync); got != 4 {
+		t.Fatalf("proc 0 sync = %v, want 4", got)
+	}
+}
+
+func TestBankSendTiming(t *testing.T) {
+	b := NewBank(2)
+	// src at time 0 sends 1 word over distance 10: occupies link 1 unit,
+	// arrival at 1+10 = 11.
+	b.Send(0, 1, 10, 1)
+	if got := b.Proc(0).Now(); got != 1 {
+		t.Fatalf("sender at %v, want 1", got)
+	}
+	if got := b.Proc(1).Now(); got != 11 {
+		t.Fatalf("receiver at %v, want 11", got)
+	}
+	if got := b.Proc(1).Total(Sync); got != 11 {
+		t.Fatalf("receiver sync = %v, want 11", got)
+	}
+}
+
+func TestBankSendStreamsWords(t *testing.T) {
+	b := NewBank(2)
+	// 5-word message over distance 3: sender occupied 5 units, arrival 5+3=8.
+	b.Send(0, 1, 3, 5)
+	if got := b.Proc(0).Now(); got != 5 {
+		t.Fatalf("sender at %v, want 5", got)
+	}
+	if got := b.Proc(1).Now(); got != 8 {
+		t.Fatalf("receiver at %v, want 8", got)
+	}
+}
+
+func TestBankSendReceiverAhead(t *testing.T) {
+	b := NewBank(2)
+	b.Proc(1).Charge(Compute, 100)
+	b.Send(0, 1, 2, 1)
+	if got := b.Proc(1).Now(); got != 100 {
+		t.Fatalf("receiver moved to %v, want to stay at 100", got)
+	}
+}
+
+func TestBankSendPanics(t *testing.T) {
+	b := NewBank(2)
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"zero words", func() { b.Send(0, 1, 1, 0) }},
+		{"negative distance", func() { b.Send(0, 1, -1, 1) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", tc.name)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+}
+
+func TestBankLedgersAndReset(t *testing.T) {
+	b := NewBank(2)
+	b.Proc(0).Charge(Compute, 2)
+	b.Proc(1).Charge(Access, 3)
+	l := b.Ledgers()
+	if l.Total(Compute) != 2 || l.Total(Access) != 3 {
+		t.Fatalf("merged ledger: %v", l.String())
+	}
+	b.Reset()
+	if b.MaxNow() != 0 {
+		t.Fatalf("after Reset MaxNow = %v", b.MaxNow())
+	}
+	l2 := b.Ledgers()
+	if s := l2.Sum(); s != 0 {
+		t.Fatalf("after Reset ledger sum = %v", s)
+	}
+}
+
+// Property: clock time always equals ledger sum when all advancement goes
+// through Charge.
+func TestPropertyChargeConservation(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var m Meter
+		cats := Categories()
+		for _, r := range raw {
+			cat := cats[int(r)%len(cats)]
+			dt := Time(r%17) / 4
+			m.Charge(cat, dt)
+		}
+		return math.Abs(m.Now()-m.Sum()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Barrier is idempotent and never decreases any clock.
+func TestPropertyBarrierMonotone(t *testing.T) {
+	f := func(raw []uint8) bool {
+		b := NewBank(4)
+		for i, r := range raw {
+			b.Proc(i%4).Charge(Compute, Time(r))
+		}
+		before := make([]Time, 4)
+		for i := range before {
+			before[i] = b.Proc(i).Now()
+		}
+		t1 := b.Barrier()
+		t2 := b.Barrier()
+		if t1 != t2 {
+			return false
+		}
+		for i := range before {
+			if b.Proc(i).Now() < before[i] || b.Proc(i).Now() != t1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: message arrival is never earlier than send time plus distance.
+func TestPropertyMessageCausality(t *testing.T) {
+	f := func(dists []uint8) bool {
+		b := NewBank(2)
+		for _, d := range dists {
+			src := b.Proc(0).Now()
+			b.Send(0, 1, Time(d), 1)
+			if b.Proc(1).Now() < src+Time(d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBankSize(t *testing.T) {
+	if NewBank(7).Size() != 7 {
+		t.Fatal("Size mismatch")
+	}
+}

@@ -1,0 +1,296 @@
+package dag
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bsmp/internal/lattice"
+)
+
+// sumProg is a simple exactly-verifiable program: inputs are a hash of the
+// position, steps sum the operands with a position-dependent twist.
+type sumProg struct{}
+
+func (sumProg) Input(v lattice.Point) Value {
+	return Value(v.X*2654435761+v.Y*40503+7) | 1
+}
+
+func (sumProg) Step(v lattice.Point, ops []Value) Value {
+	var s Value = Value(v.T)
+	for i, o := range ops {
+		s += o * Value(2*i+1)
+	}
+	return s
+}
+
+func TestLineGraphPreds(t *testing.T) {
+	g := NewLineGraph(4, 4)
+	cases := []struct {
+		p    lattice.Point
+		want []lattice.Point
+	}{
+		{lattice.Point{X: 0, T: 0}, nil},
+		{lattice.Point{X: 1, T: 2}, []lattice.Point{{X: 0, T: 1}, {X: 1, T: 1}, {X: 2, T: 1}}},
+		{lattice.Point{X: 0, T: 1}, []lattice.Point{{X: 0, T: 0}, {X: 1, T: 0}}},
+		{lattice.Point{X: 3, T: 1}, []lattice.Point{{X: 2, T: 0}, {X: 3, T: 0}}},
+	}
+	for _, c := range cases {
+		got := g.Preds(c.p, nil)
+		if len(got) != len(c.want) {
+			t.Errorf("Preds(%v) = %v, want %v", c.p, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Preds(%v)[%d] = %v, want %v", c.p, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestMeshGraphPreds(t *testing.T) {
+	g := NewMeshGraph(3, 3)
+	// Interior vertex has 5 preds; corner has 3.
+	if got := len(g.Preds(lattice.Point{X: 1, Y: 1, T: 1}, nil)); got != 5 {
+		t.Errorf("interior preds = %d, want 5", got)
+	}
+	if got := len(g.Preds(lattice.Point{X: 0, Y: 0, T: 1}, nil)); got != 3 {
+		t.Errorf("corner preds = %d, want 3", got)
+	}
+	if got := len(g.Preds(lattice.Point{X: 0, Y: 1, T: 2}, nil)); got != 4 {
+		t.Errorf("edge preds = %d, want 4", got)
+	}
+	if got := len(g.Preds(lattice.Point{X: 1, Y: 1, T: 0}, nil)); got != 0 {
+		t.Errorf("input preds = %d, want 0", got)
+	}
+}
+
+func TestPredsStayInGraph(t *testing.T) {
+	lg := NewLineGraph(5, 5)
+	lg.Domain().Points(func(p lattice.Point) bool {
+		for _, q := range lg.Preds(p, nil) {
+			if !lg.Contains(q) {
+				t.Fatalf("line pred %v of %v outside graph", q, p)
+			}
+		}
+		return true
+	})
+	mg := NewMeshGraph(4, 4)
+	mg.Domain().Points(func(p lattice.Point) bool {
+		for _, q := range mg.Preds(p, nil) {
+			if !mg.Contains(q) {
+				t.Fatalf("mesh pred %v of %v outside graph", q, p)
+			}
+		}
+		return true
+	})
+}
+
+func TestDomainsMatchGraphs(t *testing.T) {
+	lg := NewLineGraph(6, 4)
+	if got, want := lg.Domain().Size(), 6*4; got != want {
+		t.Errorf("line domain size %d, want %d", got, want)
+	}
+	mg := NewMeshGraph(3, 5)
+	if got, want := mg.Domain().Size(), 3*3*5; got != want {
+		t.Errorf("mesh domain size %d, want %d", got, want)
+	}
+}
+
+func TestPreboundaryOfInteriorDiamond(t *testing.T) {
+	g := NewLineGraph(32, 32)
+	// An interior diamond far from machine edges: preboundary ~ 2r.
+	d := lattice.NewDiamond(20, -4, 8, lattice.ClipAll1D(32, 32))
+	if d.Size() == 0 {
+		t.Fatal("test domain empty")
+	}
+	pb := Preboundary(g, d)
+	if len(pb) == 0 || len(pb) > 2*8+2 {
+		t.Fatalf("preboundary size %d, want in (0, 18]", len(pb))
+	}
+	for _, q := range pb {
+		if d.Contains(q) {
+			t.Errorf("preboundary point %v inside domain", q)
+		}
+		if !g.Contains(q) {
+			t.Errorf("preboundary point %v outside graph", q)
+		}
+	}
+}
+
+func TestPreboundaryOfInputLayerIsEmpty(t *testing.T) {
+	g := NewLineGraph(8, 8)
+	// The whole domain: every predecessor is inside, so Γin = ∅.
+	pb := Preboundary(g, g.Domain())
+	if len(pb) != 0 {
+		t.Fatalf("whole-domain preboundary = %v, want empty", pb)
+	}
+}
+
+func TestIsTopologicalOrder(t *testing.T) {
+	g := NewLineGraph(3, 3)
+	var order []lattice.Point
+	g.Domain().Points(func(p lattice.Point) bool {
+		order = append(order, p)
+		return true
+	})
+	if !IsTopologicalOrder(g, order) {
+		t.Fatal("ascending (T,X) order rejected")
+	}
+	// Swap two dependent vertices: (1,1) before (1,0).
+	bad := make([]lattice.Point, len(order))
+	copy(bad, order)
+	var i0, i1 int
+	for i, p := range bad {
+		if p == (lattice.Point{X: 1, T: 0}) {
+			i0 = i
+		}
+		if p == (lattice.Point{X: 1, T: 1}) {
+			i1 = i
+		}
+	}
+	bad[i0], bad[i1] = bad[i1], bad[i0]
+	if IsTopologicalOrder(g, bad) {
+		t.Fatal("order with violated dependency accepted")
+	}
+	// Duplicate vertex.
+	dup := append([]lattice.Point{order[0]}, order...)
+	if IsTopologicalOrder(g, dup) {
+		t.Fatal("order with duplicate accepted")
+	}
+}
+
+func TestReferenceLineMatchesManual(t *testing.T) {
+	g := NewLineGraph(3, 2)
+	out := Reference(g, sumProg{})
+	// Manual: inputs i0,i1,i2; step at t=1.
+	in := []Value{
+		sumProg{}.Input(lattice.Point{X: 0}),
+		sumProg{}.Input(lattice.Point{X: 1}),
+		sumProg{}.Input(lattice.Point{X: 2}),
+	}
+	want := []Value{
+		1 + in[0]*1 + in[1]*3,
+		1 + in[0]*1 + in[1]*3 + in[2]*5,
+		1 + in[1]*1 + in[2]*3,
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestReferenceMeshDeterministic(t *testing.T) {
+	g := NewMeshGraph(5, 6)
+	a := Reference(g, sumProg{})
+	b := Reference(g, sumProg{})
+	if len(a) != 25 || len(b) != 25 {
+		t.Fatalf("output lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for random small line graphs, the recursive diamond leaf order
+// is topological (ties lattice + dag together).
+func TestPropertyDiamondLeafOrderTopological(t *testing.T) {
+	f := func(nRaw, tRaw uint8) bool {
+		n := int(nRaw%12) + 2
+		T := int(tRaw%12) + 2
+		g := NewLineGraph(n, T)
+		var order []lattice.Point
+		var rec func(dom lattice.Domain)
+		rec = func(dom lattice.Domain) {
+			kids := dom.Children()
+			if kids == nil {
+				dom.Points(func(p lattice.Point) bool {
+					order = append(order, p)
+					return true
+				})
+				return
+			}
+			for _, k := range kids {
+				rec(k)
+			}
+		}
+		rec(g.Domain())
+		return len(order) == n*T && IsTopologicalOrder(g, order)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: preboundary vertices are exactly one layer below some domain
+// vertex for diamonds (all arcs span one time step).
+func TestPropertyPreboundaryAdjacent(t *testing.T) {
+	g := NewLineGraph(16, 16)
+	f := func(u0, w0 int8, r uint8) bool {
+		d := lattice.NewDiamond(int(u0%16), int(w0%16)-8, int(r%10)+1, lattice.ClipAll1D(16, 16))
+		if d.Size() == 0 {
+			return true
+		}
+		for _, q := range Preboundary(g, d) {
+			// q must have a successor in d.
+			found := false
+			for dx := -1; dx <= 1 && !found; dx++ {
+				s := lattice.Point{X: q.X + dx, T: q.T + 1}
+				if d.Contains(s) {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuccsMirrorPreds(t *testing.T) {
+	// q is a successor of p iff p is a predecessor of q, for all graphs.
+	graphs := []Graph{NewLineGraph(5, 5), NewMeshGraph(3, 4), NewCubeGraph(2, 3)}
+	for _, g := range graphs {
+		var order []lattice.Point
+		switch gr := g.(type) {
+		case LineGraph:
+			gr.Domain().Points(func(p lattice.Point) bool { order = append(order, p); return true })
+		case MeshGraph:
+			gr.Domain().Points(func(p lattice.Point) bool { order = append(order, p); return true })
+		case CubeGraph:
+			gr.Domain().Points(func(p lattice.Point) bool { order = append(order, p); return true })
+		}
+		if g.Steps() < 2 || g.Nodes() < 2 {
+			t.Fatalf("%T: degenerate geometry", g)
+		}
+		succOf := make(map[lattice.Point]map[lattice.Point]bool)
+		for _, p := range order {
+			for _, q := range g.Succs(p, nil) {
+				if succOf[p] == nil {
+					succOf[p] = map[lattice.Point]bool{}
+				}
+				succOf[p][q] = true
+			}
+		}
+		for _, q := range order {
+			for _, p := range g.Preds(q, nil) {
+				if !succOf[p][q] {
+					t.Fatalf("%T: %v pred of %v but not mirrored in Succs", g, p, q)
+				}
+				delete(succOf[p], q)
+			}
+		}
+		for p, rest := range succOf {
+			if len(rest) > 0 {
+				t.Fatalf("%T: extra successors of %v: %v", g, p, rest)
+			}
+		}
+	}
+}

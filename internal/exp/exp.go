@@ -1,0 +1,129 @@
+// Package exp is the experiment harness: it runs the reproduction
+// experiments indexed in DESIGN.md (one per theorem and figure of Bilardi
+// & Preparata, SPAA 1995), collects measured-vs-bound series, and formats
+// them as the tables printed by cmd/experiments, recorded in
+// EXPERIMENTS.md, and exercised one-per-experiment by the repository's
+// benchmarks.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is one experiment's output: a paper claim, measured rows, and
+// notes on how to read them.
+type Table struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Header     []string
+	Rows       [][]string
+	Notes      []string
+}
+
+// Format renders the table as aligned plain text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "   paper: %s\n", t.PaperClaim)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		b.WriteString("   ")
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			} else {
+				b.WriteString(c + "  ")
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "   note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "*Paper claim:* %s\n\n", t.PaperClaim)
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat(" --- |", len(t.Header)) + "\n")
+	for _, r := range t.Rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// FitSlope returns the least-squares slope of y over x — the log–log
+// growth exponent when fed logarithms.
+func FitSlope(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}
+
+// LogLogSlope fits the exponent of ys against xs.
+func LogLogSlope(xs, ys []float64) float64 {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		lx[i] = math.Log2(xs[i])
+		ly[i] = math.Log2(ys[i])
+	}
+	return FitSlope(lx, ly)
+}
+
+// BandRatio reports max/min over the series — 1.0 means perfectly flat.
+func BandRatio(v []float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range v {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return hi / lo
+}
+
+// Crossover returns the first x at which series a rises above series b
+// (both evaluated on xs), or -1 if none.
+func Crossover(xs, a, b []float64) float64 {
+	for i := range xs {
+		if a[i] > b[i] {
+			return xs[i]
+		}
+	}
+	return -1
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func g3(v float64) string { return fmt.Sprintf("%.3g", v) }
+func d(v int) string      { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{
+		ID: "X", Title: "demo", PaperClaim: "claim",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"note"},
+	}
+	txt := tab.Format()
+	for _, want := range []string{"X: demo", "claim", "333", "note:"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("Format missing %q in:\n%s", want, txt)
+		}
+	}
+	md := tab.Markdown()
+	if !strings.Contains(md, "| a | bb |") || !strings.Contains(md, "### X") {
+		t.Errorf("Markdown malformed:\n%s", md)
+	}
+}
+
+func TestFitHelpers(t *testing.T) {
+	// y = 3x: slope 3.
+	if s := FitSlope([]float64{1, 2, 3}, []float64{3, 6, 9}); s < 2.99 || s > 3.01 {
+		t.Errorf("FitSlope = %v, want 3", s)
+	}
+	// y = x²: log-log slope 2.
+	if s := LogLogSlope([]float64{2, 4, 8}, []float64{4, 16, 64}); s < 1.99 || s > 2.01 {
+		t.Errorf("LogLogSlope = %v, want 2", s)
+	}
+	if r := BandRatio([]float64{2, 4, 3}); r != 2 {
+		t.Errorf("BandRatio = %v, want 2", r)
+	}
+	if x := Crossover([]float64{1, 2, 3}, []float64{0, 1, 5}, []float64{2, 2, 2}); x != 3 {
+		t.Errorf("Crossover = %v, want 3", x)
+	}
+	if x := Crossover([]float64{1, 2}, []float64{0, 0}, []float64{1, 1}); x != -1 {
+		t.Errorf("Crossover = %v, want -1", x)
+	}
+}
+
+func TestQuickExperimentsRun(t *testing.T) {
+	s := Scale{Quick: true}
+	for name, f := range map[string]func(Scale) (*Table, error){
+		"P1": P1, "T2": T2, "T3": T3, "T4": T4, "T5": T5,
+		"T1D2": T1D2, "D3": D3, "MM": MM, "SStar": SStar, "Ablations": Ablations,
+		"Pipe": Pipe, "MPrime": MPrime, "Coop": Coop, "Levels": Levels, "ISA": ISA,
+		"T3D2": T3D2, "D3Multi": D3Multi,
+	} {
+		tab, err := f(s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: no rows", name)
+		}
+		if tab.ID == "" || tab.PaperClaim == "" {
+			t.Errorf("%s: missing metadata", name)
+		}
+	}
+}
+
+func TestFiguresValidate(t *testing.T) {
+	tabs, err := Figures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 5 {
+		t.Fatalf("got %d figure tables, want 5 (F1-F4 + F-D3)", len(tabs))
+	}
+	for _, tab := range tabs {
+		for _, row := range tab.Rows {
+			last := row[len(row)-1]
+			if strings.HasPrefix(last, "NO") {
+				t.Errorf("%s: validation failed: %v", tab.ID, row)
+			}
+		}
+	}
+}
+
+func TestRenderFigure1(t *testing.T) {
+	out := RenderFigure1(8)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("got %d lines, want 8", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 8 {
+			t.Fatalf("line %q length != 8", l)
+		}
+		if strings.Contains(l, ".") {
+			t.Fatalf("uncovered cell in %q", l)
+		}
+	}
+	// All five labels appear.
+	joined := strings.Join(lines, "")
+	for _, lbl := range "12345" {
+		if !strings.ContainsRune(joined, lbl) {
+			t.Errorf("label %c missing", lbl)
+		}
+	}
+}
+
+func TestRenderZigZag(t *testing.T) {
+	out := RenderZigZag(16, 4, 4)
+	if strings.Contains(out, ".") {
+		t.Fatal("uncovered cell in zig-zag rendering")
+	}
+	for _, lbl := range "abcd" {
+		if !strings.ContainsRune(out, lbl) {
+			t.Errorf("band %c missing", lbl)
+		}
+	}
+}
+
+func TestRenderFigure4Slice(t *testing.T) {
+	out := RenderFigure4Slice(8, 3)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("got %d lines, want 8", len(lines))
+	}
+	if strings.Contains(out, ".") {
+		t.Fatal("uncovered node in slice t=3")
+	}
+}

@@ -1,0 +1,234 @@
+// Package guest provides the workloads simulated throughout the
+// repository: the network computations that play the role of the paper's
+// guest machine Md(n, n, m).
+//
+// Each guest implements both interfaces used by the repository's two views
+// of a computation:
+//
+//   - dag.Program — the pure dag semantics of Definition 3 (used by the
+//     separator executor and the m = 1 theorems), and
+//   - network.Program — the machine semantics with per-node m-cell
+//     memories and broadcast values (used by guest-time measurement and the
+//     m > 1 simulations).
+//
+// For m = 1 workloads the two views coincide vertex by vertex; tests pin
+// that equivalence.
+//
+// All guests use exact integer dynamics so functional verification between
+// executors is bit-exact.
+package guest
+
+import (
+	"fmt"
+
+	"bsmp/internal/dag"
+	"bsmp/internal/hram"
+	"bsmp/internal/lattice"
+)
+
+// Rule90 is the elementary cellular automaton 90 (XOR of the two
+// neighbors), a classical systolic workload: chaotic, boundary-sensitive,
+// and exactly reproducible. At machine boundaries missing neighbors read
+// as 0, matching the truncated dag stencil.
+type Rule90 struct {
+	// Seed perturbs the initial condition so different experiments do
+	// not share fixed points.
+	Seed uint64
+}
+
+func (r Rule90) initial(x, y int) dag.Value {
+	h := uint64(x)*0x9E3779B97F4A7C15 + uint64(y)*0xC2B2AE3D27D4EB4F + r.Seed
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return h & 1
+}
+
+// Input implements dag.Program. Z folds into the second hash coordinate,
+// so d = 1 and d = 2 initial conditions are unchanged (Z = 0).
+func (r Rule90) Input(v lattice.Point) dag.Value { return r.initial(v.X, v.Y+131071*v.Z) }
+
+// Step implements dag.Program: XOR of all operands except the center cell
+// keeps rule-90 behavior on interior vertices and a well-defined truncated
+// rule at boundaries. Operand order is Preds order: for the line
+// (left, self, right) — XOR left and right when both present, otherwise
+// XOR what exists.
+func (r Rule90) Step(v lattice.Point, ops []dag.Value) dag.Value {
+	var s dag.Value
+	for _, o := range ops {
+		s ^= o
+	}
+	return s & 1
+}
+
+// InitAt provides the network initial state at grid coordinates (x, y),
+// matching the dag view's Input at the same position.
+func (r Rule90) InitAt(x, y int, mem []hram.Word) hram.Word {
+	return r.initial(x, y)
+}
+
+// Address implements network.Program.
+func (r Rule90) Address(node, step, memSize int) int { return 0 }
+
+// Step implements network.Program: prev is (self, neighbors...); the dag
+// operand set is the same multiset, so XOR matches the dag view.
+func (r Rule90) Step2(node, step int, cell hram.Word, prev []hram.Word) (hram.Word, hram.Word) {
+	var s hram.Word
+	for _, p := range prev {
+		s ^= p
+	}
+	return s & 1, cell
+}
+
+// MixCA is a dense integer cellular automaton whose step mixes every
+// operand with distinct multipliers: unlike Rule90 it is sensitive to
+// operand order, which makes it a stronger functional-verification
+// workload (any executor that permutes operands or misroutes a value is
+// caught).
+type MixCA struct{ Seed uint64 }
+
+func (c MixCA) initial(x, y int) dag.Value {
+	return dag.Value(x)*0x100000001B3 + dag.Value(y)*0x1B873593 + c.Seed | 1
+}
+
+// Input implements dag.Program (Z folds into the second coordinate).
+func (c MixCA) Input(v lattice.Point) dag.Value { return c.initial(v.X, v.Y+131071*v.Z) }
+
+// Step implements dag.Program.
+func (c MixCA) Step(v lattice.Point, ops []dag.Value) dag.Value {
+	s := dag.Value(v.T) * 0x9E3779B1
+	for i, o := range ops {
+		s = s*31 + o*dag.Value(2*i+3)
+	}
+	return s
+}
+
+// InitAt provides the network initial state at grid coordinates (x, y).
+func (c MixCA) InitAt(x, y int, mem []hram.Word) hram.Word {
+	for i := range mem {
+		mem[i] = dag.Value(x)*131 + dag.Value(y)*8191 + dag.Value(i)*17 + c.Seed
+	}
+	return c.initial(x, y)
+}
+
+// Address implements network.Program: sweeps the memory cyclically so
+// every cell participates.
+func (c MixCA) Address(node, step, memSize int) int {
+	return (node + step) % memSize
+}
+
+// Step2 implements the network step: combines the addressed cell with the
+// neighborhood, returning a new broadcast value and updated cell.
+func (c MixCA) Step2(node, step int, cell hram.Word, prev []hram.Word) (hram.Word, hram.Word) {
+	s := dag.Value(step) * 0x9E3779B1
+	for i, p := range prev {
+		s = s*31 + p*dag.Value(2*i+3)
+	}
+	return s + cell*2654435761, cell ^ (s | 1)
+}
+
+// AsNetwork adapts a guest to the network.Program interface. The adapter
+// exists because Go cannot overload Step; guests expose Step (dag) and
+// Step2 (network) and this wrapper renames the latter. Side carries the
+// grid geometry so node indices map to the same (x, y) coordinates the dag
+// view uses: Side = 0 (or 1) means a linear array (x = node); otherwise
+// x = node mod Side, y = node div Side.
+type AsNetwork struct {
+	G interface {
+		InitAt(x, y int, mem []hram.Word) hram.Word
+		Address(node, step, memSize int) int
+		Step2(node, step int, cell hram.Word, prev []hram.Word) (hram.Word, hram.Word)
+	}
+	Side int
+	// CubeSide marks a d = 3 grid: node indices map to (x, y, z) with
+	// z folded into the second hash coordinate the same way the dag
+	// view's Input folds it, so both views share initial conditions.
+	CubeSide int
+}
+
+// Init implements network.Program.
+func (a AsNetwork) Init(node int, mem []hram.Word) hram.Word {
+	if s := a.CubeSide; s > 1 {
+		x, y, z := node%s, (node/s)%s, node/(s*s)
+		return a.G.InitAt(x, y+131071*z, mem)
+	}
+	if a.Side > 1 {
+		return a.G.InitAt(node%a.Side, node/a.Side, mem)
+	}
+	return a.G.InitAt(node, 0, mem)
+}
+
+// Address implements network.Program.
+func (a AsNetwork) Address(node, step, memSize int) int {
+	return a.G.Address(node, step, memSize)
+}
+
+// Step implements network.Program.
+func (a AsNetwork) Step(node, step int, cell hram.Word, prev []hram.Word) (hram.Word, hram.Word) {
+	return a.G.Step2(node, step, cell, prev)
+}
+
+// RestrictMem wraps a network program so it addresses only the first
+// Words cells of each node's memory, declaring that via MemWords — the
+// paper's concluding m' < m scenario ("if an algorithm for n processors
+// actually requires m' memory cells per processor, with m' < m, more
+// locality will result").
+type RestrictMem struct {
+	P interface {
+		InitAt(x, y int, mem []hram.Word) hram.Word
+		Address(node, step, memSize int) int
+		Step2(node, step int, cell hram.Word, prev []hram.Word) (hram.Word, hram.Word)
+	}
+	// Words is m', the number of live cells per node.
+	Words int
+	// Side carries the grid geometry like AsNetwork.Side.
+	Side int
+}
+
+// Init implements network.Program.
+func (r RestrictMem) Init(node int, mem []hram.Word) hram.Word {
+	if r.Side > 1 {
+		return r.P.InitAt(node%r.Side, node/r.Side, mem)
+	}
+	return r.P.InitAt(node, 0, mem)
+}
+
+// Address implements network.Program, confined to the live region.
+func (r RestrictMem) Address(node, step, memSize int) int {
+	w := r.Words
+	if w > memSize {
+		w = memSize
+	}
+	return r.P.Address(node, step, w)
+}
+
+// Step implements network.Program.
+func (r RestrictMem) Step(node, step int, cell hram.Word, prev []hram.Word) (hram.Word, hram.Word) {
+	return r.P.Step2(node, step, cell, prev)
+}
+
+// MemWords implements the blocked simulation's MemUser interface.
+func (r RestrictMem) MemWords(memSize int) int {
+	if r.Words > memSize {
+		return memSize
+	}
+	return r.Words
+}
+
+// ByName returns a named guest for CLI use. Known names: "rule90",
+// "mixca", "diffusion".
+func ByName(name string, seed uint64) (interface {
+	Input(v lattice.Point) dag.Value
+	Step(v lattice.Point, ops []dag.Value) dag.Value
+}, error) {
+	switch name {
+	case "rule90":
+		return Rule90{Seed: seed}, nil
+	case "mixca":
+		return MixCA{Seed: seed}, nil
+	case "diffusion":
+		return Diffusion{Seed: seed}, nil
+	default:
+		return nil, fmt.Errorf("guest: unknown workload %q", name)
+	}
+}

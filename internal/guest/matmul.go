@@ -1,0 +1,241 @@
+package guest
+
+import (
+	"fmt"
+
+	"bsmp/internal/cost"
+	"bsmp/internal/hram"
+	"bsmp/internal/network"
+)
+
+// This file implements the paper's Section 1 motivating example: two
+// √n × √n matrices multiplied
+//
+//   - in Θ(√n) steps on a √n × √n mesh of processors (Cannon's systolic
+//     algorithm on M2(n, n, ·));
+//   - in Θ(n²) time on a uniprocessor H-RAM with the straightforward
+//     triple loop (every access pays the average Θ(√n) latency); and
+//   - in Θ(n^(3/2)·log n) time on the same uniprocessor with the
+//     locality-aware recursive blocking of [AACS87].
+//
+// The mesh/uniprocessor speedups Θ(n^(3/2)) and Θ(n·log n) are the paper's
+// superlinear-speedup exhibit: n processors buy far more than n× because
+// parallelism also buys proximity.
+//
+// All three run over exact uint64 arithmetic (wrap-around semantics), so
+// the three products are verified bit-identical.
+
+// MatmulInput generates the deterministic test matrices A and B, sq × sq
+// row-major.
+func MatmulInput(sq int, seed uint64) (a, b []hram.Word) {
+	a = make([]hram.Word, sq*sq)
+	b = make([]hram.Word, sq*sq)
+	for i := range a {
+		h := uint64(i)*0x9E3779B97F4A7C15 + seed
+		h ^= h >> 31
+		a[i] = h | 1
+		h = uint64(i)*0xC2B2AE3D27D4EB4F + seed*3
+		h ^= h >> 29
+		b[i] = h | 1
+	}
+	return a, b
+}
+
+// ReferenceMatmul computes C = A·B exactly (wrap-around uint64).
+func ReferenceMatmul(sq int, a, b []hram.Word) []hram.Word {
+	c := make([]hram.Word, sq*sq)
+	for i := 0; i < sq; i++ {
+		for k := 0; k < sq; k++ {
+			aik := a[i*sq+k]
+			for j := 0; j < sq; j++ {
+				c[i*sq+j] += aik * b[k*sq+j]
+			}
+		}
+	}
+	return c
+}
+
+// MeshMatmul multiplies on the fully parallel mesh M2(n, n, m) with
+// n = sq² nodes via Cannon's algorithm: after the initial skew
+// (charged: row/column shifts over at most sq hops), the mesh performs sq
+// multiply-accumulate-shift steps, each costing Θ(1) — local accesses plus
+// a unit-distance neighbor exchange. Returns C and the elapsed mesh time,
+// which is Θ(√n) = Θ(sq).
+func MeshMatmul(sq int, a, b []hram.Word) ([]hram.Word, cost.Time) {
+	n := sq * sq
+	ma := network.New(2, n, n, 4) // 4 words per node: a, b, c, scratch
+	at := make([]hram.Word, n)
+	bt := make([]hram.Word, n)
+	// Cannon pre-skew: row i of A rotated left by i; column j of B
+	// rotated up by j. Charged as sq/2 average hops of one word per node.
+	for i := 0; i < sq; i++ {
+		for j := 0; j < sq; j++ {
+			at[i*sq+j] = a[i*sq+(j+i)%sq]
+			bt[i*sq+j] = b[((i+j)%sq)*sq+j]
+		}
+	}
+	for v := 0; v < n; v++ {
+		ma.Nodes[v].Poke(0, at[v])
+		ma.Nodes[v].Poke(1, bt[v])
+		ma.Nodes[v].Poke(2, 0)
+		// Skew cost: each word traveled up to sq/2 hops on average.
+		ma.Bank.Proc(v).Charge(cost.Message, float64(sq)/2)
+	}
+	ma.Bank.Barrier()
+
+	start := ma.Elapsed()
+	for step := 0; step < sq; step++ {
+		// Multiply-accumulate locally, then shift A left and B up.
+		nextA := make([]hram.Word, n)
+		nextB := make([]hram.Word, n)
+		for v := 0; v < n; v++ {
+			node := ma.Nodes[v]
+			av := node.Read(0)
+			bv := node.Read(1)
+			cv := node.Read(2)
+			node.Op()
+			node.Write(2, cv+av*bv)
+			// Unit-distance shifts (toroidal, as in Cannon): one word
+			// each over one hop.
+			gx, gy := ma.Coord(v)
+			nextA[ma.Index((gx+sq-1)%sq, gy)] = av
+			nextB[ma.Index(gx, (gy+sq-1)%sq)] = bv
+			ma.Bank.Proc(v).Charge(cost.Message, ma.Spacing())
+		}
+		for v := 0; v < n; v++ {
+			ma.Nodes[v].Poke(0, nextA[v])
+			ma.Nodes[v].Poke(1, nextB[v])
+		}
+		ma.Bank.Barrier()
+	}
+	elapsed := ma.Elapsed() - start
+
+	c := make([]hram.Word, n)
+	for v := 0; v < n; v++ {
+		gx, gy := ma.Coord(v)
+		c[gy*sq+gx] = ma.Nodes[v].Peek(2)
+	}
+	return c, elapsed
+}
+
+// NaiveMatmul multiplies on a uniprocessor H-RAM (d = 2, density 1) with
+// the straightforward triple loop over the natural layout: A at [0, n),
+// B at [n, 2n), C at [2n, 3n). Every access pays f(x) = √x — average
+// Θ(√n) — for a total of Θ(n²).
+func NaiveMatmul(sq int, a, b []hram.Word) ([]hram.Word, cost.Time) {
+	n := sq * sq
+	var meter cost.Meter
+	m := hram.New(3*n, hram.Standard(2, 1), &meter)
+	for i := 0; i < n; i++ {
+		m.Poke(i, a[i])
+		m.Poke(n+i, b[i])
+	}
+	for i := 0; i < sq; i++ {
+		for j := 0; j < sq; j++ {
+			var acc hram.Word
+			for k := 0; k < sq; k++ {
+				av := m.Read(i*sq + k)
+				bv := m.Read(n + k*sq + j)
+				m.Op()
+				acc += av * bv
+			}
+			m.Write(2*n+i*sq+j, acc)
+		}
+	}
+	c := make([]hram.Word, n)
+	for i := 0; i < n; i++ {
+		c[i] = m.Peek(2*n + i)
+	}
+	return c, meter.Now()
+}
+
+// BlockedMatmul multiplies on the same uniprocessor H-RAM with the
+// locality-aware recursive blocking the paper credits to [AACS87]: each
+// half-size sub-product copies its operand blocks into scratch space at
+// low addresses, recurses, and accumulates back, so a block of side b is
+// multiplied entirely within a region of size O(b²) where accesses cost
+// O(b). Total time Θ(n^(3/2)·log n) — the Θ(√n / log n) improvement over
+// NaiveMatmul that motivates the paper's locality analysis.
+func BlockedMatmul(sq int, a, b []hram.Word) ([]hram.Word, cost.Time) {
+	if sq&(sq-1) != 0 {
+		panic(fmt.Sprintf("guest: BlockedMatmul needs power-of-two side, got %d", sq))
+	}
+	n := sq * sq
+	// Scratch for the recursion: S(b) = 3b² + S(b/2) < 4b² per level sum.
+	scratch := 0
+	for bsz := sq; bsz >= 1; bsz /= 2 {
+		scratch += 3 * bsz * bsz
+	}
+	var meter cost.Meter
+	m := hram.New(scratch+3*n, hram.Standard(2, 1), &meter)
+	baseA, baseB, baseC := scratch, scratch+n, scratch+2*n
+	for i := 0; i < n; i++ {
+		m.Poke(baseA+i, a[i])
+		m.Poke(baseB+i, b[i])
+	}
+
+	// copyIn/copyOut move a strided bsz × bsz block into/out of a
+	// contiguous scratch block, row by row.
+	copyIn := func(dst, src, stride, bsz int) {
+		for r := 0; r < bsz; r++ {
+			m.BlockCopy(dst+r*bsz, src+r*stride, bsz)
+		}
+	}
+	copyOut := func(dst, stride, src, bsz int) {
+		for r := 0; r < bsz; r++ {
+			m.BlockCopy(dst+r*stride, src+r*bsz, bsz)
+		}
+	}
+	// mm multiplies the bsz × bsz blocks at aAddr/bAddr (row strides
+	// as/bs), accumulating into the block at cAddr (stride cs). All three
+	// blocks are first copied into scratch just below base — so children
+	// always copy from their PARENT's local region, never from the
+	// far-away top-level matrices; that one-level-at-a-time descent is
+	// what bounds each recursion level's copy cost by O(b) per word and
+	// yields the Θ(n^(3/2)·log n) total.
+	var mm func(aAddr, as, bAddr, bs, cAddr, cs, bsz, base int)
+	mm = func(aAddr, as, bAddr, bs, cAddr, cs, bsz, base int) {
+		la, lb, lc := base-3*bsz*bsz, base-2*bsz*bsz, base-bsz*bsz
+		copyIn(la, aAddr, as, bsz)
+		copyIn(lb, bAddr, bs, bsz)
+		copyIn(lc, cAddr, cs, bsz)
+		if bsz <= 8 {
+			for i := 0; i < bsz; i++ {
+				for j := 0; j < bsz; j++ {
+					acc := m.Read(lc + i*bsz + j)
+					for k := 0; k < bsz; k++ {
+						av := m.Read(la + i*bsz + k)
+						bv := m.Read(lb + k*bsz + j)
+						m.Op()
+						acc += av * bv
+					}
+					m.Write(lc+i*bsz+j, acc)
+				}
+			}
+		} else {
+			h := bsz / 2
+			for _, sub := range [8][4]int{
+				{0, 0, 0, 0}, {0, h, h, 0}, // C00 += A00·B00 + A01·B10
+				{0, 0, 0, h}, {0, h, h, h}, // C01 += A00·B01 + A01·B11
+				{h, 0, 0, 0}, {h, h, h, 0}, // C10 += A10·B00 + A11·B10
+				{h, 0, 0, h}, {h, h, h, h}, // C11 += A10·B01 + A11·B11
+			} {
+				di, dk, ek, ej := sub[0], sub[1], sub[2], sub[3]
+				mm(
+					la+di*bsz+dk, bsz,
+					lb+ek*bsz+ej, bsz,
+					lc+di*bsz+ej, bsz,
+					h, la,
+				)
+			}
+		}
+		copyOut(cAddr, cs, lc, bsz)
+	}
+	mm(baseA, sq, baseB, sq, baseC, sq, sq, scratch)
+
+	c := make([]hram.Word, n)
+	for i := 0; i < n; i++ {
+		c[i] = m.Peek(baseC + i)
+	}
+	return c, meter.Now()
+}

@@ -1,0 +1,122 @@
+package guest
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMatmulAllThreeAgree(t *testing.T) {
+	for _, sq := range []int{4, 8, 16} {
+		a, b := MatmulInput(sq, 7)
+		want := ReferenceMatmul(sq, a, b)
+		mesh, _ := MeshMatmul(sq, a, b)
+		naive, _ := NaiveMatmul(sq, a, b)
+		blocked, _ := BlockedMatmul(sq, a, b)
+		for i := range want {
+			if mesh[i] != want[i] {
+				t.Fatalf("sq=%d: mesh C[%d] = %d, want %d", sq, i, mesh[i], want[i])
+			}
+			if naive[i] != want[i] {
+				t.Fatalf("sq=%d: naive C[%d] = %d, want %d", sq, i, naive[i], want[i])
+			}
+			if blocked[i] != want[i] {
+				t.Fatalf("sq=%d: blocked C[%d] = %d, want %d", sq, i, blocked[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMatmulBlockedNeedsPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two side did not panic")
+		}
+	}()
+	a, b := MatmulInput(6, 1)
+	BlockedMatmul(6, a, b)
+}
+
+func TestMatmulTimeOrderingAndCrossover(t *testing.T) {
+	// Asymptotic ordering mesh << blocked << naive holds once past the
+	// blocking overhead's crossover (measured at sq ≈ 48): blocked loses
+	// to naive at sq = 16 and wins from sq = 64 on, with a growing
+	// advantage (~√n/log n).
+	ratio := func(sq int) (mesh, naive, blocked float64) {
+		a, b := MatmulInput(sq, 3)
+		_, tm := MeshMatmul(sq, a, b)
+		_, tn := NaiveMatmul(sq, a, b)
+		_, tb := BlockedMatmul(sq, a, b)
+		return float64(tm), float64(tn), float64(tb)
+	}
+	tm, tn, tb := ratio(16)
+	if !(tm < tb && tm < tn) {
+		t.Errorf("sq=16: mesh %v not fastest (naive %v, blocked %v)", tm, tn, tb)
+	}
+	if tb < tn {
+		t.Errorf("sq=16: blocked %v already beats naive %v — crossover moved, update docs", tb, tn)
+	}
+	tm64, tn64, tb64 := ratio(64)
+	if !(tm64 < tb64 && tb64 < tn64) {
+		t.Errorf("sq=64: ordering violated: mesh %v, blocked %v, naive %v", tm64, tb64, tn64)
+	}
+	tm128, tn128, tb128 := ratio(128)
+	_ = tm128
+	if tn128/tb128 <= tn64/tb64 {
+		t.Errorf("blocked advantage not growing: %v at 64 vs %v at 128", tn64/tb64, tn128/tb128)
+	}
+}
+
+func TestMatmulSuperlinearSpeedup(t *testing.T) {
+	// The paper's exhibit: n = sq² processors speed the naive
+	// uniprocessor up by ~n^1.5 — superlinear in the processor count.
+	// Shape check via exponents: naive time ~ n², mesh time ~ n^0.5, so
+	// log2(speedup) / log2(n) ≈ 1.5 and clearly above 1.
+	var logN, logSpeed []float64
+	for _, sq := range []int{8, 16, 32} {
+		n := sq * sq
+		a, b := MatmulInput(sq, 5)
+		_, tm := MeshMatmul(sq, a, b)
+		_, tn := NaiveMatmul(sq, a, b)
+		logN = append(logN, math.Log2(float64(n)))
+		logSpeed = append(logSpeed, math.Log2(float64(tn)/float64(tm)))
+	}
+	slope := fitSlope(logN, logSpeed)
+	if slope < 1.2 || slope > 1.8 {
+		t.Errorf("speedup exponent %v, want ~1.5 (superlinear)", slope)
+	}
+}
+
+func TestMatmulBlockedShape(t *testing.T) {
+	// Blocked uniprocessor time ~ n^1.5·log n: exponent ~1.6, clearly
+	// below naive's 2.
+	var logN, logB, logNv []float64
+	for _, sq := range []int{16, 32, 64} {
+		n := sq * sq
+		a, b := MatmulInput(sq, 9)
+		_, tb := BlockedMatmul(sq, a, b)
+		_, tn := NaiveMatmul(sq, a, b)
+		logN = append(logN, math.Log2(float64(n)))
+		logB = append(logB, math.Log2(float64(tb)))
+		logNv = append(logNv, math.Log2(float64(tn)))
+	}
+	bSlope := fitSlope(logN, logB)
+	nvSlope := fitSlope(logN, logNv)
+	if nvSlope < 1.8 || nvSlope > 2.2 {
+		t.Errorf("naive exponent %v, want ~2", nvSlope)
+	}
+	if bSlope >= nvSlope-0.15 {
+		t.Errorf("blocked exponent %v not clearly below naive %v", bSlope, nvSlope)
+	}
+}
+
+func fitSlope(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}

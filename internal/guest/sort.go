@@ -1,0 +1,70 @@
+package guest
+
+import "bsmp/internal/hram"
+
+// OETSort is odd-even transposition sort on the linear array — the
+// canonical systolic algorithm of the machines the paper studies (its
+// Section 4.1 explicitly covers "systolic networks"). Node x holds one
+// key as its broadcast value; at step t, adjacent pairs (2i, 2i+1) for
+// even t (respectively (2i+1, 2i+2) for odd t) compare-exchange, so after
+// n steps the row is sorted. Everything is computed from (node, step,
+// self, neighbors), fitting Definition 3's semantics exactly; the
+// sortedness of the final row is an end-to-end invariant every simulator
+// must preserve.
+type OETSort struct{ Seed uint64 }
+
+// InitAt places a position-scrambled key at (x, y).
+func (g OETSort) InitAt(x, y int, mem []hram.Word) hram.Word {
+	h := uint64(x)*0x9E3779B97F4A7C15 + uint64(y)*0xBF58476D1CE4E5B9 + g.Seed
+	h ^= h >> 31
+	h *= 0x94D049BB133111EB
+	h ^= h >> 29
+	return h
+}
+
+// Address implements the network view (memory unused).
+func (g OETSort) Address(node, step, memSize int) int { return 0 }
+
+// Step2 performs the compare-exchange. prev is (self, left?, right?) in
+// network order; boundary nodes lack one neighbor, which the node index
+// disambiguates.
+func (g OETSort) Step2(node, step int, cell hram.Word, prev []hram.Word) (hram.Word, hram.Word) {
+	self := prev[0]
+	var left, right hram.Word
+	hasLeft := node > 0
+	switch {
+	case hasLeft && len(prev) >= 3:
+		left, right = prev[1], prev[2]
+	case hasLeft && len(prev) == 2:
+		left = prev[1] // rightmost node
+	case !hasLeft && len(prev) >= 2:
+		right = prev[1] // leftmost node
+	}
+	// At step t, pairs start at even positions when t is odd is a
+	// convention choice; use: pair (x, x+1) active iff x ≡ step (mod 2).
+	pairedRight := node%2 == step%2
+	if pairedRight {
+		if len(prev) >= 2 && (node > 0 || true) && nodeHasRight(node, len(prev), hasLeft) {
+			// Keep the min of (self, right).
+			if right < self {
+				return right, cell
+			}
+		}
+		return self, cell
+	}
+	// Paired with the left neighbor: keep the max of (left, self).
+	if hasLeft {
+		if left > self {
+			return left, cell
+		}
+	}
+	return self, cell
+}
+
+// nodeHasRight reports whether the prev slice included a right neighbor.
+func nodeHasRight(node, prevLen int, hasLeft bool) bool {
+	if hasLeft {
+		return prevLen >= 3
+	}
+	return prevLen >= 2
+}

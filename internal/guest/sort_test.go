@@ -1,0 +1,44 @@
+package guest
+
+import (
+	"sort"
+	"testing"
+
+	"bsmp/internal/network"
+)
+
+func TestOETSortSorts(t *testing.T) {
+	for _, n := range []int{2, 8, 16, 33, 64} {
+		g := OETSort{Seed: 5}
+		out, _ := network.RunGuestPure(1, n, 1, n, AsNetwork{G: g})
+		// The multiset must be the initial keys, sorted.
+		want := make([]uint64, n)
+		for x := 0; x < n; x++ {
+			want[x] = g.InitAt(x, 0, nil)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("n=%d: position %d = %d, want %d (not sorted or keys lost)",
+					n, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+func TestOETSortPartialProgress(t *testing.T) {
+	// After fewer than n steps the row is generally NOT sorted — pins
+	// that the test above isn't vacuous.
+	n := 64
+	g := OETSort{Seed: 5}
+	out, _ := network.RunGuestPure(1, n, 1, n/4, AsNetwork{G: g})
+	sorted := true
+	for i := 1; i < n; i++ {
+		if out[i-1] > out[i] {
+			sorted = false
+		}
+	}
+	if sorted {
+		t.Fatal("row already sorted after n/4 steps — workload too easy")
+	}
+}

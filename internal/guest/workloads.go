@@ -1,0 +1,80 @@
+package guest
+
+import (
+	"bsmp/internal/dag"
+	"bsmp/internal/hram"
+	"bsmp/internal/lattice"
+)
+
+// Diffusion is an integer heat-diffusion-like automaton: each step
+// averages the neighborhood in fixed-point arithmetic (sum divided by the
+// operand count, floor). Order-insensitive over its operand multiset, so
+// like Rule90 its dag and network views agree; unlike Rule90 it carries
+// wide values, exercising full-word datapaths.
+type Diffusion struct{ Seed uint64 }
+
+func (g Diffusion) initial(x, y int) dag.Value {
+	h := uint64(x)*0x9E3779B97F4A7C15 ^ uint64(y)*0xD6E8FEB86659FD93 ^ g.Seed
+	h ^= h >> 32
+	return h % (1 << 32) // keep headroom so sums cannot wrap
+}
+
+// Input implements dag.Program.
+func (g Diffusion) Input(v lattice.Point) dag.Value {
+	return g.initial(v.X, v.Y+131071*v.Z)
+}
+
+// Step implements dag.Program: the floor-average of the operands.
+func (g Diffusion) Step(v lattice.Point, ops []dag.Value) dag.Value {
+	var s dag.Value
+	for _, o := range ops {
+		s += o
+	}
+	return s / dag.Value(len(ops))
+}
+
+// InitAt implements the network-view initializer.
+func (g Diffusion) InitAt(x, y int, mem []hram.Word) hram.Word {
+	return g.initial(x, y)
+}
+
+// Address implements the network view (memory unused: cell 0).
+func (g Diffusion) Address(node, step, memSize int) int { return 0 }
+
+// Step2 implements the network view.
+func (g Diffusion) Step2(node, step int, cell hram.Word, prev []hram.Word) (hram.Word, hram.Word) {
+	var s hram.Word
+	for _, p := range prev {
+		s += p
+	}
+	return s / hram.Word(len(prev)), cell
+}
+
+// ShiftRegister is an m-heavy workload: each node cycles its entire
+// private memory as a shift register, consuming the oldest cell and
+// appending a mix of the neighborhood — the densest per-step memory
+// traffic a Definition 3 computation allows, which makes it the preferred
+// stress workload for the Theorem 3/4 block-relocation schemes.
+type ShiftRegister struct{ Seed uint64 }
+
+// InitAt fills the register with position-dependent values.
+func (g ShiftRegister) InitAt(x, y int, mem []hram.Word) hram.Word {
+	for i := range mem {
+		mem[i] = uint64(x)*0x100000001B3 + uint64(y)*131 + uint64(i)*0x9E3779B1 + g.Seed
+	}
+	return uint64(x)*0xC2B2AE3D27D4EB4F + g.Seed | 1
+}
+
+// Address cycles through the register.
+func (g ShiftRegister) Address(node, step, memSize int) int {
+	return step % memSize
+}
+
+// Step2 consumes the addressed cell and rewrites it from the neighborhood.
+func (g ShiftRegister) Step2(node, step int, cell hram.Word, prev []hram.Word) (hram.Word, hram.Word) {
+	mix := cell*0x9E3779B97F4A7C15 + uint64(step)
+	for i, p := range prev {
+		mix ^= p << (uint(i) % 8)
+	}
+	return mix | 1, mix*2 + 1
+}

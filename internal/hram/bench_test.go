@@ -1,0 +1,33 @@
+package hram
+
+import (
+	"testing"
+
+	"bsmp/internal/cost"
+)
+
+func BenchmarkReadWrite(b *testing.B) {
+	var meter cost.Meter
+	m := New(1<<16, Standard(1, 1), &meter)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Write(i%(1<<16), Word(i))
+		m.Read(i % (1 << 16))
+	}
+}
+
+func BenchmarkBlockCopyPerWord(b *testing.B) {
+	var meter cost.Meter
+	m := New(1<<16, Standard(1, 1), &meter)
+	for i := 0; i < b.N; i++ {
+		m.BlockCopy(0, 1<<15, 256)
+	}
+}
+
+func BenchmarkBlockCopyPipelined(b *testing.B) {
+	var meter cost.Meter
+	m := New(1<<16, Standard(1, 1), &meter, WithPipelinedBlocks())
+	for i := 0; i < b.N; i++ {
+		m.BlockCopy(0, 1<<15, 256)
+	}
+}

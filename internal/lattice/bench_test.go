@@ -1,0 +1,50 @@
+package lattice
+
+import "testing"
+
+func BenchmarkDiamondPoints(b *testing.B) {
+	d := NewDiamond(0, 0, 256, UnboundedClip())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		d.Points(func(Point) bool { n++; return true })
+		if n == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkDiamondSize(b *testing.B) {
+	d := NewDiamond(0, 0, 1024, UnboundedClip())
+	for i := 0; i < b.N; i++ {
+		if d.Size() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkBox4Children(b *testing.B) {
+	o := FigureThreeOctahedron(64)
+	for i := 0; i < b.N; i++ {
+		if len(o.Children()) != 14 {
+			b.Fatal("wrong child count")
+		}
+	}
+}
+
+func BenchmarkBox6Children(b *testing.B) {
+	o := CentralBox6(32)
+	for i := 0; i < b.N; i++ {
+		if len(o.Children()) != 46 {
+			b.Fatal("wrong child count")
+		}
+	}
+}
+
+func BenchmarkFigureOnePartition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(FigureOnePartition(256)) != 5 {
+			b.Fatal("wrong piece count")
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package lattice
+
+import "fmt"
+
+// Box4 is the d = 2 domain family of Section 5 of the paper. In the rotated
+// coordinates
+//
+//	a = t + x,  b = t - x,  e = t + y,  f = t - y
+//
+// (which obey a + b = e + f = 2t on every lattice point), a Box4 is the
+// semi-open product [A0,A0+RA) × [B0,B0+RB) × [E0,E0+RE) × [F0,F0+RF),
+// intersected with a Clip box.
+//
+// With all four sides equal to R, the Box4 is:
+//
+//   - the paper's octahedron P(R) — |t±x| <= R/2, |t±y| <= R/2, volume
+//     R³/3 — when the pair sums agree: A0+B0 == E0+F0;
+//   - the paper's tetrahedron W(R) — volume R³/12 — when the pair sums are
+//     offset by R: |A0+B0 - (E0+F0)| == R. (The constraint a+b == e+f then
+//     carves a corner wedge out of the product box.)
+//
+// Splitting all four ranges at their midpoints and discarding empty
+// combinations reproduces Figure 3 exactly: P(R) splits into 6 P(R/2) +
+// 8 W(R/2); W(R) splits into 1 P(R/2) + 4 W(R/2). See TestFigure3 in the
+// figures tests.
+type Box4 struct {
+	A0, B0, E0, F0 int
+	RA, RB, RE, RF int
+	Clip           Clip
+}
+
+// Kind classifies a Box4 by the offset of its pair sums.
+type Kind int
+
+const (
+	// Octahedron is the paper's P domain: pair sums equal.
+	Octahedron Kind = iota
+	// Tetrahedron is the paper's W domain: pair sums offset by exactly
+	// the span.
+	Tetrahedron
+	// Wedge is any other non-empty offset (arises only from uneven
+	// integer splits or clipping; behaves like a tetrahedron).
+	Wedge
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Octahedron:
+		return "P"
+	case Tetrahedron:
+		return "W"
+	default:
+		return "wedge"
+	}
+}
+
+// NewOctahedron returns the octahedron P(r) whose (a,b,e,f) box has low
+// corner (a0, b0, e0, f0); it panics unless a0+b0 == e0+f0 or r < 0.
+func NewOctahedron(a0, b0, e0, f0, r int, clip Clip) Box4 {
+	if r < 0 {
+		panic(fmt.Sprintf("lattice: negative octahedron span %d", r))
+	}
+	if a0+b0 != e0+f0 {
+		panic(fmt.Sprintf("lattice: octahedron pair sums differ: %d vs %d", a0+b0, e0+f0))
+	}
+	return Box4{A0: a0, B0: b0, E0: e0, F0: f0, RA: r, RB: r, RE: r, RF: r, Clip: clip}
+}
+
+// NewTetrahedron returns the tetrahedron W(r) whose (a,b,e,f) box has low
+// corner (a0, b0, e0, f0); it panics unless the pair sums are offset by
+// exactly r.
+func NewTetrahedron(a0, b0, e0, f0, r int, clip Clip) Box4 {
+	if r < 0 {
+		panic(fmt.Sprintf("lattice: negative tetrahedron span %d", r))
+	}
+	off := a0 + b0 - (e0 + f0)
+	if off != r && off != -r {
+		panic(fmt.Sprintf("lattice: tetrahedron pair-sum offset %d, want ±%d", off, r))
+	}
+	return Box4{A0: a0, B0: b0, E0: e0, F0: f0, RA: r, RB: r, RE: r, RF: r, Clip: clip}
+}
+
+// Box4Around returns the smallest octahedron covering the full d = 2
+// computation domain V = [0,side)² × [0,T), clipped to V.
+func Box4Around(side, t int) Box4 {
+	// a = time+x in [0, t-1+side-1]; b = time-x in [-(side-1), t-1];
+	// e, f identically for y. Pair sums both start at -(side-1): offset 0.
+	r := side + t - 1
+	if r < 1 {
+		r = 1
+	}
+	// Use an even span so halving produces equal-sided children whose
+	// Kind() classification (P vs W) is exact; the padding is clipped away.
+	r += r & 1
+	return Box4{
+		A0: 0, B0: -(side - 1), E0: 0, F0: -(side - 1),
+		RA: r, RB: r, RE: r, RF: r,
+		Clip: ClipAll2D(side, t),
+	}
+}
+
+// Dim reports 2.
+func (o Box4) Dim() int { return 2 }
+
+// Span reports the largest unclipped side of the (a,b,e,f) box.
+func (o Box4) Span() int {
+	return maxInt(maxInt(o.RA, o.RB), maxInt(o.RE, o.RF))
+}
+
+// Offset reports the pair-sum offset (A0+B0) - (E0+F0) that distinguishes
+// octahedra (0) from tetrahedra (±span).
+func (o Box4) Offset() int { return o.A0 + o.B0 - (o.E0 + o.F0) }
+
+// Kind classifies the domain; meaningful for equal-sided boxes.
+func (o Box4) Kind() Kind {
+	off := o.Offset()
+	switch {
+	case off == 0:
+		return Octahedron
+	case off == o.Span() || off == -o.Span():
+		return Tetrahedron
+	default:
+		return Wedge
+	}
+}
+
+// String describes the domain.
+func (o Box4) String() string {
+	return fmt.Sprintf("%s(a=[%d,%d) b=[%d,%d) e=[%d,%d) f=[%d,%d))",
+		o.Kind(), o.A0, o.A0+o.RA, o.B0, o.B0+o.RB, o.E0, o.E0+o.RE, o.F0, o.F0+o.RF)
+}
+
+// Contains reports whether p is a lattice point of the domain.
+func (o Box4) Contains(p Point) bool {
+	if !o.Clip.Contains(p) {
+		return false
+	}
+	a, b := p.T+p.X, p.T-p.X
+	e, f := p.T+p.Y, p.T-p.Y
+	return a >= o.A0 && a < o.A0+o.RA &&
+		b >= o.B0 && b < o.B0+o.RB &&
+		e >= o.E0 && e < o.E0+o.RE &&
+		f >= o.F0 && f < o.F0+o.RF
+}
+
+// tRange returns the inclusive feasible range of t, intersecting the
+// a+b = e+f = 2t constraints of both coordinate pairs with the clip.
+func (o Box4) tRange() (tmin, tmax int) {
+	tmin = ceilDiv(maxInt(o.A0+o.B0, o.E0+o.F0), 2)
+	tmax = floorDiv(minInt(o.A0+o.RA-1+o.B0+o.RB-1, o.E0+o.RE-1+o.F0+o.RF-1), 2)
+	tmin = maxInt(tmin, o.Clip.T0)
+	tmax = minInt(tmax, o.Clip.T1-1)
+	return tmin, tmax
+}
+
+// aRangeAt returns the half-open range of a at time t (x = a - t).
+func (o Box4) aRangeAt(t int) (lo, hi int) {
+	lo = maxInt(o.A0, 2*t-o.B0-o.RB+1)
+	hi = minInt(o.A0+o.RA, 2*t-o.B0+1)
+	lo = maxInt(lo, t+o.Clip.X0)
+	hi = minInt(hi, t+o.Clip.X1)
+	return lo, hi
+}
+
+// eRangeAt returns the half-open range of e at time t (y = e - t).
+func (o Box4) eRangeAt(t int) (lo, hi int) {
+	lo = maxInt(o.E0, 2*t-o.F0-o.RF+1)
+	hi = minInt(o.E0+o.RE, 2*t-o.F0+1)
+	lo = maxInt(lo, t+o.Clip.Y0)
+	hi = minInt(hi, t+o.Clip.Y1)
+	return lo, hi
+}
+
+// Size reports the exact number of lattice points in O(span + T) time.
+func (o Box4) Size() int {
+	if o.RA <= 0 || o.RB <= 0 || o.RE <= 0 || o.RF <= 0 {
+		return 0
+	}
+	n := 0
+	tmin, tmax := o.tRange()
+	for t := tmin; t <= tmax; t++ {
+		alo, ahi := o.aRangeAt(t)
+		elo, ehi := o.eRangeAt(t)
+		if ahi > alo && ehi > elo {
+			n += (ahi - alo) * (ehi - elo)
+		}
+	}
+	return n
+}
+
+// Points enumerates lattice points in ascending (T, X, Y) order.
+func (o Box4) Points(yield func(Point) bool) {
+	if o.RA <= 0 || o.RB <= 0 || o.RE <= 0 || o.RF <= 0 {
+		return
+	}
+	tmin, tmax := o.tRange()
+	for t := tmin; t <= tmax; t++ {
+		alo, ahi := o.aRangeAt(t)
+		elo, ehi := o.eRangeAt(t)
+		for a := alo; a < ahi; a++ {
+			for e := elo; e < ehi; e++ {
+				if !yield(Point{X: a - t, Y: e - t, T: t}) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Children returns the topological partition obtained by halving all four
+// (a,b,e,f) ranges and keeping non-empty combinations, in lexicographic
+// order of the half indices. Lexicographic order linearly extends the
+// componentwise order, and dag arcs never decrease any of a, b, e, f, so
+// the order is topological (Definition 4). For an equal-sided power-of-two
+// octahedron this yields the paper's 6 P + 8 W of Figure 3(a); for a
+// tetrahedron, 1 P + 4 W of Figure 3(b). Returns nil when no side can be
+// split (all sides < 2).
+func (o Box4) Children() []Domain {
+	if o.RA < 2 && o.RB < 2 && o.RE < 2 && o.RF < 2 {
+		return nil
+	}
+	as := splitRange(o.A0, o.RA)
+	bs := splitRange(o.B0, o.RB)
+	es := splitRange(o.E0, o.RE)
+	fs := splitRange(o.F0, o.RF)
+	out := make([]Domain, 0, 16)
+	for _, sa := range as {
+		for _, sb := range bs {
+			for _, se := range es {
+				for _, sf := range fs {
+					c := Box4{
+						A0: sa.lo, B0: sb.lo, E0: se.lo, F0: sf.lo,
+						RA: sa.n, RB: sb.n, RE: se.n, RF: sf.n,
+						Clip: o.Clip,
+					}
+					if c.Size() > 0 {
+						out = append(out, c)
+					}
+				}
+			}
+		}
+	}
+	return out
+}

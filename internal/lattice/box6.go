@@ -1,0 +1,214 @@
+package lattice
+
+import "fmt"
+
+// Box6 extends the separator domains to d = 3 — the paper's open question
+// (Conclusions: "whether the locality slowdown would be present in three
+// dimensional machines... the critical step being the development of a
+// suitable topological separator for four-dimensional domains"). The
+// computation dag of a 3-D mesh lives in (x, y, z, t); in the rotated
+// coordinates
+//
+//	a = t + x,  b = t - x,
+//	e = t + y,  f = t - y,
+//	g = t + z,  h = t - z
+//
+// (with a + b = e + f = g + h = 2t on every lattice point) all dag arcs
+// are non-decreasing in each of the six coordinates, so any semi-open box
+//
+//	[A0,A0+RA) × [B0,B0+RB) × ... × [H0,H0+RH)
+//
+// is convex, and halving all six ranges yields an ordered topological
+// partition — exactly the four-dimensional topological separator the
+// paper conjectured. The equal-sided box with all three pair sums equal
+// is the d = 3 analog of the octahedron: a 4-polytope of measure Θ(R⁴)
+// with preboundary Θ(R³) = Θ(|U|^(3/4)), realizing the γ = d/(d+1) = 3/4
+// separator exponent. Offset pair sums give the tetrahedron-analog
+// wedges; splitting the central polytope produces 46 children (10 central
+// analogs + 36 wedges — the d = 3 counterpart of Figure 3's 6 P + 8 W).
+type Box6 struct {
+	A0, B0, E0, F0, G0, H0 int
+	RA, RB, RE, RF, RG, RH int
+	Clip                   Clip
+}
+
+// Box6Around returns the smallest central Box6 covering the full d = 3
+// computation domain V = [0,side)³ × [0,t), clipped to V. The span is
+// padded to even so halving classifies children exactly.
+func Box6Around(side, t int) Box6 {
+	r := side + t - 1
+	if r < 1 {
+		r = 1
+	}
+	r += r & 1
+	lo := -(side - 1)
+	return Box6{
+		A0: 0, B0: lo, E0: 0, F0: lo, G0: 0, H0: lo,
+		RA: r, RB: r, RE: r, RF: r, RG: r, RH: r,
+		Clip: ClipAll3D(side, t),
+	}
+}
+
+// CentralBox6 returns the canonical unclipped d = 3 central polytope of
+// span r (all pair sums equal, low corner at the origin).
+func CentralBox6(r int) Box6 {
+	if r < 0 {
+		panic(fmt.Sprintf("lattice: negative Box6 span %d", r))
+	}
+	return Box6{
+		RA: r, RB: r, RE: r, RF: r, RG: r, RH: r,
+		Clip: UnboundedClip(),
+	}
+}
+
+// Dim reports 3.
+func (o Box6) Dim() int { return 3 }
+
+// Span reports the largest unclipped side.
+func (o Box6) Span() int {
+	s := o.RA
+	for _, r := range [5]int{o.RB, o.RE, o.RF, o.RG, o.RH} {
+		if r > s {
+			s = r
+		}
+	}
+	return s
+}
+
+// Offsets reports the two independent pair-sum offsets
+// (A0+B0)-(E0+F0) and (A0+B0)-(G0+H0); both zero means the central
+// (octahedron-analog) polytope.
+func (o Box6) Offsets() (int, int) {
+	ab := o.A0 + o.B0
+	return ab - (o.E0 + o.F0), ab - (o.G0 + o.H0)
+}
+
+// IsCentral reports whether the box is the d = 3 octahedron analog.
+func (o Box6) IsCentral() bool {
+	d1, d2 := o.Offsets()
+	return d1 == 0 && d2 == 0
+}
+
+// String describes the domain.
+func (o Box6) String() string {
+	d1, d2 := o.Offsets()
+	return fmt.Sprintf("B6(span=%d off=%d,%d at a=%d b=%d e=%d f=%d g=%d h=%d)",
+		o.Span(), d1, d2, o.A0, o.B0, o.E0, o.F0, o.G0, o.H0)
+}
+
+// Contains reports whether p is a lattice point of the domain.
+func (o Box6) Contains(p Point) bool {
+	if !o.Clip.Contains(p) {
+		return false
+	}
+	a, b := p.T+p.X, p.T-p.X
+	e, f := p.T+p.Y, p.T-p.Y
+	g, h := p.T+p.Z, p.T-p.Z
+	return a >= o.A0 && a < o.A0+o.RA &&
+		b >= o.B0 && b < o.B0+o.RB &&
+		e >= o.E0 && e < o.E0+o.RE &&
+		f >= o.F0 && f < o.F0+o.RF &&
+		g >= o.G0 && g < o.G0+o.RG &&
+		h >= o.H0 && h < o.H0+o.RH
+}
+
+// tRange intersects the three pair-sum constraints with the clip.
+func (o Box6) tRange() (tmin, tmax int) {
+	tmin = ceilDiv(maxInt(maxInt(o.A0+o.B0, o.E0+o.F0), o.G0+o.H0), 2)
+	tmax = floorDiv(minInt(minInt(
+		o.A0+o.RA-1+o.B0+o.RB-1,
+		o.E0+o.RE-1+o.F0+o.RF-1),
+		o.G0+o.RG-1+o.H0+o.RH-1), 2)
+	tmin = maxInt(tmin, o.Clip.T0)
+	tmax = minInt(tmax, o.Clip.T1-1)
+	return tmin, tmax
+}
+
+// coordRangeAt gives the half-open feasible range of a "plus" coordinate
+// (a, e, or g) at time t, given its box range, the paired "minus"
+// coordinate's box range, and the machine clip for the spatial axis.
+func coordRangeAt(t, lo, rl, mLo, mR, clipLo, clipHi int) (int, int) {
+	a := maxInt(lo, 2*t-mLo-mR+1)
+	b := minInt(lo+rl, 2*t-mLo+1)
+	a = maxInt(a, t+clipLo)
+	b = minInt(b, t+clipHi)
+	return a, b
+}
+
+// Size reports the exact number of lattice points.
+func (o Box6) Size() int {
+	if o.RA <= 0 || o.RB <= 0 || o.RE <= 0 || o.RF <= 0 || o.RG <= 0 || o.RH <= 0 {
+		return 0
+	}
+	n := 0
+	tmin, tmax := o.tRange()
+	for t := tmin; t <= tmax; t++ {
+		alo, ahi := coordRangeAt(t, o.A0, o.RA, o.B0, o.RB, o.Clip.X0, o.Clip.X1)
+		elo, ehi := coordRangeAt(t, o.E0, o.RE, o.F0, o.RF, o.Clip.Y0, o.Clip.Y1)
+		glo, ghi := coordRangeAt(t, o.G0, o.RG, o.H0, o.RH, o.Clip.Z0, o.Clip.Z1)
+		if ahi > alo && ehi > elo && ghi > glo {
+			n += (ahi - alo) * (ehi - elo) * (ghi - glo)
+		}
+	}
+	return n
+}
+
+// Points enumerates lattice points in ascending (T, X, Y, Z) order.
+func (o Box6) Points(yield func(Point) bool) {
+	if o.RA <= 0 || o.RB <= 0 || o.RE <= 0 || o.RF <= 0 || o.RG <= 0 || o.RH <= 0 {
+		return
+	}
+	tmin, tmax := o.tRange()
+	for t := tmin; t <= tmax; t++ {
+		alo, ahi := coordRangeAt(t, o.A0, o.RA, o.B0, o.RB, o.Clip.X0, o.Clip.X1)
+		elo, ehi := coordRangeAt(t, o.E0, o.RE, o.F0, o.RF, o.Clip.Y0, o.Clip.Y1)
+		glo, ghi := coordRangeAt(t, o.G0, o.RG, o.H0, o.RH, o.Clip.Z0, o.Clip.Z1)
+		for a := alo; a < ahi; a++ {
+			for e := elo; e < ehi; e++ {
+				for g := glo; g < ghi; g++ {
+					if !yield(Point{X: a - t, Y: e - t, Z: g - t, T: t}) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Children returns the ordered topological partition obtained by halving
+// all six ranges and keeping non-empty combinations in lexicographic
+// order — the four-dimensional topological separator of the paper's
+// conjecture. Returns nil when no side can be split.
+func (o Box6) Children() []Domain {
+	if o.RA < 2 && o.RB < 2 && o.RE < 2 && o.RF < 2 && o.RG < 2 && o.RH < 2 {
+		return nil
+	}
+	as := splitRange(o.A0, o.RA)
+	bs := splitRange(o.B0, o.RB)
+	es := splitRange(o.E0, o.RE)
+	fs := splitRange(o.F0, o.RF)
+	gs := splitRange(o.G0, o.RG)
+	hs := splitRange(o.H0, o.RH)
+	var out []Domain
+	for _, sa := range as {
+		for _, sb := range bs {
+			for _, se := range es {
+				for _, sf := range fs {
+					for _, sg := range gs {
+						for _, sh := range hs {
+							c := Box6{
+								A0: sa.lo, B0: sb.lo, E0: se.lo, F0: sf.lo, G0: sg.lo, H0: sh.lo,
+								RA: sa.n, RB: sb.n, RE: se.n, RF: sf.n, RG: sg.n, RH: sh.n,
+								Clip: o.Clip,
+							}
+							if c.Size() > 0 {
+								out = append(out, c)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

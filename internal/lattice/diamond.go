@@ -1,0 +1,155 @@
+package lattice
+
+import "fmt"
+
+// Diamond is the d = 1 domain family of the paper (Section 4.1),
+// generalized from the square case to a rectangle: in rotated coordinates
+// u = t+x, w = t-x it is the semi-open rectangle [U0, U0+RU) × [W0, W0+RW),
+// intersected with a Clip box. The paper's diamond D(r) — the set
+// |x-cx| + |t-ct| <= r/2 without its minimum-t frontier, of measure r²/2 —
+// is the square case RU = RW = r. Rectangles arise from integer halving and
+// carry the same separator property: the preboundary is O(RU + RW) while
+// the size is Θ(RU·RW)/2.
+//
+// Lattice points of the dag satisfy u ≡ w (mod 2) (t+x and t-x have equal
+// parity); Diamond enumerates only those.
+type Diamond struct {
+	U0, W0, RU, RW int
+	Clip           Clip
+}
+
+// NewDiamond returns the square diamond of width r whose (u, w) square has
+// its low corner at (u0, w0), clipped to clip. It panics if r < 0.
+func NewDiamond(u0, w0, r int, clip Clip) Diamond {
+	if r < 0 {
+		panic(fmt.Sprintf("lattice: negative diamond width %d", r))
+	}
+	return Diamond{U0: u0, W0: w0, RU: r, RW: r, Clip: clip}
+}
+
+// DiamondAround returns the smallest square diamond covering the full
+// computation domain V = [0,n) × [0,T) of an n-node linear array run for T
+// steps, clipped to V.
+func DiamondAround(n, t int) Diamond {
+	// u = time+x in [0, t-1 + n-1]; w = time-x in [-(n-1), t-1].
+	side := n + t - 1 // covers u-range and w-range, both of extent n+t-2
+	if side < 1 {
+		side = 1
+	}
+	return NewDiamond(0, -(n - 1), side, ClipAll1D(n, t))
+}
+
+// Dim reports 1.
+func (d Diamond) Dim() int { return 1 }
+
+// Span reports the larger unclipped side of the (u, w) rectangle — the
+// paper's diamond width r.
+func (d Diamond) Span() int { return maxInt(d.RU, d.RW) }
+
+// String describes the diamond.
+func (d Diamond) String() string {
+	return fmt.Sprintf("D(u=[%d,%d) w=[%d,%d))", d.U0, d.U0+d.RU, d.W0, d.W0+d.RW)
+}
+
+// Contains reports whether p is a lattice point of the diamond.
+func (d Diamond) Contains(p Point) bool {
+	if p.Y != 0 || p.Z != 0 || !d.Clip.Contains(p) {
+		return false
+	}
+	u, w := p.T+p.X, p.T-p.X
+	return u >= d.U0 && u < d.U0+d.RU && w >= d.W0 && w < d.W0+d.RW
+}
+
+// tRange returns the inclusive range of t values the diamond can contain,
+// combining the (u, w) rectangle with the clip.
+func (d Diamond) tRange() (tmin, tmax int) {
+	// 2t = u + w in [U0+W0, (U0+RU-1)+(W0+RW-1)].
+	tmin = ceilDiv(d.U0+d.W0, 2)
+	tmax = floorDiv(d.U0+d.RU-1+d.W0+d.RW-1, 2)
+	tmin = maxInt(tmin, d.Clip.T0)
+	tmax = minInt(tmax, d.Clip.T1-1)
+	return tmin, tmax
+}
+
+// uRangeAt returns the half-open range [ulo, uhi) of u values present at
+// time step t, combining the rectangle with the clip's x bounds.
+func (d Diamond) uRangeAt(t int) (ulo, uhi int) {
+	// u in [U0, U0+RU) and w = 2t-u in [W0, W0+RW)
+	//   =>  u in [2t-W0-RW+1, 2t-W0].
+	ulo = maxInt(d.U0, 2*t-d.W0-d.RW+1)
+	uhi = minInt(d.U0+d.RU, 2*t-d.W0+1)
+	// x = u - t in [X0, X1)  =>  u in [t+X0, t+X1).
+	ulo = maxInt(ulo, t+d.Clip.X0)
+	uhi = minInt(uhi, t+d.Clip.X1)
+	return ulo, uhi
+}
+
+// Size reports the exact number of lattice points, in O(RU + RW + T) time.
+func (d Diamond) Size() int {
+	if d.Clip.Y0 > 0 || d.Clip.Y1 <= 0 || d.RU <= 0 || d.RW <= 0 {
+		return 0
+	}
+	n := 0
+	tmin, tmax := d.tRange()
+	for t := tmin; t <= tmax; t++ {
+		ulo, uhi := d.uRangeAt(t)
+		if uhi > ulo {
+			n += uhi - ulo
+		}
+	}
+	return n
+}
+
+// Points enumerates lattice points in ascending (T, X) order.
+func (d Diamond) Points(yield func(Point) bool) {
+	if d.Clip.Y0 > 0 || d.Clip.Y1 <= 0 || d.RU <= 0 || d.RW <= 0 {
+		return
+	}
+	tmin, tmax := d.tRange()
+	for t := tmin; t <= tmax; t++ {
+		ulo, uhi := d.uRangeAt(t)
+		for u := ulo; u < uhi; u++ {
+			if !yield(Point{X: u - t, Y: 0, T: t}) {
+				return
+			}
+		}
+	}
+}
+
+// Children returns the paper's topological partition of D(r) into four
+// diamonds of width about r/2 (Section 4.1), ordered
+// (low-u low-w, low-u high-w, high-u low-w, high-u high-w).
+// Dag arcs never decrease u or w, so every dependency of a child lies in an
+// earlier child or outside the parent — exactly Definition 4. Children with
+// no lattice points are omitted; nil is returned when the rectangle cannot
+// be split (both sides < 2).
+func (d Diamond) Children() []Domain {
+	if d.RU < 2 && d.RW < 2 {
+		return nil
+	}
+	// Split each side at its midpoint; a side of length < 2 stays whole.
+	uSplits := splitRange(d.U0, d.RU)
+	wSplits := splitRange(d.W0, d.RW)
+	out := make([]Domain, 0, 4)
+	for _, us := range uSplits {
+		for _, ws := range wSplits {
+			c := Diamond{U0: us.lo, W0: ws.lo, RU: us.n, RW: ws.n, Clip: d.Clip}
+			if c.Size() > 0 {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+type span struct{ lo, n int }
+
+// splitRange halves [lo, lo+n) into its low and high parts, returning the
+// whole range when n < 2.
+func splitRange(lo, n int) []span {
+	if n < 2 {
+		return []span{{lo, n}}
+	}
+	h := n / 2
+	return []span{{lo, h}, {lo + h, n - h}}
+}

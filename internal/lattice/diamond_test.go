@@ -1,0 +1,335 @@
+package lattice
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// preds1D returns the dag predecessors of a d = 1 vertex (Definition 3):
+// (x+δ, t-1) for δ in {-1, 0, +1}, unrestricted by machine bounds (the
+// domain clip handles those).
+func preds1D(p Point) []Point {
+	if p.T == 0 {
+		return nil
+	}
+	return []Point{
+		{X: p.X - 1, T: p.T - 1},
+		{X: p.X, T: p.T - 1},
+		{X: p.X + 1, T: p.T - 1},
+	}
+}
+
+// collect returns all points of a domain.
+func collect(d Domain) []Point {
+	var pts []Point
+	d.Points(func(p Point) bool {
+		pts = append(pts, p)
+		return true
+	})
+	return pts
+}
+
+func TestDiamondSizeMatchesEnumeration(t *testing.T) {
+	clip := ClipAll1D(8, 8)
+	for _, d := range []Diamond{
+		NewDiamond(0, -7, 15, clip),
+		NewDiamond(3, -2, 5, clip),
+		NewDiamond(2, 0, 1, clip),
+		NewDiamond(0, 0, 0, clip),
+		{U0: 1, W0: -3, RU: 4, RW: 7, Clip: clip},
+	} {
+		pts := collect(d)
+		if len(pts) != d.Size() {
+			t.Errorf("%v: Size() = %d but enumerated %d", d, d.Size(), len(pts))
+		}
+		for _, p := range pts {
+			if !d.Contains(p) {
+				t.Errorf("%v: enumerated point %v not Contains", d, p)
+			}
+		}
+	}
+}
+
+func TestDiamondSizeBruteForce(t *testing.T) {
+	clip := ClipAll1D(10, 10)
+	d := Diamond{U0: 2, W0: -5, RU: 9, RW: 6, Clip: clip}
+	want := 0
+	for x := 0; x < 10; x++ {
+		for tt := 0; tt < 10; tt++ {
+			if d.Contains(Point{X: x, T: tt}) {
+				want++
+			}
+		}
+	}
+	if got := d.Size(); got != want {
+		t.Fatalf("Size() = %d, brute force = %d", got, want)
+	}
+}
+
+func TestDiamondPointsAreTopologicallyOrdered(t *testing.T) {
+	d := DiamondAround(6, 6)
+	pts := collect(d)
+	for i := 1; i < len(pts); i++ {
+		if !pts[i-1].Less(pts[i]) {
+			t.Fatalf("points out of order at %d: %v then %v", i, pts[i-1], pts[i])
+		}
+	}
+}
+
+func TestDiamondAroundCoversV(t *testing.T) {
+	for _, nt := range [][2]int{{4, 4}, {5, 7}, {1, 3}, {8, 1}} {
+		n, T := nt[0], nt[1]
+		d := DiamondAround(n, T)
+		if got, want := d.Size(), n*T; got != want {
+			t.Errorf("DiamondAround(%d,%d).Size() = %d, want %d", n, T, got, want)
+		}
+		// Every machine vertex is contained.
+		for x := 0; x < n; x++ {
+			for tt := 0; tt < T; tt++ {
+				if !d.Contains(Point{X: x, T: tt}) {
+					t.Errorf("DiamondAround(%d,%d) misses (%d,%d)", n, T, x, tt)
+				}
+			}
+		}
+	}
+}
+
+// checkPartition verifies children are an exact, topologically ordered
+// partition of the parent.
+func checkPartition(t *testing.T, parent Domain, children []Domain, preds func(Point) []Point) {
+	t.Helper()
+	seen := make(map[Point]int) // point -> child index
+	total := 0
+	for i, c := range children {
+		c.Points(func(p Point) bool {
+			if !parent.Contains(p) {
+				t.Fatalf("child %d point %v outside parent %v", i, p, parent)
+			}
+			if j, dup := seen[p]; dup {
+				t.Fatalf("point %v in both child %d and %d", p, j, i)
+			}
+			seen[p] = i
+			total++
+			return true
+		})
+	}
+	if total != parent.Size() {
+		t.Fatalf("children cover %d points, parent has %d", total, parent.Size())
+	}
+	// Topological: a predecessor inside the parent must be in the same or
+	// an earlier child (Definition 4).
+	for p, i := range seen {
+		for _, q := range preds(p) {
+			if j, in := seen[q]; in && j > i {
+				t.Fatalf("dependency violation: %v (child %d) depends on %v (child %d)", p, i, q, j)
+			}
+		}
+	}
+}
+
+func TestDiamondChildrenPartition(t *testing.T) {
+	clip := ClipAll1D(16, 16)
+	for _, d := range []Diamond{
+		NewDiamond(4, -4, 8, clip),
+		NewDiamond(0, -15, 31, clip),
+		NewDiamond(3, -3, 7, clip), // odd width
+		{U0: 1, W0: -5, RU: 6, RW: 9, Clip: clip},
+	} {
+		if d.Size() == 0 {
+			t.Fatalf("test domain %v empty", d)
+		}
+		checkPartition(t, d, d.Children(), preds1D)
+	}
+}
+
+func TestDiamondChildrenSizeBound(t *testing.T) {
+	// For an unclipped even square diamond, each child has exactly 1/4 of
+	// the parent's points (the paper's δ = 1/4 separator).
+	d := NewDiamond(0, 0, 64, UnboundedClip())
+	kids := d.Children()
+	if len(kids) != 4 {
+		t.Fatalf("got %d children, want 4", len(kids))
+	}
+	for _, k := range kids {
+		if got, want := k.Size(), d.Size()/4; got != want {
+			t.Errorf("child %v size %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestDiamondAtomic(t *testing.T) {
+	d := NewDiamond(0, 0, 1, UnboundedClip())
+	if d.Children() != nil {
+		t.Fatalf("width-1 diamond should be atomic, got %v", d.Children())
+	}
+	if d.Size() != 1 {
+		// [0,1)x[0,1): only u=w=0, parity ok: point (0,0).
+		t.Fatalf("width-1 diamond size %d, want 1", d.Size())
+	}
+}
+
+func TestDiamondRecursiveDecompositionExact(t *testing.T) {
+	// Fully recurse and check the leaf order is a topological order of the
+	// whole domain with exact coverage.
+	d := DiamondAround(12, 12)
+	var leaves []Point
+	var rec func(dom Domain)
+	rec = func(dom Domain) {
+		kids := dom.Children()
+		if kids == nil {
+			dom.Points(func(p Point) bool {
+				leaves = append(leaves, p)
+				return true
+			})
+			return
+		}
+		for _, k := range kids {
+			rec(k)
+		}
+	}
+	rec(d)
+	if len(leaves) != d.Size() {
+		t.Fatalf("recursion yields %d points, want %d", len(leaves), d.Size())
+	}
+	pos := make(map[Point]int, len(leaves))
+	for i, p := range leaves {
+		if _, dup := pos[p]; dup {
+			t.Fatalf("duplicate leaf %v", p)
+		}
+		pos[p] = i
+	}
+	for p, i := range pos {
+		for _, q := range preds1D(p) {
+			if j, in := pos[q]; in && j > i {
+				t.Fatalf("leaf order violates dependency: %v at %d needs %v at %d", p, i, q, j)
+			}
+		}
+	}
+}
+
+// Preboundary of an unclipped D(r) is at most ~2r (paper: Γin(D(r)) <= 2r).
+func TestDiamondPreboundarySize(t *testing.T) {
+	for _, r := range []int{8, 16, 32, 64} {
+		d := NewDiamond(0, 0, r, UnboundedClip())
+		bound := make(map[Point]bool)
+		d.Points(func(p Point) bool {
+			for _, q := range preds1D(p) {
+				if !d.Contains(q) {
+					bound[q] = true
+				}
+			}
+			return true
+		})
+		if got, max := len(bound), 2*r+2; got > max {
+			t.Errorf("r=%d: preboundary %d exceeds 2r+2 = %d", r, got, max)
+		}
+		if got, min := len(bound), r; got < min {
+			t.Errorf("r=%d: preboundary %d suspiciously small (< r)", r, got)
+		}
+	}
+}
+
+func TestFigureOnePartition(t *testing.T) {
+	for _, n := range []int{4, 8, 9, 16} {
+		pieces := FigureOnePartition(n)
+		if len(pieces) != 5 {
+			t.Errorf("n=%d: got %d pieces, want 5", n, len(pieces))
+		}
+		parent := DiamondAround(n, n)
+		doms := make([]Domain, len(pieces))
+		for i, p := range pieces {
+			doms[i] = p
+		}
+		checkPartition(t, parent, doms, preds1D)
+		// The central piece is the full diamond D(n): measure ~ n²/2.
+		central := pieces[2]
+		ratio := float64(central.Size()) / (float64(n) * float64(n) / 2)
+		if ratio < 0.8 || ratio > 1.2 {
+			t.Errorf("n=%d: central diamond size %d, want ~n²/2 = %g (ratio %g)",
+				n, central.Size(), float64(n*n)/2, ratio)
+		}
+	}
+}
+
+func TestDiamondGridCoversV(t *testing.T) {
+	for _, tc := range [][3]int{{8, 8, 2}, {8, 8, 3}, {10, 6, 4}, {5, 5, 1}} {
+		n, T, s := tc[0], tc[1], tc[2]
+		cells := DiamondGrid(n, T, s)
+		seen := make(map[Point]bool)
+		total := 0
+		for _, c := range cells {
+			c.D.Points(func(p Point) bool {
+				if seen[p] {
+					t.Fatalf("n=%d T=%d s=%d: duplicate point %v", n, T, s, p)
+				}
+				seen[p] = true
+				total++
+				return true
+			})
+		}
+		if total != n*T {
+			t.Errorf("n=%d T=%d s=%d: grid covers %d points, want %d", n, T, s, total, n*T)
+		}
+	}
+}
+
+func TestZigZagBandsCoverAllCells(t *testing.T) {
+	n, p, s := 16, 4, 4
+	bands := ZigZagBands(n, p, s)
+	if len(bands) != p {
+		t.Fatalf("got %d bands, want %d", len(bands), p)
+	}
+	total := 0
+	for k, b := range bands {
+		for i, c := range b {
+			total += c.D.Size()
+			if i > 0 && c.CenterT() < b[i-1].CenterT() {
+				t.Errorf("band %d not time-ordered at cell %d", k, i)
+			}
+		}
+	}
+	if total != n*n {
+		t.Errorf("bands cover %d points, want %d", total, n*n)
+	}
+}
+
+// Property: Contains agrees with membership in the enumerated point set.
+func TestPropertyDiamondContainsMatchesPoints(t *testing.T) {
+	f := func(u0, w0 int8, r uint8) bool {
+		d := Diamond{
+			U0: int(u0), W0: int(w0), RU: int(r % 16), RW: int(r%16) + 1,
+			Clip: UnboundedClip(),
+		}
+		set := make(map[Point]bool)
+		d.Points(func(p Point) bool { set[p] = true; return true })
+		if len(set) != d.Size() {
+			return false
+		}
+		// Probe the bounding region around the rectangle.
+		for x := -20; x <= 40; x += 3 {
+			for tt := -20; tt <= 40; tt += 3 {
+				p := Point{X: x, T: tt}
+				if d.Contains(p) != set[p] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the measure of an unclipped D(r) tends to r²/2.
+func TestDiamondMeasureScaling(t *testing.T) {
+	for _, r := range []int{16, 64, 256} {
+		d := NewDiamond(0, 0, r, UnboundedClip())
+		got := float64(d.Size())
+		want := float64(r) * float64(r) / 2
+		if math.Abs(got-want)/want > 0.1 {
+			t.Errorf("r=%d: |D| = %g, want ~%g", r, got, want)
+		}
+	}
+}

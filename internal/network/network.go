@@ -1,0 +1,403 @@
+// Package network implements the parallel machines Md(n, p, m) of
+// Definition 2 of Bilardi & Preparata (SPAA 1995): a d-dimensional
+// near-neighbor interconnection of p (x/m)^(1/d)-H-RAMs, each with mn/p
+// memory words, with near-neighbor geometric distance (n/p)^(1/d).
+// M1(n, p, m) is the linear array; M2(n, p, m) the square mesh.
+//
+// The package provides the machine structure (per-node H-RAMs wired to a
+// cost.Bank of virtual clocks plus distance-charged links) and the
+// synchronous guest executor: running a network Program for T steps on the
+// fully parallel machine Md(n, n, m), which defines the guest time Tn that
+// every simulation's slowdown is measured against.
+package network
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"bsmp/internal/cost"
+	"bsmp/internal/hram"
+)
+
+// Machine is an Md(n, p, m).
+type Machine struct {
+	// D is the mesh dimension (1 or 2).
+	D int
+	// N is the machine volume: the guest-equivalent processor count.
+	N int
+	// P is the number of (CPU, memory-module) nodes; for D = 2 it must
+	// be a perfect square.
+	P int
+	// M is the memory density: cells per unit of volume. Each node holds
+	// M*N/P words.
+	M int
+
+	// Bank holds one virtual clock per node.
+	Bank *cost.Bank
+	// Nodes holds one H-RAM per node, sharing the Bank's meters.
+	Nodes []*hram.Machine
+
+	side    int     // sqrt(P) for D = 2, else P
+	spacing float64 // (N/P)^(1/D): geometric distance between neighbors
+}
+
+// New constructs Md(n, p, m). Constraints: d in {1, 2, 3}; 1 <= p <= n;
+// m >= 1; p divides n; for d = 2 (resp. 3), p and n must be perfect
+// squares (resp. cubes).
+func New(d, n, p, m int, opts ...hram.Option) *Machine {
+	if d < 1 || d > 3 {
+		panic(fmt.Sprintf("network: dimension %d not in {1,2,3}", d))
+	}
+	if p < 1 || n < p {
+		panic(fmt.Sprintf("network: need 1 <= p <= n, got p=%d n=%d", p, n))
+	}
+	if m < 1 {
+		panic(fmt.Sprintf("network: density m=%d < 1", m))
+	}
+	if n%p != 0 {
+		panic(fmt.Sprintf("network: p=%d must divide n=%d", p, n))
+	}
+	side := p
+	if d == 2 {
+		side = intSqrt(p)
+		if side*side != p {
+			panic(fmt.Sprintf("network: d=2 needs square p, got %d", p))
+		}
+		if s := intSqrt(n); s*s != n {
+			panic(fmt.Sprintf("network: d=2 needs square n, got %d", n))
+		}
+	}
+	if d == 3 {
+		side = intCbrt(p)
+		if side*side*side != p {
+			panic(fmt.Sprintf("network: d=3 needs cubic p, got %d", p))
+		}
+		if s := intCbrt(n); s*s*s != n {
+			panic(fmt.Sprintf("network: d=3 needs cubic n, got %d", n))
+		}
+	}
+	bank := cost.NewBank(p)
+	nodes := make([]*hram.Machine, p)
+	per := m * (n / p)
+	f := hram.Standard(d, m)
+	for i := range nodes {
+		nodes[i] = hram.New(per, f, bank.Proc(i), opts...)
+	}
+	return &Machine{
+		D: d, N: n, P: p, M: m,
+		Bank: bank, Nodes: nodes,
+		side:    side,
+		spacing: math.Pow(float64(n)/float64(p), 1/float64(d)),
+	}
+}
+
+// NodeMemory reports the per-node memory size mn/p.
+func (ma *Machine) NodeMemory() int { return ma.M * (ma.N / ma.P) }
+
+// Spacing reports the geometric near-neighbor distance (n/p)^(1/d).
+func (ma *Machine) Spacing() float64 { return ma.spacing }
+
+// Side reports the mesh side sqrt(p) for d = 2, or p for d = 1.
+func (ma *Machine) Side() int { return ma.side }
+
+// Coord maps node index i to grid coordinates: (i, 0) for d = 1,
+// (i mod side, i div side) for d = 2. For d = 3 use Coord3.
+func (ma *Machine) Coord(i int) (gx, gy int) {
+	if ma.D == 1 {
+		return i, 0
+	}
+	return i % ma.side, (i / ma.side) % ma.side
+}
+
+// Coord3 maps node index i to full grid coordinates for any dimension.
+func (ma *Machine) Coord3(i int) (gx, gy, gz int) {
+	switch ma.D {
+	case 1:
+		return i, 0, 0
+	case 2:
+		return i % ma.side, i / ma.side, 0
+	default:
+		return i % ma.side, (i / ma.side) % ma.side, i / (ma.side * ma.side)
+	}
+}
+
+// Index maps grid coordinates to the node index; inverse of Coord.
+func (ma *Machine) Index(gx, gy int) int {
+	if ma.D == 1 {
+		return gx
+	}
+	return gy*ma.side + gx
+}
+
+// Index3 maps full grid coordinates to the node index; inverse of Coord3.
+func (ma *Machine) Index3(gx, gy, gz int) int {
+	switch ma.D {
+	case 1:
+		return gx
+	case 2:
+		return gy*ma.side + gx
+	default:
+		return (gz*ma.side+gy)*ma.side + gx
+	}
+}
+
+// Distance reports the geometric distance between nodes i and j
+// (Manhattan grid distance times the node spacing, the routed wire length).
+func (ma *Machine) Distance(i, j int) float64 {
+	xi, yi, zi := ma.Coord3(i)
+	xj, yj, zj := ma.Coord3(j)
+	return float64(abs(xi-xj)+abs(yi-yj)+abs(zi-zj)) * ma.spacing
+}
+
+// Neighbors appends the node indices adjacent to i (d = 1: left, right;
+// d = 2: plus south, north; d = 3: plus down, up), clipped to the machine.
+func (ma *Machine) Neighbors(i int, buf []int) []int {
+	gx, gy, gz := ma.Coord3(i)
+	if gx > 0 {
+		buf = append(buf, ma.Index3(gx-1, gy, gz))
+	}
+	if gx < ma.side-1 {
+		buf = append(buf, ma.Index3(gx+1, gy, gz))
+	}
+	if ma.D >= 2 {
+		if gy > 0 {
+			buf = append(buf, ma.Index3(gx, gy-1, gz))
+		}
+		if gy < ma.side-1 {
+			buf = append(buf, ma.Index3(gx, gy+1, gz))
+		}
+	}
+	if ma.D >= 3 {
+		if gz > 0 {
+			buf = append(buf, ma.Index3(gx, gy, gz-1))
+		}
+		if gz < ma.side-1 {
+			buf = append(buf, ma.Index3(gx, gy, gz+1))
+		}
+	}
+	return buf
+}
+
+// Send transmits words from node i to node j, charging bounded-speed
+// message time (distance latency plus unit-rate streaming) on the Bank.
+func (ma *Machine) Send(i, j int, words int64) {
+	ma.Bank.Send(i, j, ma.Distance(i, j), words)
+}
+
+// Elapsed reports the machine's completion time so far (the makespan
+// across all node clocks).
+func (ma *Machine) Elapsed() cost.Time { return ma.Bank.MaxNow() }
+
+// Program is a synchronous network computation in the style of
+// Definition 3: every node holds a private memory of NodeMemory() words
+// and a broadcast value; at each step a node reads one addressed memory
+// cell, combines it with the neighbors' previous broadcast values, then
+// updates both the cell and its broadcast value.
+type Program interface {
+	// Init fills node's initial memory and returns its initial broadcast
+	// value (the value of dag vertex (node, 0)).
+	Init(node int, mem []hram.Word) hram.Word
+	// Address selects the memory cell node reads and rewrites at step.
+	// Must lie in [0, memSize).
+	Address(node, step, memSize int) int
+	// Step computes the node's new broadcast value and the new content
+	// of the addressed cell, from the old cell value and the previous
+	// broadcast values of [self, neighbors...] in Neighbors order.
+	Step(node, step int, cell hram.Word, prev []hram.Word) (out, cellOut hram.Word)
+}
+
+// RunGuest executes prog for steps synchronous steps on the fully parallel
+// machine (P == N required), with full cost accounting: per step each node
+// charges the addressed access, one unit of compute, and the neighbor
+// exchange at distance Spacing(); a barrier closes each step. It returns
+// the final broadcast values and the elapsed virtual time.
+//
+// This is the guest computation of the paper's theorems: its elapsed time
+// is the Tn in every slowdown ratio Tp/Tn.
+func RunGuest(ma *Machine, prog Program, steps int) ([]hram.Word, cost.Time) {
+	if ma.P != ma.N {
+		panic(fmt.Sprintf("network: RunGuest needs P == N, got P=%d N=%d", ma.P, ma.N))
+	}
+	start := ma.Elapsed()
+	memSize := ma.NodeMemory()
+	b := make([]hram.Word, ma.P)
+	raw := make([]hram.Word, memSize)
+	for i := 0; i < ma.P; i++ {
+		// Initial loading is free (Poke): inputs are assumed in place,
+		// as in the paper's model where (v, 0) holds the initial value.
+		for a := range raw {
+			raw[a] = 0
+		}
+		b[i] = prog.Init(i, raw)
+		for a, w := range raw {
+			ma.Nodes[i].Poke(a, w)
+		}
+	}
+	prevB := make([]hram.Word, ma.P)
+	var nbuf []int
+	ops := make([]hram.Word, 0, 5)
+	for t := 1; t <= steps; t++ {
+		copy(prevB, b)
+		for v := 0; v < ma.P; v++ {
+			addr := prog.Address(v, t, memSize)
+			cell := ma.Nodes[v].Read(addr)
+			ops = ops[:0]
+			ops = append(ops, prevB[v])
+			nbuf = ma.Neighbors(v, nbuf[:0])
+			for _, u := range nbuf {
+				ops = append(ops, prevB[u])
+			}
+			out, cellOut := prog.Step(v, t, cell, ops)
+			ma.Nodes[v].Op()
+			ma.Nodes[v].Write(addr, cellOut)
+			// Neighbor exchange: receiving 2d values over distance
+			// Spacing() in parallel costs one link traversal.
+			ma.Bank.Proc(v).Charge(cost.Message, ma.Spacing())
+			b[v] = out
+		}
+		ma.Bank.Barrier()
+	}
+	return b, ma.Elapsed() - start
+}
+
+// RunGuestParallel is RunGuest with the per-step node loop spread across
+// workers OS threads (0 = GOMAXPROCS). The model semantics are identical
+// — each node charges only its own meter and writes only its own memory
+// and broadcast slot, and the layers are separated by barriers — so
+// outputs and every node's virtual clock match the serial run exactly;
+// only wall-clock time changes. This is the executor the benchmarks use
+// for large guests.
+func RunGuestParallel(ma *Machine, prog Program, steps, workers int) ([]hram.Word, cost.Time) {
+	if ma.P != ma.N {
+		panic(fmt.Sprintf("network: RunGuestParallel needs P == N, got P=%d N=%d", ma.P, ma.N))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > ma.P {
+		workers = ma.P
+	}
+	start := ma.Elapsed()
+	memSize := ma.NodeMemory()
+	b := make([]hram.Word, ma.P)
+	raw := make([]hram.Word, memSize)
+	for i := 0; i < ma.P; i++ {
+		for a := range raw {
+			raw[a] = 0
+		}
+		b[i] = prog.Init(i, raw)
+		for a, w := range raw {
+			ma.Nodes[i].Poke(a, w)
+		}
+	}
+	prevB := make([]hram.Word, ma.P)
+	chunk := (ma.P + workers - 1) / workers
+	var wg sync.WaitGroup
+	for t := 1; t <= steps; t++ {
+		copy(prevB, b)
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > ma.P {
+				hi = ma.P
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				var nbuf []int
+				ops := make([]hram.Word, 0, 7)
+				for v := lo; v < hi; v++ {
+					addr := prog.Address(v, t, memSize)
+					cell := ma.Nodes[v].Read(addr)
+					ops = ops[:0]
+					ops = append(ops, prevB[v])
+					nbuf = ma.Neighbors(v, nbuf[:0])
+					for _, u := range nbuf {
+						ops = append(ops, prevB[u])
+					}
+					out, cellOut := prog.Step(v, t, cell, ops)
+					ma.Nodes[v].Op()
+					ma.Nodes[v].Write(addr, cellOut)
+					ma.Bank.Proc(v).Charge(cost.Message, ma.Spacing())
+					b[v] = out
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		ma.Bank.Barrier()
+	}
+	return b, ma.Elapsed() - start
+}
+
+// RunGuestPure executes prog functionally with no cost accounting — the
+// ground truth against which hosted simulations are verified. It returns
+// the final broadcast values and final per-node memories.
+func RunGuestPure(d, n, m, steps int, prog Program) ([]hram.Word, [][]hram.Word) {
+	ref := New(d, n, n, m)
+	memSize := ref.NodeMemory()
+	mems := make([][]hram.Word, n)
+	b := make([]hram.Word, n)
+	for i := 0; i < n; i++ {
+		mems[i] = make([]hram.Word, memSize)
+		b[i] = prog.Init(i, mems[i])
+	}
+	prevB := make([]hram.Word, n)
+	var nbuf []int
+	ops := make([]hram.Word, 0, 5)
+	for t := 1; t <= steps; t++ {
+		copy(prevB, b)
+		for v := 0; v < n; v++ {
+			addr := prog.Address(v, t, memSize)
+			ops = ops[:0]
+			ops = append(ops, prevB[v])
+			nbuf = ref.Neighbors(v, nbuf[:0])
+			for _, u := range nbuf {
+				ops = append(ops, prevB[u])
+			}
+			out, cellOut := prog.Step(v, t, mems[v][addr], ops)
+			mems[v][addr] = cellOut
+			b[v] = out
+		}
+	}
+	return b, mems
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func intSqrt(n int) int {
+	if n < 0 {
+		return -1
+	}
+	r := int(math.Sqrt(float64(n)))
+	for r*r > n {
+		r--
+	}
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+func intCbrt(n int) int {
+	if n < 0 {
+		return -1
+	}
+	r := int(math.Cbrt(float64(n)))
+	for r*r*r > n {
+		r--
+	}
+	for (r+1)*(r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}

@@ -1,0 +1,275 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bsmp/internal/hram"
+)
+
+// caProg is a width-1-memory cellular-automaton-like program with exactly
+// verifiable integer dynamics.
+type caProg struct{}
+
+func (caProg) Init(node int, mem []hram.Word) hram.Word {
+	for i := range mem {
+		mem[i] = hram.Word(node*31+i) | 1
+	}
+	return hram.Word(node)*2654435761 + 99
+}
+
+func (caProg) Address(node, step, memSize int) int {
+	return (node + step) % memSize
+}
+
+func (caProg) Step(node, step int, cell hram.Word, prev []hram.Word) (hram.Word, hram.Word) {
+	var s hram.Word = cell
+	for i, p := range prev {
+		s = s*31 + p*hram.Word(i+1)
+	}
+	return s + hram.Word(step), s ^ cell
+}
+
+func TestNewValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bad d":        func() { New(4, 8, 8, 1) },
+		"p > n":        func() { New(1, 4, 8, 1) },
+		"p zero":       func() { New(1, 8, 0, 1) },
+		"m zero":       func() { New(1, 8, 8, 0) },
+		"p not divide": func() { New(1, 9, 2, 1) },
+		"d2 p square":  func() { New(2, 16, 8, 1) },
+		"d2 n square":  func() { New(2, 12, 4, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGeometry1D(t *testing.T) {
+	ma := New(1, 16, 4, 2)
+	if ma.NodeMemory() != 8 {
+		t.Errorf("NodeMemory = %d, want 8", ma.NodeMemory())
+	}
+	if ma.Spacing() != 4 {
+		t.Errorf("Spacing = %v, want 4", ma.Spacing())
+	}
+	if d := ma.Distance(0, 3); d != 12 {
+		t.Errorf("Distance(0,3) = %v, want 12", d)
+	}
+	nb := ma.Neighbors(0, nil)
+	if len(nb) != 1 || nb[0] != 1 {
+		t.Errorf("Neighbors(0) = %v, want [1]", nb)
+	}
+	nb = ma.Neighbors(2, nil)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 3 {
+		t.Errorf("Neighbors(2) = %v, want [1 3]", nb)
+	}
+}
+
+func TestGeometry2D(t *testing.T) {
+	ma := New(2, 64, 16, 1)
+	if ma.Side() != 4 {
+		t.Fatalf("Side = %d, want 4", ma.Side())
+	}
+	if ma.Spacing() != 2 {
+		t.Errorf("Spacing = %v, want (64/16)^(1/2) = 2", ma.Spacing())
+	}
+	// Node 5 is at (1, 1).
+	gx, gy := ma.Coord(5)
+	if gx != 1 || gy != 1 {
+		t.Errorf("Coord(5) = (%d,%d), want (1,1)", gx, gy)
+	}
+	if ma.Index(gx, gy) != 5 {
+		t.Errorf("Index(Coord(5)) != 5")
+	}
+	if d := ma.Distance(0, 5); d != 4 {
+		t.Errorf("Distance(0,5) = %v, want 4", d)
+	}
+	nb := ma.Neighbors(5, nil)
+	want := []int{4, 6, 1, 9}
+	if len(nb) != 4 {
+		t.Fatalf("Neighbors(5) = %v, want %v", nb, want)
+	}
+	for i := range want {
+		if nb[i] != want[i] {
+			t.Fatalf("Neighbors(5) = %v, want %v", nb, want)
+		}
+	}
+	// Corner has 2 neighbors.
+	if nb := ma.Neighbors(0, nil); len(nb) != 2 {
+		t.Errorf("corner Neighbors = %v, want 2 entries", nb)
+	}
+}
+
+func TestSendChargesDistance(t *testing.T) {
+	ma := New(1, 12, 4, 1)
+	ma.Send(0, 2, 1)
+	// Distance(0,2) = 2*3 = 6; arrival = 1 (send) + 6.
+	if got := ma.Bank.Proc(2).Now(); got != 7 {
+		t.Errorf("receiver clock %v, want 7", got)
+	}
+}
+
+func TestRunGuestNeedsFullParallel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunGuest on P < N did not panic")
+		}
+	}()
+	ma := New(1, 8, 2, 1)
+	RunGuest(ma, caProg{}, 1)
+}
+
+func TestRunGuestMatchesPure(t *testing.T) {
+	for _, tc := range []struct{ d, n, m, steps int }{
+		{1, 8, 1, 8},
+		{1, 8, 4, 12},
+		{2, 16, 1, 4},
+		{2, 16, 3, 6},
+	} {
+		ma := New(tc.d, tc.n, tc.n, tc.m)
+		got, elapsed := RunGuest(ma, caProg{}, tc.steps)
+		want, _ := RunGuestPure(tc.d, tc.n, tc.m, tc.steps, caProg{})
+		if len(got) != len(want) {
+			t.Fatalf("%+v: length mismatch", tc)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%+v: node %d: got %d, want %d", tc, i, got[i], want[i])
+			}
+		}
+		if elapsed <= 0 {
+			t.Fatalf("%+v: elapsed %v", tc, elapsed)
+		}
+	}
+}
+
+func TestRunGuestTimeLinearInSteps(t *testing.T) {
+	// The guest machine runs in Θ(1) per step: Tn(2T) ≈ 2·Tn(T).
+	run := func(steps int) float64 {
+		ma := New(1, 16, 16, 4)
+		_, el := RunGuest(ma, caProg{}, steps)
+		return float64(el)
+	}
+	t8, t16 := run(8), run(16)
+	ratio := t16 / t8
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("doubling steps scaled time by %v, want ~2", ratio)
+	}
+}
+
+func TestRunGuestStepCostConstantInN(t *testing.T) {
+	// Per the paper's premise, a guest step costs O(1) regardless of n:
+	// worst-case private access (f(m)=1) is of the order of the neighbor
+	// exchange (spacing 1).
+	perStep := func(n int) float64 {
+		ma := New(1, n, n, 4)
+		_, el := RunGuest(ma, caProg{}, 8)
+		return float64(el) / 8
+	}
+	a, b := perStep(8), perStep(64)
+	if b/a > 1.5 {
+		t.Errorf("per-step guest cost grew with n: %v -> %v", a, b)
+	}
+}
+
+func TestRunGuestFinalMemoriesMatch(t *testing.T) {
+	// The machine's H-RAM memories after RunGuest equal the pure run's.
+	d, n, m, steps := 1, 8, 4, 10
+	ma := New(d, n, n, m)
+	RunGuest(ma, caProg{}, steps)
+	_, mems := RunGuestPure(d, n, m, steps, caProg{})
+	for v := 0; v < n; v++ {
+		for a := 0; a < ma.NodeMemory(); a++ {
+			if got, want := ma.Nodes[v].Peek(a), mems[v][a]; got != want {
+				t.Fatalf("node %d cell %d: got %d, want %d", v, a, got, want)
+			}
+		}
+	}
+}
+
+// Property: Distance is a metric on node indices (symmetry, identity,
+// triangle inequality) for both dimensions.
+func TestPropertyDistanceMetric(t *testing.T) {
+	f := func(raw [3]uint8, d2 bool) bool {
+		var ma *Machine
+		if d2 {
+			ma = New(2, 64, 16, 1)
+		} else {
+			ma = New(1, 16, 16, 1)
+		}
+		i := int(raw[0]) % ma.P
+		j := int(raw[1]) % ma.P
+		k := int(raw[2]) % ma.P
+		dij, dji := ma.Distance(i, j), ma.Distance(j, i)
+		if dij != dji {
+			return false
+		}
+		if (i == j) != (dij == 0) {
+			return false
+		}
+		return ma.Distance(i, k) <= dij+ma.Distance(j, k)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Index and Coord are inverse bijections.
+func TestPropertyIndexCoordInverse(t *testing.T) {
+	f := func(raw uint8, d2 bool) bool {
+		var ma *Machine
+		if d2 {
+			ma = New(2, 144, 36, 1)
+		} else {
+			ma = New(1, 20, 20, 1)
+		}
+		i := int(raw) % ma.P
+		gx, gy := ma.Coord(i)
+		return ma.Index(gx, gy) == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGuestParallelMatchesSerial(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 100} {
+		serial := New(1, 64, 64, 4)
+		outS, elS := RunGuest(serial, caProg{}, 16)
+		par := New(1, 64, 64, 4)
+		outP, elP := RunGuestParallel(par, caProg{}, 16, workers)
+		if elS != elP {
+			t.Fatalf("workers=%d: elapsed %v vs %v", workers, elS, elP)
+		}
+		for i := range outS {
+			if outS[i] != outP[i] {
+				t.Fatalf("workers=%d: node %d: %d vs %d", workers, i, outS[i], outP[i])
+			}
+		}
+		// Per-node clocks identical too.
+		for i := 0; i < serial.P; i++ {
+			if serial.Bank.Proc(i).Now() != par.Bank.Proc(i).Now() {
+				t.Fatalf("workers=%d: node %d clock mismatch", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunGuestParallel2D(t *testing.T) {
+	serial := New(2, 64, 64, 2)
+	outS, _ := RunGuest(serial, caProg{}, 8)
+	par := New(2, 64, 64, 2)
+	outP, _ := RunGuestParallel(par, caProg{}, 8, 0)
+	for i := range outS {
+		if outS[i] != outP[i] {
+			t.Fatalf("node %d mismatch", i)
+		}
+	}
+}

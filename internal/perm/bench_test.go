@@ -1,0 +1,21 @@
+package perm
+
+import "testing"
+
+func BenchmarkForward(b *testing.B) {
+	pm := New(1024, 16)
+	for i := 0; i < b.N; i++ {
+		if pm.Forward(i%1024) < 0 {
+			b.Fatal("negative")
+		}
+	}
+}
+
+func BenchmarkTable(b *testing.B) {
+	pm := New(4096, 64)
+	for i := 0; i < b.N; i++ {
+		if len(pm.Table()) != 4096 {
+			b.Fatal("wrong length")
+		}
+	}
+}

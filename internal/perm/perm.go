@@ -1,0 +1,125 @@
+// Package perm implements the memory-rearrangement permutation π = π2·π1
+// of Section 4.2 of Bilardi & Preparata (SPAA 1995), the enabling trick of
+// the multiprocessor simulation (Theorem 4).
+//
+// The guest's initial data is viewed as q vertical strips of width s
+// (n = s·q), indexed 0..q-1. The index array I is cut into q/p segments of
+// length p. Then:
+//
+//   - π1 reverses the order of the elements inside every odd-indexed
+//     segment (a boustrophedon fold), and
+//   - π2 performs a (q/p)-way shuffle: viewing π1(I) as a (q/p) × p matrix
+//     stored row-major, it transposes it, producing p segments of length
+//     q/p.
+//
+// The two properties the paper derives — and this package tests — are:
+//
+//  1. indices adjacent in I end up either adjacent or exactly q/p apart in
+//     π(I) (so guest near-neighbor traffic maps to distance ≤ (q/p)·s·m
+//     host memory, a factor p closer than without rearrangement), and
+//  2. every final segment of length q/p contains exactly one index from
+//     each original segment (so each processor has, within its local
+//     reach, a representative strip of every region of the guest).
+package perm
+
+// Permutation is the rearrangement π = π2·π1 for q strips on p processors.
+type Permutation struct {
+	// Q is the number of strips; P the number of processors. P must
+	// divide Q.
+	Q, P int
+}
+
+// New returns the rearrangement permutation for q strips on p processors.
+// It panics unless 1 <= p <= q and p divides q.
+func New(q, p int) Permutation {
+	if p < 1 || q < p || q%p != 0 {
+		panic("perm: need 1 <= p <= q with p | q")
+	}
+	return Permutation{Q: q, P: p}
+}
+
+// pi1 applies the odd-segment reversal.
+func (pm Permutation) pi1(i int) int {
+	seg, off := i/pm.P, i%pm.P
+	if seg%2 == 1 {
+		off = pm.P - 1 - off
+	}
+	return seg*pm.P + off
+}
+
+// pi1 is an involution, so its inverse is itself.
+
+// pi2 applies the (q/p)-way shuffle: (seg, off) -> off*(q/p) + seg.
+func (pm Permutation) pi2(i int) int {
+	seg, off := i/pm.P, i%pm.P
+	return off*(pm.Q/pm.P) + seg
+}
+
+// pi2inv inverts the shuffle.
+func (pm Permutation) pi2inv(i int) int {
+	k := pm.Q / pm.P
+	off, seg := i/k, i%k
+	return seg*pm.P + off
+}
+
+// Forward maps original strip index i to its rearranged position π(i).
+func (pm Permutation) Forward(i int) int {
+	pm.check(i)
+	return pm.pi2(pm.pi1(i))
+}
+
+// Inverse maps a rearranged position back to the original strip index.
+func (pm Permutation) Inverse(i int) int {
+	pm.check(i)
+	return pm.pi1(pm.pi2inv(i)) // π1 is an involution
+}
+
+func (pm Permutation) check(i int) {
+	if i < 0 || i >= pm.Q {
+		panic("perm: index out of range")
+	}
+}
+
+// Table returns the full forward mapping as a slice: Table()[i] = π(i).
+func (pm Permutation) Table() []int {
+	t := make([]int, pm.Q)
+	for i := range t {
+		t[i] = pm.Forward(i)
+	}
+	return t
+}
+
+// SegmentOfProcessor returns the half-open range of rearranged positions
+// local to processor j: [j·q/p, (j+1)·q/p). Processor j of the host sits at
+// the left edge of this block of strips.
+func (pm Permutation) SegmentOfProcessor(j int) (lo, hi int) {
+	if j < 0 || j >= pm.P {
+		panic("perm: processor out of range")
+	}
+	k := pm.Q / pm.P
+	return j * k, (j + 1) * k
+}
+
+// NeighborDistance reports the distance in the rearranged array between the
+// positions of originally adjacent strips i and i+1. The paper's property 1
+// guarantees this is 1 or q/p.
+func (pm Permutation) NeighborDistance(i int) int {
+	a, b := pm.Forward(i), pm.Forward(i+1)
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// Apply permutes data (one element per strip) into a new slice out with
+// out[π(i)] = data[i]. It panics if len(data) != Q.
+func Apply[T any](pm Permutation, data []T) []T {
+	if len(data) != pm.Q {
+		panic("perm: data length mismatch")
+	}
+	out := make([]T, pm.Q)
+	for i, v := range data {
+		out[pm.Forward(i)] = v
+	}
+	return out
+}

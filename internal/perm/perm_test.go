@@ -1,0 +1,155 @@
+package perm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanics(t *testing.T) {
+	for _, c := range [][2]int{{4, 0}, {4, 8}, {9, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", c[0], c[1])
+				}
+			}()
+			New(c[0], c[1])
+		}()
+	}
+}
+
+func TestForwardIsPermutation(t *testing.T) {
+	pm := New(12, 4)
+	seen := make(map[int]bool)
+	for i := 0; i < 12; i++ {
+		j := pm.Forward(i)
+		if j < 0 || j >= 12 || seen[j] {
+			t.Fatalf("Forward not a permutation at %d -> %d", i, j)
+		}
+		seen[j] = true
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	for _, c := range [][2]int{{12, 4}, {16, 4}, {8, 8}, {20, 5}, {6, 1}} {
+		pm := New(c[0], c[1])
+		for i := 0; i < pm.Q; i++ {
+			if got := pm.Inverse(pm.Forward(i)); got != i {
+				t.Fatalf("q=%d p=%d: Inverse(Forward(%d)) = %d", c[0], c[1], i, got)
+			}
+			if got := pm.Forward(pm.Inverse(i)); got != i {
+				t.Fatalf("q=%d p=%d: Forward(Inverse(%d)) = %d", c[0], c[1], i, got)
+			}
+		}
+	}
+}
+
+func TestPaperExampleSmall(t *testing.T) {
+	// q = 8, p = 2: segments of I are (0,1) (2,3) (4,5) (6,7);
+	// π1 reverses odd segments: 0,1, 3,2, 4,5, 7,6.
+	// π2 is a 4-way shuffle (transpose of 4x2): positions (seg,off) ->
+	// off*4+seg: [0,1,3,2,4,5,7,6] -> value at new index:
+	// new[off*4+seg] = old[seg*2+off].
+	pm := New(8, 2)
+	// Forward(i) = position of strip i after both permutations.
+	want := map[int]int{0: 0, 1: 4, 3: 1, 2: 5, 4: 2, 5: 6, 7: 3, 6: 7}
+	for i, w := range want {
+		if got := pm.Forward(i); got != w {
+			t.Errorf("Forward(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+// Paper property 1: initially consecutive indices are consecutive or at
+// distance q/p in the rearranged array.
+func TestPropertyNeighborDistances(t *testing.T) {
+	f := func(qRaw, pRaw uint8) bool {
+		p := int(pRaw%6) + 1
+		q := p * (int(qRaw%6) + 1)
+		pm := New(q, p)
+		k := q / p
+		for i := 0; i+1 < q; i++ {
+			d := pm.NeighborDistance(i)
+			if d != 1 && d != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Paper property 2: each processor's local block of q/p rearranged strips
+// contains exactly one strip from every original segment.
+func TestPropertyOnePerSegment(t *testing.T) {
+	f := func(qRaw, pRaw uint8) bool {
+		p := int(pRaw%6) + 1
+		q := p * (int(qRaw%6) + 1)
+		pm := New(q, p)
+		k := q / p
+		for j := 0; j < p; j++ {
+			lo, hi := pm.SegmentOfProcessor(j)
+			if hi-lo != k {
+				return false
+			}
+			segSeen := make(map[int]bool)
+			for pos := lo; pos < hi; pos++ {
+				orig := pm.Inverse(pos)
+				seg := orig / p
+				if segSeen[seg] {
+					return false
+				}
+				segSeen[seg] = true
+			}
+			if len(segSeen) != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableMatchesForward(t *testing.T) {
+	pm := New(20, 4)
+	tab := pm.Table()
+	for i, v := range tab {
+		if v != pm.Forward(i) {
+			t.Fatalf("Table[%d] = %d, Forward = %d", i, v, pm.Forward(i))
+		}
+	}
+}
+
+func TestApply(t *testing.T) {
+	pm := New(8, 2)
+	data := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	out := Apply(pm, data)
+	for i, s := range data {
+		if out[pm.Forward(i)] != s {
+			t.Fatalf("Apply misplaced %q", s)
+		}
+	}
+}
+
+func TestApplyLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	Apply(New(8, 2), []int{1, 2, 3})
+}
+
+func TestIdentityWhenPEqualsQ(t *testing.T) {
+	// p = q: single-strip segments, q/p = 1: everything stays adjacent.
+	pm := New(6, 6)
+	for i := 0; i < 6; i++ {
+		if pm.Forward(i) != i {
+			t.Fatalf("p=q should be identity, Forward(%d) = %d", i, pm.Forward(i))
+		}
+	}
+}

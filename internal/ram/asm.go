@@ -1,0 +1,121 @@
+package ram
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates the textual assembly form into a Program. Syntax,
+// one instruction per line:
+//
+//	; comment
+//	label:
+//	set   r0 42        ; addresses and immediates are decimal integers
+//	add   r2 r0 r1     ; rN is sugar for address N
+//	jnz   r2 loop
+//	halt
+//
+// Operands may be written as bare integers or with the rN sugar. Jump
+// targets are labels. Unknown mnemonics, malformed operands, duplicate or
+// missing labels are errors.
+func Assemble(src string) (Program, error) {
+	type pending struct {
+		instr int // index into prog
+		arg   int // 0 = A, 1 = B
+		label string
+		line  int
+	}
+	var prog Program
+	labels := make(map[string]int)
+	var fixups []pending
+
+	ops := map[string]struct {
+		op    Op
+		nargs int
+	}{
+		"mov": {MOV, 2}, "set": {SET, 2}, "loadi": {LOADI, 2}, "stori": {STORI, 2},
+		"add": {ADD, 3}, "sub": {SUB, 3}, "mul": {MUL, 3}, "xor": {XOR, 3},
+		"and": {AND, 3}, "or": {OR, 3}, "shl": {SHL, 3}, "shr": {SHR, 3},
+		"jmp": {JMP, 1}, "jz": {JZ, 2}, "jnz": {JNZ, 2}, "halt": {HALT, 0},
+	}
+
+	parseAddr := func(tok string) (int, error) {
+		if strings.HasPrefix(tok, "r") {
+			return strconv.Atoi(tok[1:])
+		}
+		return strconv.Atoi(tok)
+	}
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			name := strings.TrimSuffix(line, ":")
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("ram: line %d: duplicate label %q", lineNo+1, name)
+			}
+			labels[name] = len(prog)
+			continue
+		}
+		fields := strings.Fields(line)
+		spec, ok := ops[fields[0]]
+		if !ok {
+			return nil, fmt.Errorf("ram: line %d: unknown mnemonic %q", lineNo+1, fields[0])
+		}
+		if len(fields)-1 != spec.nargs {
+			return nil, fmt.Errorf("ram: line %d: %s takes %d operands, got %d",
+				lineNo+1, fields[0], spec.nargs, len(fields)-1)
+		}
+		in := Instr{Op: spec.op}
+		switch spec.op {
+		case JMP:
+			fixups = append(fixups, pending{len(prog), 0, fields[1], lineNo + 1})
+		case JZ, JNZ:
+			a, err := parseAddr(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("ram: line %d: bad address %q", lineNo+1, fields[1])
+			}
+			in.A = a
+			fixups = append(fixups, pending{len(prog), 1, fields[2], lineNo + 1})
+		default:
+			dst := [3]*int{&in.A, &in.B, &in.C}
+			for i := 0; i < spec.nargs; i++ {
+				v, err := parseAddr(fields[1+i])
+				if err != nil {
+					return nil, fmt.Errorf("ram: line %d: bad operand %q", lineNo+1, fields[1+i])
+				}
+				*dst[i] = v
+			}
+		}
+		prog = append(prog, in)
+	}
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("ram: line %d: undefined label %q", f.line, f.label)
+		}
+		if f.arg == 0 {
+			prog[f.instr].A = target
+		} else {
+			prog[f.instr].B = target
+		}
+	}
+	return prog, nil
+}
+
+// MustAssemble panics on assembly errors — for programs embedded in the
+// repository whose correctness is covered by tests.
+func MustAssemble(src string) Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,51 @@
+package ram
+
+import (
+	"strings"
+	"testing"
+
+	"bsmp/internal/cost"
+	"bsmp/internal/hram"
+)
+
+// FuzzAssemble: arbitrary source must either assemble or return an error —
+// never panic — and anything that assembles must run without panicking
+// under a small step budget on a bounds-checked machine (hram panics on
+// out-of-range addresses, which a fuzzed program can legitimately reach,
+// so those panics are converted to failures only when they escape Run).
+func FuzzAssemble(f *testing.F) {
+	f.Add("set r0 1\nhalt")
+	f.Add("loop:\nadd r0 r0 r1\njnz r0 loop\nhalt")
+	f.Add("; comment only")
+	f.Add("stori r0 r1\nloadi r2 r0\nhalt")
+	f.Add("jmp nowhere")
+	f.Add("set rx y")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		// Reject absurdly long fuzz programs to keep the run fast.
+		if len(prog) > 4096 || strings.Count(src, "\n") > 4096 {
+			return
+		}
+		var meter cost.Meter
+		vm := &VM{Mem: hram.New(256, hram.Standard(1, 1), &meter)}
+		vm.MaxSteps = 10_000
+		func() {
+			// A fuzzed program may address out of the machine's bounds;
+			// the hram panic is the defined behavior for that, so absorb
+			// it. Anything else (index panics in the VM itself) should
+			// crash the fuzzer.
+			defer func() {
+				if r := recover(); r != nil {
+					if s, ok := r.(string); ok && strings.Contains(s, "hram:") {
+						return
+					}
+					panic(r)
+				}
+			}()
+			_ = vm.Run(prog)
+		}()
+	})
+}

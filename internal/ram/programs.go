@@ -1,0 +1,112 @@
+package ram
+
+import "fmt"
+
+// This file contains the RAM programs used by the cross-validation
+// experiments: most importantly the instruction-level naive simulation of
+// a linear-array guest (Proposition 1 executed instruction by
+// instruction).
+
+// Registers live at the bottom of memory — the cheapest addresses, as a
+// real RAM program would arrange.
+const (
+	regT    = 0  // remaining steps
+	regX    = 1  // column index
+	regCur  = 2  // current row base
+	regNext = 3  // next row base
+	regS    = 4  // accumulator
+	regA    = 5  // address scratch
+	regV    = 6  // value scratch
+	regC    = 7  // comparison scratch
+	regN    = 10 // n
+	regOne  = 11 // constant 1
+	numRegs = 16
+)
+
+// CASimLayout describes the memory layout of the CA simulation program.
+type CASimLayout struct {
+	N, T     int
+	CurBase  int // current row of n cells
+	NextBase int // next row of n cells
+	Size     int // total memory words needed
+}
+
+// NewCASimLayout returns the layout for an n-cell, T-step run.
+func NewCASimLayout(n, t int) CASimLayout {
+	return CASimLayout{
+		N: n, T: t,
+		CurBase:  numRegs,
+		NextBase: numRegs + n,
+		Size:     numRegs + 2*n,
+	}
+}
+
+// CASimProgram assembles the instruction-level naive simulation of the
+// truncated rule-90 automaton (XOR of self and the in-range neighbors —
+// exactly guest.Rule90's step) on an n-cell linear array for T-1 steps:
+// the Proposition 1 uniprocessor simulation, with every access paying the
+// H-RAM cost. The initial row must be poked at CurBase before Run; the
+// final row is read back from CurBase.
+func CASimProgram(l CASimLayout) Program {
+	src := fmt.Sprintf(`
+	set r%[1]d %[3]d        ; regN = n
+	set r%[2]d 1            ; regOne = 1
+	set r%[4]d %[5]d        ; regT = T-1 steps
+tloop:
+	jz r%[4]d done
+	set r%[6]d 0            ; x = 0
+xloop:
+	; s = cur[x]
+	set r%[7]d %[8]d
+	add r%[7]d r%[7]d r%[6]d    ; regA = CurBase + x
+	loadi r%[9]d r%[7]d         ; regS = cur[x]
+	; left neighbor if x > 0
+	jz r%[6]d noleft
+	sub r%[10]d r%[7]d r%[2]d   ; regC = addr-1
+	loadi r%[11]d r%[10]d
+	xor r%[9]d r%[9]d r%[11]d
+noleft:
+	; right neighbor if x < n-1
+	sub r%[10]d r%[1]d r%[2]d   ; regC = n-1
+	sub r%[10]d r%[10]d r%[6]d  ; regC = (n-1)-x
+	jz r%[10]d noright
+	add r%[10]d r%[7]d r%[2]d   ; regC = addr+1
+	loadi r%[11]d r%[10]d
+	xor r%[9]d r%[9]d r%[11]d
+noright:
+	; next[x] = s
+	set r%[10]d %[12]d
+	add r%[10]d r%[10]d r%[6]d
+	stori r%[10]d r%[9]d
+	; x++
+	add r%[6]d r%[6]d r%[2]d
+	sub r%[10]d r%[1]d r%[6]d
+	jnz r%[10]d xloop
+	; copy next row into cur row
+	set r%[6]d 0
+cploop:
+	set r%[7]d %[12]d
+	add r%[7]d r%[7]d r%[6]d
+	loadi r%[9]d r%[7]d
+	set r%[10]d %[8]d
+	add r%[10]d r%[10]d r%[6]d
+	stori r%[10]d r%[9]d
+	add r%[6]d r%[6]d r%[2]d
+	sub r%[10]d r%[1]d r%[6]d
+	jnz r%[10]d cploop
+	; t--
+	sub r%[4]d r%[4]d r%[2]d
+	jmp tloop
+done:
+	halt
+`,
+		regN, regOne, l.N,
+		regT, l.T-1,
+		regX,
+		regA, l.CurBase,
+		regS,
+		regC, regV,
+		l.NextBase,
+	)
+	return MustAssemble(src)
+}

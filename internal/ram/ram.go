@@ -1,0 +1,166 @@
+// Package ram implements the instruction-level Random Access Machine that
+// Definition 1 of Bilardi & Preparata (SPAA 1995) generalizes: the
+// Cook–Reckhow RAM [CR73], executing a fixed program of simple
+// instructions over an unbounded word memory. Attached to an
+// hram.Machine, every memory operand pays the hierarchical access cost
+// f(x), making the VM an f(x)-H-RAM in the paper's exact sense — one
+// instruction touching only address 0 costs one unit.
+//
+// The package exists to ground the repository's higher-level cost
+// accounting in a real ISA: programs written here (see programs.go)
+// perform the naive uniprocessor simulation of a linear-array guest
+// instruction by instruction, and its measured cost reproduces the same
+// Proposition 1 curve the model-level simulator measures — a full-stack
+// cross-validation.
+//
+// The instruction set (one word per operand, direct or indirect
+// addressing) follows Cook–Reckhow's accumulator-free style:
+//
+//	MOV   d s     mem[d] = mem[s]
+//	SET   d imm   mem[d] = imm
+//	LOADI d s     mem[d] = mem[mem[s]]       (indirect load)
+//	STORI d s     mem[mem[d]] = mem[s]       (indirect store)
+//	ADD/SUB/MUL/XOR/AND/OR d a b
+//	              mem[d] = mem[a] op mem[b]
+//	SHL/SHR d a b mem[d] = mem[a] << / >> (mem[b] mod 64)
+//	JMP   L       goto L
+//	JZ    c L     if mem[c] == 0 goto L
+//	JNZ   c L     if mem[c] != 0 goto L
+//	HALT
+//
+// Control flow is free of memory cost except for the tested cell; the
+// program itself lives in a control store, as in [CR73].
+package ram
+
+import (
+	"fmt"
+
+	"bsmp/internal/cost"
+	"bsmp/internal/hram"
+)
+
+// Op is an instruction opcode.
+type Op int
+
+// The instruction set.
+const (
+	MOV Op = iota
+	SET
+	LOADI
+	STORI
+	ADD
+	SUB
+	MUL
+	XOR
+	AND
+	OR
+	SHL
+	SHR
+	JMP
+	JZ
+	JNZ
+	HALT
+)
+
+var opNames = map[Op]string{
+	MOV: "mov", SET: "set", LOADI: "loadi", STORI: "stori",
+	ADD: "add", SUB: "sub", MUL: "mul", XOR: "xor", AND: "and", OR: "or",
+	SHL: "shl", SHR: "shr", JMP: "jmp", JZ: "jz", JNZ: "jnz", HALT: "halt",
+}
+
+// String names the opcode.
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Instr is one decoded instruction. A, B, C are addresses, immediates, or
+// program labels depending on the opcode.
+type Instr struct {
+	Op      Op
+	A, B, C int
+}
+
+// Program is an executable instruction sequence.
+type Program []Instr
+
+// VM executes a Program against an H-RAM memory, charging f(x) per memory
+// operand plus one Compute unit per instruction.
+type VM struct {
+	Mem *hram.Machine
+	// Steps counts executed instructions.
+	Steps int64
+	// MaxSteps aborts runaway programs (0 = 1e9).
+	MaxSteps int64
+}
+
+// New returns a VM over a fresh H-RAM of size words with access function f.
+func New(size int, f hram.AccessFunc, meter *cost.Meter) *VM {
+	return &VM{Mem: hram.New(size, f, meter)}
+}
+
+// Run executes prog from instruction 0 until HALT, returning an error on
+// an invalid instruction, out-of-range jump, or step-limit overrun.
+func (vm *VM) Run(prog Program) error {
+	limit := vm.MaxSteps
+	if limit <= 0 {
+		limit = 1_000_000_000
+	}
+	pc := 0
+	for {
+		if pc < 0 || pc >= len(prog) {
+			return fmt.Errorf("ram: pc %d out of program [0,%d)", pc, len(prog))
+		}
+		if vm.Steps >= limit {
+			return fmt.Errorf("ram: step limit %d exceeded", limit)
+		}
+		vm.Steps++
+		in := prog[pc]
+		vm.Mem.Op() // one unit of instruction time
+		pc++
+		switch in.Op {
+		case MOV:
+			vm.Mem.Write(in.A, vm.Mem.Read(in.B))
+		case SET:
+			vm.Mem.Write(in.A, hram.Word(in.B))
+		case LOADI:
+			addr := int(vm.Mem.Read(in.B))
+			vm.Mem.Write(in.A, vm.Mem.Read(addr))
+		case STORI:
+			addr := int(vm.Mem.Read(in.A))
+			vm.Mem.Write(addr, vm.Mem.Read(in.B))
+		case ADD:
+			vm.Mem.Write(in.A, vm.Mem.Read(in.B)+vm.Mem.Read(in.C))
+		case SUB:
+			vm.Mem.Write(in.A, vm.Mem.Read(in.B)-vm.Mem.Read(in.C))
+		case MUL:
+			vm.Mem.Write(in.A, vm.Mem.Read(in.B)*vm.Mem.Read(in.C))
+		case XOR:
+			vm.Mem.Write(in.A, vm.Mem.Read(in.B)^vm.Mem.Read(in.C))
+		case AND:
+			vm.Mem.Write(in.A, vm.Mem.Read(in.B)&vm.Mem.Read(in.C))
+		case OR:
+			vm.Mem.Write(in.A, vm.Mem.Read(in.B)|vm.Mem.Read(in.C))
+		case SHL:
+			vm.Mem.Write(in.A, vm.Mem.Read(in.B)<<(vm.Mem.Read(in.C)&63))
+		case SHR:
+			vm.Mem.Write(in.A, vm.Mem.Read(in.B)>>(vm.Mem.Read(in.C)&63))
+		case JMP:
+			pc = in.A
+		case JZ:
+			if vm.Mem.Read(in.A) == 0 {
+				pc = in.B
+			}
+		case JNZ:
+			if vm.Mem.Read(in.A) != 0 {
+				pc = in.B
+			}
+		case HALT:
+			return nil
+		default:
+			return fmt.Errorf("ram: invalid opcode %v at pc %d", in.Op, pc-1)
+		}
+	}
+}

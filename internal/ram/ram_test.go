@@ -1,0 +1,211 @@
+package ram
+
+import (
+	"math"
+	"testing"
+
+	"bsmp/internal/cost"
+	"bsmp/internal/dag"
+	"bsmp/internal/guest"
+	"bsmp/internal/hram"
+	"bsmp/internal/lattice"
+)
+
+func newVM(size int) (*VM, *cost.Meter) {
+	var meter cost.Meter
+	return New(size, hram.Standard(1, 1), &meter), &meter
+}
+
+func TestBasicOps(t *testing.T) {
+	vm, _ := newVM(64)
+	prog := MustAssemble(`
+	set r0 7
+	set r1 5
+	add r2 r0 r1
+	sub r3 r0 r1
+	mul r4 r0 r1
+	xor r5 r0 r1
+	and r6 r0 r1
+	or  r7 r0 r1
+	shl r8 r0 r1
+	shr r9 r8 r1
+	halt
+`)
+	if err := vm.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	checks := map[int]hram.Word{
+		2: 12, 3: 2, 4: 35, 5: 2, 6: 5, 7: 7, 8: 7 << 5, 9: 7,
+	}
+	for addr, want := range checks {
+		if got := vm.Mem.Peek(addr); got != want {
+			t.Errorf("mem[%d] = %d, want %d", addr, got, want)
+		}
+	}
+}
+
+func TestIndirection(t *testing.T) {
+	vm, _ := newVM(64)
+	prog := MustAssemble(`
+	set r0 40      ; pointer
+	set r1 99
+	stori r0 r1    ; mem[40] = 99
+	loadi r2 r0    ; r2 = mem[40]
+	halt
+`)
+	if err := vm.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Mem.Peek(40) != 99 || vm.Mem.Peek(2) != 99 {
+		t.Fatal("indirection broken")
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	// Sum 1..10 with a loop.
+	vm, _ := newVM(64)
+	prog := MustAssemble(`
+	set r0 10
+	set r1 0      ; sum
+	set r2 1
+loop:
+	jz r0 done
+	add r1 r1 r0
+	sub r0 r0 r2
+	jmp loop
+done:
+	halt
+`)
+	if err := vm.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if got := vm.Mem.Peek(1); got != 55 {
+		t.Fatalf("sum = %d, want 55", got)
+	}
+}
+
+func TestUnitCostAtAddressZero(t *testing.T) {
+	// One instruction touching only address 0 costs Θ(1) (the paper's
+	// normalization): set r0 is 1 op + 1 write at f(0) = 1.
+	vm, meter := newVM(8)
+	if err := vm.Run(MustAssemble("set r0 1\nhalt")); err != nil {
+		t.Fatal(err)
+	}
+	if got := meter.Now(); got != 3 { // set: op+write, halt: op
+		t.Fatalf("cost = %v, want 3", got)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	vm, _ := newVM(8)
+	vm.MaxSteps = 100
+	err := vm.Run(MustAssemble("loop:\njmp loop"))
+	if err == nil {
+		t.Fatal("infinite loop not aborted")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"unknown op":    "frob r0 r1",
+		"bad arity":     "add r0 r1",
+		"bad operand":   "set rx 3",
+		"dup label":     "a:\na:\nhalt",
+		"missing label": "jmp nowhere",
+	} {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%s: assembled without error", name)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	vm, _ := newVM(8)
+	// Jump beyond program end.
+	if err := vm.Run(Program{{Op: JMP, A: 99}}); err == nil {
+		t.Fatal("wild jump not caught")
+	}
+	// Running off the end without HALT.
+	vm2, _ := newVM(8)
+	if err := vm2.Run(Program{{Op: SET, A: 0, B: 1}}); err == nil {
+		t.Fatal("missing halt not caught")
+	}
+	// Invalid opcode.
+	vm3, _ := newVM(8)
+	if err := vm3.Run(Program{{Op: Op(99)}}); err == nil {
+		t.Fatal("invalid opcode not caught")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if MOV.String() != "mov" || HALT.String() != "halt" {
+		t.Fatal("op names wrong")
+	}
+	if Op(99).String() != "op(99)" {
+		t.Fatal("unknown op name wrong")
+	}
+}
+
+// TestCASimMatchesReference is the full-stack fidelity check: the
+// instruction-level naive simulation reproduces guest.Rule90's dag
+// reference bit-exactly.
+func TestCASimMatchesReference(t *testing.T) {
+	for _, tc := range []struct{ n, T int }{{4, 4}, {8, 8}, {16, 12}, {13, 9}} {
+		l := NewCASimLayout(tc.n, tc.T)
+		vm, _ := newVM(l.Size)
+		vm.MaxSteps = 10_000_000
+		r := guest.Rule90{Seed: 17}
+		for x := 0; x < tc.n; x++ {
+			vm.Mem.Poke(l.CurBase+x, r.Input(lattice.Point{X: x}))
+		}
+		if err := vm.Run(CASimProgram(l)); err != nil {
+			t.Fatalf("n=%d T=%d: %v", tc.n, tc.T, err)
+		}
+		want := dag.Reference(dag.NewLineGraph(tc.n, tc.T), r)
+		for x := 0; x < tc.n; x++ {
+			if got := vm.Mem.Peek(l.CurBase + x); got != want[x] {
+				t.Fatalf("n=%d T=%d: cell %d = %d, want %d", tc.n, tc.T, x, got, want[x])
+			}
+		}
+	}
+}
+
+// TestCASimCostShape cross-validates Proposition 1 at ISA fidelity: the
+// per-vertex cost of the instruction-level naive simulation is affine in
+// n — a constant register-traffic term plus the Θ(n) row-access latency
+// of f(x) = x. (Total over T = n computations: Θ(n³) plus an Θ(n²)
+// instruction-overhead term; at laptop sizes both are visible, so the
+// affine fit is the sharp test.)
+func TestCASimCostShape(t *testing.T) {
+	ns := []int{32, 128, 256}
+	perVertex := make(map[int]float64)
+	for _, n := range ns {
+		l := NewCASimLayout(n, n)
+		vm, meter := newVM(l.Size)
+		vm.MaxSteps = 200_000_000
+		r := guest.Rule90{Seed: 17}
+		for x := 0; x < n; x++ {
+			vm.Mem.Poke(l.CurBase+x, r.Input(lattice.Point{X: x}))
+		}
+		if err := vm.Run(CASimProgram(l)); err != nil {
+			t.Fatal(err)
+		}
+		perVertex[n] = float64(meter.Now()) / (float64(n) * float64(n-1))
+	}
+	// Fit pv = a + b·n through the endpoints; b > 0 is the Θ(n) access
+	// latency, and the midpoint must land near the line.
+	b := (perVertex[256] - perVertex[32]) / (256 - 32)
+	a := perVertex[32] - b*32
+	if b <= 0 {
+		t.Fatalf("per-vertex cost not growing with n: %v", perVertex)
+	}
+	pred := a + b*128
+	if math.Abs(pred-perVertex[128])/perVertex[128] > 0.15 {
+		t.Errorf("per-vertex cost not affine in n: measured %v at 128, affine fit %v (curve %v)",
+			perVertex[128], pred, perVertex)
+	}
+	// The linear term must dominate by n = 256 (the Prop. 1 regime).
+	if b*256 < a {
+		t.Errorf("row-access term (%.1f·n) still below instruction overhead %.1f at n=256", b, a)
+	}
+}

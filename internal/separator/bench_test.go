@@ -1,0 +1,34 @@
+package separator
+
+import (
+	"testing"
+
+	"bsmp/internal/cost"
+	"bsmp/internal/dag"
+	"bsmp/internal/hram"
+)
+
+func BenchmarkExecuteLine64(b *testing.B) {
+	g := dag.NewLineGraph(64, 64)
+	root := g.Domain()
+	space := SpaceNeeded(g, root, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var meter cost.Meter
+		mach := hram.New(space, hram.Standard(1, 1), &meter)
+		ex := &Executor{G: g, Prog: hashProg{}, LeafSize: 8}
+		if _, err := ex.Execute(mach, root); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpaceNeededMesh(b *testing.B) {
+	g := dag.NewMeshGraph(16, 16)
+	root := g.Domain()
+	for i := 0; i < b.N; i++ {
+		if SpaceNeeded(g, root, 8) == 0 {
+			b.Fatal("zero space")
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package separator
+
+// Failure-injection tests: the executor must fail loudly — never
+// fabricate operands — when the decomposition it is given violates the
+// topological-partition contract or the memory allowance is wrong. These
+// are the negative counterparts of Proposition 2's preconditions.
+
+import (
+	"strings"
+	"testing"
+
+	"bsmp/internal/cost"
+	"bsmp/internal/dag"
+	"bsmp/internal/hram"
+	"bsmp/internal/lattice"
+)
+
+// reversedDomain wraps a domain and reverses its children order, breaking
+// Definition 4 (later pieces' values are needed by earlier ones).
+type reversedDomain struct {
+	lattice.Domain
+}
+
+func (r reversedDomain) Children() []lattice.Domain {
+	kids := r.Domain.Children()
+	if kids == nil {
+		return nil
+	}
+	out := make([]lattice.Domain, len(kids))
+	for i, k := range kids {
+		out[len(kids)-1-i] = reversedDomain{k}
+	}
+	return out
+}
+
+func TestReversedChildrenFailLoudly(t *testing.T) {
+	g := dag.NewLineGraph(16, 16)
+	root := reversedDomain{g.Domain()}
+	space := SpaceNeeded(g, root, 8)
+	var meter cost.Meter
+	mach := hram.New(space, hram.Standard(1, 1), &meter)
+	ex := &Executor{G: g, Prog: hashProg{}, LeafSize: 8}
+	_, err := ex.Execute(mach, root)
+	if err == nil {
+		t.Fatal("reversed topological order executed without error")
+	}
+	if !strings.Contains(err.Error(), "unavailable") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// overlappingDomain duplicates its first child, so the same vertices are
+// executed twice — the location map catches the second materialization's
+// stale state via the staging budget or the duplicate live-outs.
+type overlappingDomain struct {
+	lattice.Domain
+}
+
+func (o overlappingDomain) Children() []lattice.Domain {
+	kids := o.Domain.Children()
+	if kids == nil {
+		return nil
+	}
+	return append([]lattice.Domain{kids[0]}, kids...)
+}
+
+func TestOverlappingChildrenDetected(t *testing.T) {
+	g := dag.NewLineGraph(8, 8)
+	root := overlappingDomain{g.Domain()}
+	// Space computed for the honest domain: the duplicated child must
+	// blow the staging budget or produce an inconsistent result.
+	space := SpaceNeeded(g, g.Domain(), 8)
+	var meter cost.Meter
+	mach := hram.New(space, hram.Standard(1, 1), &meter)
+	ex := &Executor{G: g, Prog: hashProg{}, LeafSize: 8}
+	res, err := ex.Execute(mach, root)
+	if err == nil {
+		// If it survives, the outputs must STILL be correct (idempotent
+		// re-execution) — anything else is silent corruption.
+		want := dag.Reference(g, hashProg{})
+		for i := range want {
+			if res.Outputs[i] != want[i] {
+				t.Fatal("overlapping children corrupted outputs silently")
+			}
+		}
+	}
+}
+
+// starvedMachine: a machine smaller than the allowance must be rejected
+// up front (checked in Execute), and a machine of exactly the allowance
+// must never index out of bounds (the hram would panic).
+func TestExactAllowanceNeverOverflows(t *testing.T) {
+	for _, n := range []int{8, 12, 16, 24} {
+		g := dag.NewLineGraph(n, n)
+		root := g.Domain()
+		space := SpaceNeeded(g, root, 4)
+		var meter cost.Meter
+		mach := hram.New(space, hram.Standard(1, 1), &meter)
+		ex := &Executor{G: g, Prog: hashProg{}, LeafSize: 4}
+		if _, err := ex.Execute(mach, root); err != nil {
+			t.Fatalf("n=%d: exact allowance failed: %v", n, err)
+		}
+	}
+}
+
+func TestZeroLeafSizeDefaults(t *testing.T) {
+	g := dag.NewLineGraph(8, 8)
+	root := g.Domain()
+	var meter cost.Meter
+	mach := hram.New(SpaceNeeded(g, root, 0), hram.Standard(1, 1), &meter)
+	ex := &Executor{G: g, Prog: hashProg{}} // LeafSize unset
+	res, err := ex.Execute(mach, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dag.Reference(g, hashProg{})
+	for i := range want {
+		if res.Outputs[i] != want[i] {
+			t.Fatal("default leaf size corrupted outputs")
+		}
+	}
+}
+
+// corruptProg returns wrong values on a specific vertex; the functional
+// verification (not the executor) must catch it — this pins that our
+// test oracle actually discriminates.
+type corruptProg struct {
+	hashProg
+	target lattice.Point
+}
+
+func (c corruptProg) Step(v lattice.Point, ops []dag.Value) dag.Value {
+	val := c.hashProg.Step(v, ops)
+	if v == c.target {
+		return val ^ 1
+	}
+	return val
+}
+
+func TestOracleDetectsSingleVertexCorruption(t *testing.T) {
+	g := dag.NewLineGraph(12, 12)
+	root := g.Domain()
+	prog := corruptProg{target: lattice.Point{X: 5, T: 6}}
+	var meter cost.Meter
+	mach := hram.New(SpaceNeeded(g, root, 8), hram.Standard(1, 1), &meter)
+	ex := &Executor{G: g, Prog: prog, LeafSize: 8}
+	res, err := ex.Execute(mach, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference with the HONEST program: the corruption must surface.
+	want := dag.Reference(g, hashProg{})
+	same := true
+	for i := range want {
+		if res.Outputs[i] != want[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("single-vertex corruption did not propagate to outputs — oracle too weak")
+	}
+}

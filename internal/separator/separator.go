@@ -1,0 +1,330 @@
+// Package separator implements the topological-separator execution
+// technique of Section 3 of Bilardi & Preparata (SPAA 1995): the recursive
+// procedure of Proposition 2 that executes a convex dag domain U on an
+// f(x)-H-RAM by
+//
+//  1. copying the preboundary Γin(Ui) of each piece of U's topological
+//     partition into low memory,
+//  2. executing the piece recursively in working space [0, S(Ui)), and
+//  3. copying the piece's still-needed values ("live-outs") into a staging
+//     area below S(U),
+//
+// with real address management on a real hram.Machine, so that the measured
+// virtual time is obtained from first principles rather than from the
+// closed-form bound. Proposition 3's conclusions — space σ(k) = O(k^γ) and
+// time τ(k) = O(k log k) for (c·x^γ, δ)-separators on (a·x^α)-H-RAMs with
+// α <= (1-γ)/γ — are then checked empirically against these measurements
+// by the experiment suite.
+//
+// The executor is generic over lattice.Domain (diamonds for d = 1,
+// octahedra/tetrahedra for d = 2) and dag.Graph (linear array, mesh), which
+// is exactly the generality the paper's technique claims.
+package separator
+
+import (
+	"bsmp/internal/cost"
+	"fmt"
+
+	"bsmp/internal/dag"
+	"bsmp/internal/hram"
+	"bsmp/internal/lattice"
+)
+
+// DefaultLeafSize is the domain size below which execution is direct
+// (vertex by vertex in topological order) rather than recursive. Any small
+// constant preserves the asymptotics; 8 keeps recursion overhead low.
+const DefaultLeafSize = 8
+
+// Executor runs one dag program on one H-RAM via the separator technique.
+type Executor struct {
+	// G is the computation dag; Prog its value semantics.
+	G    dag.Graph
+	Prog dag.Program
+	// LeafSize bounds direct execution; DefaultLeafSize if zero.
+	LeafSize int
+
+	m   *hram.Machine
+	loc map[lattice.Point]int
+
+	// maxAddrTouched tracks the peak address, for space-bound checks.
+	maxAddrTouched int
+	// spaceMemo caches SpaceNeeded per (comparable) domain value.
+	spaceMemo map[lattice.Domain]int
+	// levels accumulates per-recursion-depth transfer statistics.
+	levels []LevelStat
+}
+
+// LevelStat records the relocation work done at one recursion depth of
+// Proposition 2's procedure. Proposition 3's τ(k) = O(k·log k) bound rests
+// on every depth moving O(k) worth of (words × access cost); the
+// experiment suite checks that measured per-level Transfer time is flat
+// across depths.
+type LevelStat struct {
+	// Domains is the number of partition nodes processed at this depth.
+	Domains int
+	// WordsMoved counts preboundary copy-downs plus live-out stagings.
+	WordsMoved int
+	// TransferTime is the virtual time those moves cost.
+	TransferTime float64
+}
+
+// SpaceNeeded computes the space allowance S(U) of Proposition 2 for the
+// given domain: the recursive maximum of children allowances plus staging
+// for live-out values plus the incoming preboundary slot. Leaf domains use
+// one cell per vertex plus the preboundary slot.
+func SpaceNeeded(g dag.Graph, dom lattice.Domain, leafSize int) int {
+	return spaceNeededMemo(g, dom, leafSize, nil)
+}
+
+// spaceNeededMemo memoizes the allowance per domain. Domain values
+// (Diamond, Box4, Box6) are comparable structs, so the executor can reuse
+// one cache across its whole run, turning the repeated subtree walks into
+// a single pass.
+func spaceNeededMemo(g dag.Graph, dom lattice.Domain, leafSize int, memo map[lattice.Domain]int) int {
+	if leafSize <= 0 {
+		leafSize = DefaultLeafSize
+	}
+	if memo != nil {
+		if s, ok := memo[dom]; ok {
+			return s
+		}
+	}
+	gin := len(dag.Preboundary(g, dom))
+	kids := dom.Children()
+	var out int
+	if kids == nil || dom.Size() <= leafSize {
+		out = dom.Size() + gin
+	} else {
+		smax, lout := 0, 0
+		for _, k := range kids {
+			if s := spaceNeededMemo(g, k, leafSize, memo); s > smax {
+				smax = s
+			}
+			lout += len(dag.LiveOut(g, k))
+		}
+		out = smax + lout + gin
+	}
+	if memo != nil {
+		memo[dom] = out
+	}
+	return out
+}
+
+// Result reports the outcome of a separator execution.
+type Result struct {
+	// Outputs are the final-layer values indexed by network node
+	// (x for the line; y*side+x for the mesh; (z*side+y)*side+x for the
+	// cube).
+	Outputs []dag.Value
+	// Space is the memory allowance S of the root call (machine size).
+	Space int
+	// MaxAddr is the highest address actually touched.
+	MaxAddr int
+	// Vertices is the number of dag vertices executed.
+	Vertices int
+	// Levels is the per-recursion-depth relocation profile.
+	Levels []LevelStat
+}
+
+// Execute runs the full computation dag of g on a fresh f-H-RAM charging
+// into machine m's meter, and returns the final-layer outputs. The domain
+// executed is g's full domain (every vertex including the t = 0 inputs,
+// which are materialized by Prog.Input at unit cost when reached — the
+// paper's input vertices).
+func (e *Executor) Execute(m *hram.Machine, root lattice.Domain) (Result, error) {
+	if e.LeafSize <= 0 {
+		e.LeafSize = DefaultLeafSize
+	}
+	e.m = m
+	e.loc = make(map[lattice.Point]int, root.Size()/4+16)
+	e.maxAddrTouched = 0
+	e.levels = nil
+	e.spaceMemo = make(map[lattice.Domain]int, 1024)
+
+	space := spaceNeededMemo(e.G, root, e.LeafSize, e.spaceMemo)
+	if m.Size() < space {
+		return Result{}, fmt.Errorf("separator: machine size %d < required space %d", m.Size(), space)
+	}
+	if err := e.exec(root, space, 0); err != nil {
+		return Result{}, err
+	}
+
+	// Collect outputs from the final layer.
+	last := e.G.Steps() - 1
+	out := make([]dag.Value, e.G.Nodes())
+	count := 0
+	root.Points(func(p lattice.Point) bool {
+		if p.T != last {
+			return true
+		}
+		addr, ok := e.loc[p]
+		if !ok {
+			count = -1
+			return false
+		}
+		out[e.nodeIndex(p)] = m.Peek(addr)
+		count++
+		return true
+	})
+	if count < 0 {
+		return Result{}, fmt.Errorf("separator: missing output value in final layer")
+	}
+	return Result{
+		Outputs:  out,
+		Space:    space,
+		MaxAddr:  e.maxAddrTouched,
+		Vertices: root.Size(),
+		Levels:   e.levels,
+	}, nil
+}
+
+// level returns the stat accumulator for depth, growing the slice.
+func (e *Executor) level(depth int) *LevelStat {
+	for len(e.levels) <= depth {
+		e.levels = append(e.levels, LevelStat{})
+	}
+	return &e.levels[depth]
+}
+
+// nodeIndex flattens a point's spatial coordinates to a node index.
+func (e *Executor) nodeIndex(p lattice.Point) int {
+	switch g := e.G.(type) {
+	case dag.MeshGraph:
+		return p.Y*g.Side + p.X
+	case dag.CubeGraph:
+		return (p.Z*g.Side+p.Y)*g.Side + p.X
+	default:
+		return p.X
+	}
+}
+
+// touch records the highest touched address.
+func (e *Executor) touch(addr int) int {
+	if addr > e.maxAddrTouched {
+		e.maxAddrTouched = addr
+	}
+	return addr
+}
+
+// exec implements Proposition 2. Contract: on entry, every vertex of
+// Γin(dom) has a valid address in e.loc; on exit, every vertex of
+// LiveOut(dom) has a valid address in e.loc, and loc entries for dead
+// vertices of dom have been removed.
+func (e *Executor) exec(dom lattice.Domain, space int, depth int) error {
+	kids := dom.Children()
+	if kids == nil || dom.Size() <= e.LeafSize {
+		return e.execLeaf(dom)
+	}
+	e.level(depth).Domains++
+
+	gin := dag.Preboundary(e.G, dom)
+	// Staging area below the incoming preboundary slot.
+	stagePtr := space - len(gin)
+
+	for _, kid := range kids {
+		skid := spaceNeededMemo(e.G, kid, e.LeafSize, e.spaceMemo)
+		ginKid := dag.Preboundary(e.G, kid)
+
+		// Step 1 (Prop 2): copy the child's preboundary into
+		// [skid - |Γin(kid)|, skid), overriding loc only within the
+		// child's execution.
+		type saved struct {
+			p    lattice.Point
+			addr int
+			had  bool
+		}
+		overrides := make([]saved, 0, len(ginKid))
+		dstBase := skid - len(ginKid)
+		before := e.m.Meter().Total(cost.Transfer)
+		for i, q := range ginKid {
+			src, ok := e.loc[q]
+			if !ok {
+				return fmt.Errorf("separator: preboundary value %v of %v unavailable", q, kid)
+			}
+			dst := dstBase + i
+			e.m.MoveWord(e.touch(dst), src)
+			overrides = append(overrides, saved{q, src, true})
+			e.loc[q] = dst
+		}
+		// Re-fetch the accumulator: deeper recursion may have grown the
+		// levels slice, invalidating any held pointer.
+		st := e.level(depth)
+		st.WordsMoved += len(ginKid)
+		st.TransferTime += float64(e.m.Meter().Total(cost.Transfer) - before)
+
+		// Step 2: execute the child in [0, skid).
+		if err := e.exec(kid, skid, depth+1); err != nil {
+			return err
+		}
+
+		// Step 3: persist the child's live-outs into staging (below
+		// the parent's preboundary slot, above every child workspace).
+		live := dag.LiveOut(e.G, kid)
+		before = e.m.Meter().Total(cost.Transfer)
+		liveSet := make(map[lattice.Point]bool, len(live))
+		for _, v := range live {
+			liveSet[v] = true
+			src, ok := e.loc[v]
+			if !ok {
+				return fmt.Errorf("separator: live-out value %v of %v unavailable", v, kid)
+			}
+			stagePtr--
+			if stagePtr < skid {
+				return fmt.Errorf("separator: staging area underflow in %v", dom)
+			}
+			e.m.MoveWord(e.touch(stagePtr), src)
+			e.loc[v] = stagePtr
+		}
+
+		st = e.level(depth)
+		st.WordsMoved += len(live)
+		st.TransferTime += float64(e.m.Meter().Total(cost.Transfer) - before)
+
+		// Restore the parent-level addresses of the child's preboundary
+		// and drop dead child vertices so stale reads fail loudly.
+		for _, s := range overrides {
+			e.loc[s.p] = s.addr
+		}
+		kid.Points(func(p lattice.Point) bool {
+			if !liveSet[p] {
+				delete(e.loc, p)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// execLeaf executes every vertex of dom directly, in ascending (T, X, Y)
+// order, allocating result cells from address 0 upward.
+func (e *Executor) execLeaf(dom lattice.Domain) error {
+	next := 0
+	var buf []lattice.Point
+	ops := make([]dag.Value, 0, 5)
+	var fail error
+	dom.Points(func(p lattice.Point) bool {
+		buf = e.G.Preds(p, buf[:0])
+		ops = ops[:0]
+		for _, q := range buf {
+			addr, ok := e.loc[q]
+			if !ok {
+				fail = fmt.Errorf("separator: operand %v of %v unavailable", q, p)
+				return false
+			}
+			ops = append(ops, e.m.Read(addr))
+		}
+		var v dag.Value
+		if len(buf) == 0 {
+			v = e.Prog.Input(p)
+		} else {
+			v = e.Prog.Step(p, ops)
+		}
+		e.m.Op()
+		addr := next
+		next++
+		e.m.Write(e.touch(addr), v)
+		e.loc[p] = addr
+		return true
+	})
+	return fail
+}

@@ -1,0 +1,249 @@
+package separator
+
+import (
+	"math"
+	"testing"
+
+	"bsmp/internal/cost"
+	"bsmp/internal/dag"
+	"bsmp/internal/hram"
+	"bsmp/internal/lattice"
+)
+
+// hashProg gives every vertex an exactly checkable value.
+type hashProg struct{}
+
+func (hashProg) Input(v lattice.Point) dag.Value {
+	return dag.Value(v.X*2654435761+v.Y*97+13) | 1
+}
+
+func (hashProg) Step(v lattice.Point, ops []dag.Value) dag.Value {
+	s := dag.Value(v.T) * 1099511628211
+	for i, o := range ops {
+		s = s*16777619 + o*dag.Value(2*i+3)
+	}
+	return s
+}
+
+// runLine executes an n-node, T-step line dag via the separator executor
+// on an M1-style H-RAM (d = 1, density m) and returns the result + meter.
+func runLine(t *testing.T, n, T, m, leaf int) (Result, *cost.Meter) {
+	t.Helper()
+	g := dag.NewLineGraph(n, T)
+	root := g.Domain()
+	space := SpaceNeeded(g, root, leaf)
+	var meter cost.Meter
+	mach := hram.New(space, hram.Standard(1, m), &meter)
+	ex := &Executor{G: g, Prog: hashProg{}, LeafSize: leaf}
+	res, err := ex.Execute(mach, root)
+	if err != nil {
+		t.Fatalf("Execute(n=%d,T=%d): %v", n, T, err)
+	}
+	return res, &meter
+}
+
+func runMesh(t *testing.T, side, T, m, leaf int) (Result, *cost.Meter) {
+	t.Helper()
+	g := dag.NewMeshGraph(side, T)
+	root := g.Domain()
+	space := SpaceNeeded(g, root, leaf)
+	var meter cost.Meter
+	mach := hram.New(space, hram.Standard(2, m), &meter)
+	ex := &Executor{G: g, Prog: hashProg{}, LeafSize: leaf}
+	res, err := ex.Execute(mach, root)
+	if err != nil {
+		t.Fatalf("Execute(side=%d,T=%d): %v", side, T, err)
+	}
+	return res, &meter
+}
+
+func TestLineOutputsMatchReference(t *testing.T) {
+	for _, tc := range []struct{ n, T, leaf int }{
+		{4, 4, 1}, {8, 8, 8}, {16, 16, 8}, {13, 9, 4}, {32, 32, 8}, {7, 20, 2},
+	} {
+		res, _ := runLine(t, tc.n, tc.T, 1, tc.leaf)
+		want := dag.Reference(dag.NewLineGraph(tc.n, tc.T), hashProg{})
+		for i := range want {
+			if res.Outputs[i] != want[i] {
+				t.Fatalf("n=%d T=%d leaf=%d: node %d: got %d, want %d",
+					tc.n, tc.T, tc.leaf, i, res.Outputs[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMeshOutputsMatchReference(t *testing.T) {
+	for _, tc := range []struct{ side, T, leaf int }{
+		{3, 3, 8}, {4, 4, 8}, {6, 6, 8}, {5, 9, 4}, {8, 8, 16},
+	} {
+		res, _ := runMesh(t, tc.side, tc.T, 1, tc.leaf)
+		want := dag.Reference(dag.NewMeshGraph(tc.side, tc.T), hashProg{})
+		for i := range want {
+			if res.Outputs[i] != want[i] {
+				t.Fatalf("side=%d T=%d leaf=%d: node %d: got %d, want %d",
+					tc.side, tc.T, tc.leaf, i, res.Outputs[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLeafSizeInvariance(t *testing.T) {
+	// Different leaf sizes change cost constants but never outputs.
+	want := dag.Reference(dag.NewLineGraph(12, 12), hashProg{})
+	for _, leaf := range []int{1, 2, 4, 16, 64} {
+		res, _ := runLine(t, 12, 12, 1, leaf)
+		for i := range want {
+			if res.Outputs[i] != want[i] {
+				t.Fatalf("leaf=%d: node %d mismatch", leaf, i)
+			}
+		}
+	}
+}
+
+func TestSpaceScalesAsSqrtForLine(t *testing.T) {
+	// Prop 3 with γ = 1/2: σ(k) = O(√k), i.e. space O(n) for the n² dag.
+	g16 := dag.NewLineGraph(16, 16)
+	g64 := dag.NewLineGraph(64, 64)
+	s16 := SpaceNeeded(g16, g16.Domain(), 8)
+	s64 := SpaceNeeded(g64, g64.Domain(), 8)
+	// Quadrupling n (16x the dag) should scale space ~4x, not 16x.
+	ratio := float64(s64) / float64(s16)
+	if ratio > 6.5 {
+		t.Errorf("space ratio %v for 16x dag growth; want ~4 (σ = O(√k))", ratio)
+	}
+	if s64 < 64 {
+		t.Errorf("space %d smaller than one row", s64)
+	}
+}
+
+func TestSpaceScalesAsTwoThirdsForMesh(t *testing.T) {
+	// γ = 2/3: σ(k) = O(k^(2/3)), i.e. space O(side²·...) — quadrupling the
+	// side (64x the dag) scales space ~16x.
+	g4 := dag.NewMeshGraph(4, 4)
+	g16 := dag.NewMeshGraph(16, 16)
+	s4 := SpaceNeeded(g4, g4.Domain(), 8)
+	s16 := SpaceNeeded(g16, g16.Domain(), 8)
+	ratio := float64(s16) / float64(s4)
+	want := math.Pow(64, 2.0/3) // = 16
+	if ratio > want*2 {
+		t.Errorf("space ratio %v for 64x dag growth; want ~%v", ratio, want)
+	}
+}
+
+func TestMaxAddrWithinSpace(t *testing.T) {
+	res, _ := runLine(t, 24, 24, 1, 8)
+	if res.MaxAddr >= res.Space {
+		t.Fatalf("touched address %d beyond allowance %d", res.MaxAddr, res.Space)
+	}
+}
+
+func TestMachineTooSmallErrors(t *testing.T) {
+	g := dag.NewLineGraph(16, 16)
+	var meter cost.Meter
+	mach := hram.New(4, hram.Standard(1, 1), &meter)
+	ex := &Executor{G: g, Prog: hashProg{}}
+	if _, err := ex.Execute(mach, g.Domain()); err == nil {
+		t.Fatal("undersized machine did not error")
+	}
+}
+
+func TestTimeNearNSquaredLogN(t *testing.T) {
+	// Theorem 2 shape: executing the n², T = n dag costs Θ(n² log n).
+	// Two checks: the ratio τ/(n² log n) is drift-free across a dyadic
+	// sweep, and the fitted log-log growth exponent is ~2 (up to the log
+	// factor), clearly below the naive simulation's exponent 3.
+	ns := []int{16, 32, 64, 128}
+	var ratios, logN, logT []float64
+	for _, n := range ns {
+		_, meter := runLine(t, n, n, 1, 8)
+		nn := float64(n)
+		ratios = append(ratios, float64(meter.Now())/(nn*nn*math.Log2(nn)))
+		logN = append(logN, math.Log2(nn))
+		logT = append(logT, math.Log2(float64(meter.Now())))
+	}
+	for i := 1; i < len(ratios); i++ {
+		if ratios[i] > ratios[i-1]*1.6 {
+			t.Errorf("τ/(n² log n) drifting up: %v", ratios)
+		}
+	}
+	slope := fitSlope(logN, logT)
+	if slope < 1.7 || slope > 2.6 {
+		t.Errorf("growth exponent %v, want ~2.1 (n² log n), far below naive's 3", slope)
+	}
+}
+
+func TestPerLevelTransferFlat(t *testing.T) {
+	// The k·log k bound decomposes as ~log k levels of O(k) transfer each
+	// (Proposition 3's recurrence). The measured per-level Transfer time
+	// should be within a modest band across the middle depths — neither
+	// geometrically growing (which would give k^(1+ε)) nor collapsing.
+	res, _ := runLine(t, 128, 128, 1, 8)
+	if len(res.Levels) < 4 {
+		t.Fatalf("only %d levels recorded", len(res.Levels))
+	}
+	// Skip the outermost and innermost level (boundary effects).
+	mid := res.Levels[1 : len(res.Levels)-1]
+	lo, hi := mid[0].TransferTime, mid[0].TransferTime
+	for _, l := range mid {
+		if l.TransferTime < lo {
+			lo = l.TransferTime
+		}
+		if l.TransferTime > hi {
+			hi = l.TransferTime
+		}
+	}
+	if hi/lo > 6 {
+		t.Errorf("per-level transfer band %.1fx across %d middle levels — not O(k) per level: %+v",
+			hi/lo, len(mid), mid)
+	}
+	// Level structure sanity: domain counts grow ~4x per level for the
+	// d = 1 quadtree.
+	for i := 1; i < len(res.Levels)-1; i++ {
+		if res.Levels[i].Domains < 2*res.Levels[i-1].Domains {
+			t.Errorf("level %d has %d domains, want >= 2x previous %d",
+				i, res.Levels[i].Domains, res.Levels[i-1].Domains)
+		}
+	}
+}
+
+// fitSlope returns the least-squares slope of y against x.
+func fitSlope(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}
+
+func TestTransferAndAccessBothCharged(t *testing.T) {
+	_, meter := runLine(t, 16, 16, 1, 4)
+	if meter.Total(cost.Transfer) == 0 {
+		t.Error("no Transfer charges: preboundary copies not happening")
+	}
+	if meter.Total(cost.Access) == 0 {
+		t.Error("no Access charges")
+	}
+	if meter.Total(cost.Compute) != 16*16 {
+		t.Errorf("compute = %v, want one op per vertex = 256", meter.Total(cost.Compute))
+	}
+}
+
+func TestExecuteSubdomainFailsWithoutPreboundary(t *testing.T) {
+	// Executing an interior diamond without its preboundary loaded must
+	// fail loudly, not silently fabricate operands.
+	g := dag.NewLineGraph(16, 16)
+	d := lattice.NewDiamond(10, -4, 6, lattice.ClipAll1D(16, 16))
+	if d.Size() == 0 {
+		t.Fatal("test domain empty")
+	}
+	var meter cost.Meter
+	mach := hram.New(4096, hram.Standard(1, 1), &meter)
+	ex := &Executor{G: g, Prog: hashProg{}}
+	if _, err := ex.Execute(mach, d); err == nil {
+		t.Fatal("interior domain executed without preboundary")
+	}
+}

@@ -1,0 +1,30 @@
+package simulate
+
+import "testing"
+
+func BenchmarkBlockedD1Small(b *testing.B) {
+	prog := netProg(0)
+	for i := 0; i < b.N; i++ {
+		if _, err := BlockedD1(64, 4, 32, 0, prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNaiveD1Small(b *testing.B) {
+	prog := netProg(0)
+	for i := 0; i < b.N; i++ {
+		if _, err := Naive(1, 64, 4, 2, 16, prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoopBlock(b *testing.B) {
+	prog := netProg(0)
+	for i := 0; i < b.N; i++ {
+		if _, err := CoopBlock(256, 8, 4, 8, 16, prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

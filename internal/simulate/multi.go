@@ -1,0 +1,261 @@
+package simulate
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"bsmp/internal/analytic"
+	"bsmp/internal/cost"
+	"bsmp/internal/lattice"
+	"bsmp/internal/network"
+	"bsmp/internal/perm"
+)
+
+// MultiOptions configure the multiprocessor simulation; the zero value is
+// the paper's full scheme. The ablation flags disable individual
+// mechanisms to measure how load-bearing each one is (DESIGN.md § 6).
+type MultiOptions struct {
+	// StripWidth overrides the strip width s; 0 selects the paper's
+	// optimum s* (rounded to a power of two dividing n/p).
+	StripWidth int
+	// NoRearrange skips the π = π2π1 memory rearrangement: Regime 1
+	// relocations and cooperating-mode exchanges then occur at the
+	// original Θ(n)-scale distances instead of Θ(n/p).
+	NoRearrange bool
+	// NoCooperate disables the cooperating execution mode: diamonds
+	// sitting across strip boundaries are executed solo by one
+	// processor, which must pull the remote half of the preboundary —
+	// s·m memory words instead of s broadcast words.
+	NoCooperate bool
+}
+
+// MultiResult extends Result with the multiprocessor-specific accounting.
+type MultiResult struct {
+	Result
+	// PrepTime is the one-time rearrangement cost (the paper amortizes
+	// it over repeated simulation cycles; it is excluded from Time).
+	PrepTime cost.Time
+	// StripWidth is the strip width s actually used.
+	StripWidth int
+	// Regime1Levels is the number of relocation levels executed.
+	Regime1Levels int
+	// Domains is the number of D(p·s) domains processed in Regime 2.
+	Domains int
+}
+
+// MultiD1 runs Theorem 4's simulation of M1(n, n, m) on M1(n, p, m):
+//
+//  1. the initial data, viewed as q = n/s strips of width s, is
+//     rearranged by π = π2·π1 so that originally adjacent strips are
+//     either adjacent or exactly q/p strips apart (perm package);
+//  2. Regime 1 relocates data down log2(n/(p·s)) levels of the diamond
+//     recursion, each level costing Θ(n²m/p²) wall time thanks to the
+//     p-fold distance reduction the rearrangement bought;
+//  3. Regime 2 processes the Θ((n/ps)²) domains of type D(p·s)
+//     sequentially; each takes 2p-1 stages in which every processor
+//     executes one diamond D(s) of its zig-zag band (Figure 2) — solo on
+//     odd stages, cooperating with a neighbor on even stages, exchanging
+//     the Θ(s) broadcast values that cross the shared diagonal as a
+//     message over distance n/p.
+//
+// Fidelity: the guest state advances functionally (exactly); costs are
+// charged per phase, with the per-diamond execution kernel measured by a
+// real BlockedD1 run of the same (s, m) geometry (per-address fidelity),
+// and the relocation/exchange phases charged at the word-and-distance
+// granularity derived in the comments below. See DESIGN.md's fidelity
+// ladder.
+func MultiD1(n, p, m, steps int, prog network.Program, opts MultiOptions) (MultiResult, error) {
+	if p < 1 || n%p != 0 {
+		return MultiResult{}, fmt.Errorf("simulate: need p | n, got n=%d p=%d", n, p)
+	}
+	if p == 1 {
+		// Degenerate case: Theorem 3's machinery.
+		r, err := BlockedD1(n, m, steps, 0, prog)
+		return MultiResult{Result: r, StripWidth: n}, err
+	}
+	s := opts.StripWidth
+	if s <= 0 {
+		s = roundToPow2Divisor(analytic.OptimalS(n, m, p), n/p)
+	}
+	if s < 1 || (n/p)%s != 0 {
+		return MultiResult{}, fmt.Errorf("simulate: strip width %d must divide n/p = %d", s, n/p)
+	}
+	q := n / s
+	pi := perm.New(q, p)
+	_ = pi // the permutation's properties are what license the distance
+	// charges below; its action on strip indices is exercised in tests.
+
+	bank := cost.NewBank(p)
+	nf, pf, mf, sf := float64(n), float64(p), float64(m), float64(s)
+
+	// The per-diamond execution kernel is measured from a real Theorem 3
+	// execution, which carries the machinery's constant factor (stack
+	// staging, read+write per moved word). The relocation and exchange
+	// phases below are derived as word·distance counts with unit
+	// constants; to keep the phases commensurate — as they would be if
+	// one machine executed all of them — they are scaled by the kernel's
+	// measured-over-theoretical constant κ.
+	kernel, err := diamondKernel(s, m, prog)
+	if err != nil {
+		return MultiResult{}, err
+	}
+	theoryExec := sf * sf / 2 * math.Min(sf, mf*analytic.Log(sf/mf))
+	kappa := float64(kernel) / theoryExec
+	if kappa < 1 {
+		kappa = 1
+	}
+
+	// Phase 0: rearrangement. n·m words move distance Θ(n) with p-fold
+	// parallelism: per processor, (n·m/p) words at average distance n/2.
+	for i := 0; i < p; i++ {
+		bank.Proc(i).Charge(cost.Transfer, kappa*nf*mf/pf*nf/2)
+	}
+	prep := bank.Barrier()
+
+	// Phase 1: Regime 1 — relocation levels. Level k moves 2^k·n·m words
+	// at geometric distance (n/2^k)/p (rearranged) or n/2^k (ablated):
+	// the 2^k factors cancel, so every level costs n²m/(distDiv·p) wall
+	// time per processor — the paper's Θ(n²m/p²) with rearrangement.
+	// (A word moved across guest-volume distance D occupies D·m memory
+	// addresses, and f(x) = x/m, so the per-word cost is D independent
+	// of m.)
+	levels := 0
+	if s < n/p {
+		levels = int(math.Round(math.Log2(nf / (pf * sf))))
+	}
+	distDiv := pf
+	if opts.NoRearrange {
+		distDiv = 1
+	}
+	perLevelPerProc := kappa * nf * mf * (nf / distDiv) / pf
+	for k := 1; k <= levels; k++ {
+		for i := 0; i < p; i++ {
+			bank.Proc(i).Charge(cost.Transfer, perLevelPerProc)
+		}
+	}
+
+	// Phase 2: Regime 2 — the (n/ps)² domains of D(p·s), 2p-1 stages each.
+	cells := lattice.DiamondGrid(n, steps+1, p*s)
+	numDomains := len(cells)
+	exchDist := nf / pf
+	if opts.NoRearrange {
+		exchDist = nf / 2
+	}
+	for range cells {
+		// 2p-1 stages: p-1 solo, p cooperating.
+		solo := float64(p - 1)
+		coop := float64(p)
+		var stageExtra float64
+		if opts.NoCooperate {
+			// Solo execution of shared diamonds: pull s·m remote words
+			// through memory, each paying the exchange distance.
+			stageExtra = kappa * sf * mf * exchDist
+		} else {
+			// Exchange Θ(s) broadcast values over the link, each paying
+			// the full distance (no pipelining, as in the paper's
+			// per-item accounting "in time O(s·n/p)").
+			stageExtra = kappa * sf * exchDist
+		}
+		for i := 0; i < p; i++ {
+			bank.Proc(i).Charge(cost.Compute, (solo+coop)*float64(kernel))
+			if opts.NoCooperate {
+				bank.Proc(i).Charge(cost.Transfer, coop*stageExtra)
+			} else {
+				bank.Proc(i).Charge(cost.Message, coop*stageExtra)
+			}
+		}
+		bank.Barrier()
+	}
+	elapsed := bank.MaxNow() - prep
+
+	// Functional execution (exact): the schedule above is a topological
+	// execution of the same dag, so the state evolution is the guest's.
+	outs, mems := network.RunGuestPure(1, n, m, steps, prog)
+
+	return MultiResult{
+		Result: Result{
+			Outputs:  outs,
+			Memories: mems,
+			Time:     elapsed,
+			Ledger:   bank.Ledgers(),
+			Steps:    steps,
+		},
+		PrepTime:      prep,
+		StripWidth:    s,
+		Regime1Levels: levels,
+		Domains:       numDomains,
+	}, nil
+}
+
+// MultiD1Cycles simulates cycles·n guest steps by repeating the n-step
+// simulation of MultiD1 (the paper's "for larger values of Tn, it is
+// sufficient to repeat the n-step simulation ⌈Tn/n⌉ times"), so the
+// one-time rearrangement cost amortizes: the reported Time includes the
+// preprocessing once plus cycles executions, and the effective slowdown
+// converges to the steady-state (n/p)·A(n, m, p) as cycles grows — "its
+// cost gives a contribution to the slowdown that vanishes as the number
+// of simulated steps increases" (Section 4.2).
+func MultiD1Cycles(n, p, m, cycles int, prog network.Program, opts MultiOptions) (MultiResult, error) {
+	if cycles < 1 {
+		return MultiResult{}, fmt.Errorf("simulate: cycles %d < 1", cycles)
+	}
+	one, err := MultiD1(n, p, m, n, prog, opts)
+	if err != nil {
+		return MultiResult{}, err
+	}
+	total := one.PrepTime + cost.Time(cycles)*one.Time
+	outs, mems := network.RunGuestPure(1, n, m, cycles*n, prog)
+	res := one
+	res.Outputs = outs
+	res.Memories = mems
+	res.Time = total
+	res.Steps = cycles * n
+	return res, nil
+}
+
+// kernelCache memoizes measured diamond-execution kernels per (s, m).
+var kernelCache sync.Map // [2]int -> cost.Time
+
+// diamondKernel measures the time to execute one diamond D(s) with memory
+// density m by running the real Theorem 3 executor on an s × s computation
+// (two diamonds' worth of vertices) and halving.
+func diamondKernel(s, m int, prog network.Program) (cost.Time, error) {
+	key := [2]int{s, m}
+	if v, ok := kernelCache.Load(key); ok {
+		return v.(cost.Time), nil
+	}
+	if s < 2 {
+		// A width-1 strip: one vertex per step, executed in place.
+		kernelCache.Store(key, cost.Time(4))
+		return 4, nil
+	}
+	res, err := BlockedD1(s, m, s, 0, prog)
+	if err != nil {
+		return 0, err
+	}
+	k := res.Time / 2
+	kernelCache.Store(key, k)
+	return k, nil
+}
+
+// roundToPow2Divisor rounds target to the nearest power of two in [1, cap]
+// (cap itself must be a power of two for exact divisibility).
+func roundToPow2Divisor(target float64, cap int) int {
+	if target < 1 {
+		target = 1
+	}
+	e := math.Round(math.Log2(target))
+	s := int(math.Exp2(e))
+	if s < 1 {
+		s = 1
+	}
+	for s > cap {
+		s /= 2
+	}
+	// Ensure divisibility even when cap is not a power of two.
+	for s > 1 && cap%s != 0 {
+		s /= 2
+	}
+	return s
+}

@@ -1,0 +1,148 @@
+package simulate
+
+import (
+	"fmt"
+
+	"bsmp/internal/hram"
+	"bsmp/internal/network"
+)
+
+// Naive runs the naive simulation of Proposition 1 (p = 1) and its
+// parallel version from Section 4.2 (p > 1): host processor i mimics the
+// guest nodes of its region step by step, holding their full state —
+// m memory cells plus the broadcast value — in its own hierarchical
+// memory and paying the access function on every touched word.
+//
+// State layout per host node: guest node v at local index ℓ occupies the
+// block [ℓ·(m+1), (ℓ+1)·(m+1)); its broadcast value lives in the block's
+// last word. The host is built with density m+1 so the geometry accounts
+// for the broadcast word.
+//
+// Boundary traffic: at every step, host neighbors exchange the broadcast
+// values of the guest nodes on their shared region boundary as messages at
+// the host's node spacing (n/p)^(1/d).
+//
+// The expected slowdown is Θ((n/p)^(1+1/d)): per guest step, each host
+// processor performs n/p block accesses at average address Θ((n/p)·m),
+// i.e. average latency Θ((n/p)^(1/d)).
+func Naive(d, n, p, m, steps int, prog network.Program) (Result, error) {
+	host := network.New(d, n, p, m+1)
+	perHost := n / p
+	b := make([]hram.Word, n)
+	prevB := make([]hram.Word, n)
+
+	// regionOf maps a guest node to (host index, local index).
+	var regionOf func(v int) (hostIdx, local int)
+	var guestSide, patch int
+	if d == 1 {
+		regionOf = func(v int) (int, int) { return v / perHost, v % perHost }
+	} else {
+		guestSide = intSqrtExact(n)
+		patch = intSqrtExact(perHost)
+		hostSide := host.Side()
+		regionOf = func(v int) (int, int) {
+			gx, gy := v%guestSide, v/guestSide
+			hi := (gy/patch)*hostSide + gx/patch
+			local := (gy%patch)*patch + gx%patch
+			return hi, local
+		}
+	}
+	blockOf := func(v int) (hostIdx, base int) {
+		hi, l := regionOf(v)
+		return hi, l * (m + 1)
+	}
+
+	// Load initial state (free, as in the guest machine's convention).
+	mem := make([]hram.Word, m)
+	for v := 0; v < n; v++ {
+		for i := range mem {
+			mem[i] = 0
+		}
+		b[v] = prog.Init(v, mem)
+		hi, base := blockOf(v)
+		for i, w := range mem {
+			host.Nodes[hi].Poke(base+i, w)
+		}
+		host.Nodes[hi].Poke(base+m, b[v])
+	}
+
+	// Guest adjacency (on the guest's own grid, not the host's).
+	guest := network.New(d, n, n, 1)
+	var nbuf []int
+	ops := make([]hram.Word, 0, 5)
+
+	start := host.Elapsed()
+	for t := 1; t <= steps; t++ {
+		copy(prevB, b)
+		// Boundary exchange: for every guest edge crossing host regions,
+		// the owning hosts send each other the broadcast values.
+		for v := 0; v < n; v++ {
+			hv, _ := regionOf(v)
+			nbuf = guest.Neighbors(v, nbuf[:0])
+			for _, u := range nbuf {
+				if hu, _ := regionOf(u); hu != hv {
+					// u's value travels to v's host.
+					host.Send(hu, hv, 1)
+				}
+			}
+		}
+		// Local simulation of each region.
+		for v := 0; v < n; v++ {
+			hv, base := blockOf(v)
+			node := host.Nodes[hv]
+			addr := base + prog.Address(v, t, m)
+			cell := node.Read(addr)
+			ops = ops[:0]
+			ops = append(ops, prevB[v])
+			nbuf = guest.Neighbors(v, nbuf[:0])
+			for _, u := range nbuf {
+				if hu, baseU := blockOf(u); hu == hv {
+					// Charge the stored-value read; the value used is
+					// the previous step's (the host double-buffers
+					// broadcast words, same cost up to a constant).
+					node.Read(baseU + m)
+					ops = append(ops, prevB[u])
+				} else {
+					// Received by message this step; already charged.
+					ops = append(ops, prevB[u])
+				}
+			}
+			out, cellOut := prog.Step(v, t, cell, ops)
+			node.Op()
+			node.Write(addr, cellOut)
+			node.Write(base+m, out)
+			b[v] = out
+		}
+		host.Bank.Barrier()
+	}
+	elapsed := host.Elapsed() - start
+
+	out := make([]hram.Word, n)
+	copy(out, b)
+	mems := make([][]hram.Word, n)
+	for v := 0; v < n; v++ {
+		hi, base := blockOf(v)
+		mems[v] = make([]hram.Word, m)
+		for i := 0; i < m; i++ {
+			mems[v][i] = host.Nodes[hi].Peek(base + i)
+		}
+	}
+	return Result{
+		Outputs:  out,
+		Memories: mems,
+		Time:     elapsed,
+		Ledger:   host.Bank.Ledgers(),
+		Steps:    steps,
+	}, nil
+}
+
+func intSqrtExact(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	if r*r != n {
+		panic(fmt.Sprintf("simulate: %d is not a perfect square", n))
+	}
+	return r
+}
