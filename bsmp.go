@@ -237,7 +237,15 @@ func BlockedMatmul(sq int, a, b []Word) ([]Word, Time) { return guest.BlockedMat
 type ExperimentTable = exp.Table
 
 // RunAllExperiments reproduces every table and figure of the paper
-// (quick selects reduced sizes).
+// (quick selects reduced sizes). Experiments run concurrently on up to
+// GOMAXPROCS workers; output order matches the sequential battery.
 func RunAllExperiments(quick bool) ([]*ExperimentTable, error) {
 	return exp.All(exp.Scale{Quick: quick})
+}
+
+// RunAllExperimentsSequential is RunAllExperiments on a single worker,
+// for profiling runs where interleaved experiments would muddy the
+// profile.
+func RunAllExperimentsSequential(quick bool) ([]*ExperimentTable, error) {
+	return exp.AllSequential(exp.Scale{Quick: quick})
 }

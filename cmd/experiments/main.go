@@ -14,17 +14,33 @@ import (
 	"time"
 
 	"bsmp"
+	"bsmp/internal/profiling"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced sizes (seconds instead of minutes)")
 	md := flag.Bool("md", false, "emit markdown instead of plain tables")
 	asJSON := flag.Bool("json", false, "emit the tables as JSON")
+	seq := flag.Bool("seq", false, "run experiments sequentially (one worker)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	start := time.Now()
-	tabs, err := bsmp.RunAllExperiments(*quick)
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	run := bsmp.RunAllExperiments
+	if *seq {
+		run = bsmp.RunAllExperimentsSequential
+	}
+	tabs, err := run(*quick)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := stopProf(); err != nil {
 		log.Fatal(err)
 	}
 	if *asJSON {

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"bsmp"
+	"bsmp/internal/profiling"
 )
 
 func main() {
@@ -31,7 +32,19 @@ func main() {
 	steps := flag.Int("steps", 64, "guest steps to simulate when measuring")
 	sweep := flag.Bool("sweep", false, "dyadic m sweep with an ASCII curve of A(n,m,p)")
 	csv := flag.Bool("csv", false, "emit CSV instead of the aligned table")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	if *sweep {
 		runSweep(*d, *n, *p, *csv)

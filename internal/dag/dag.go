@@ -18,6 +18,7 @@ package dag
 
 import (
 	"fmt"
+	"sync"
 
 	"bsmp/internal/lattice"
 )
@@ -44,6 +45,10 @@ type Graph interface {
 	Steps() int
 	// Nodes reports the number of network nodes |N| (vertices per layer).
 	Nodes() int
+	// Bounds reports the finite box containing every vertex of the dag,
+	// the basis for the dense lattice.Indexer address tables used by the
+	// executors in place of Point-keyed hash maps.
+	Bounds() lattice.Clip
 }
 
 // LineGraph is G_T(M1(n, n, 1)): the n-node linear array run for T steps.
@@ -105,6 +110,9 @@ func (g LineGraph) Nodes() int { return g.N }
 // Domain returns the full computation domain of the dag as a lattice
 // domain (the bounding diamond clipped to V).
 func (g LineGraph) Domain() lattice.Domain { return lattice.DiamondAround(g.N, g.T) }
+
+// Bounds implements Graph.
+func (g LineGraph) Bounds() lattice.Clip { return lattice.ClipAll1D(g.N, g.T) }
 
 // MeshGraph is G_T(M2(n, n, 1)) with n = Side²: the Side × Side mesh run
 // for T steps. Vertex (x, y, t); predecessors are the von Neumann stencil
@@ -182,6 +190,9 @@ func (g MeshGraph) Nodes() int { return g.Side * g.Side }
 // domain (the bounding octahedron clipped to V).
 func (g MeshGraph) Domain() lattice.Domain { return lattice.Box4Around(g.Side, g.T) }
 
+// Bounds implements Graph.
+func (g MeshGraph) Bounds() lattice.Clip { return lattice.ClipAll2D(g.Side, g.T) }
+
 // CubeGraph is G_T(M3(n, n, 1)) with n = Side³: the Side × Side × Side
 // cube mesh run for T steps — the d = 3 machine of the paper's concluding
 // conjecture. Vertex (x, y, z, t); predecessors are the 7-point stencil
@@ -253,6 +264,9 @@ func (g CubeGraph) Nodes() int { return g.Side * g.Side * g.Side }
 // central Box6 clipped to V).
 func (g CubeGraph) Domain() lattice.Domain { return lattice.Box6Around(g.Side, g.T) }
 
+// Bounds implements Graph.
+func (g CubeGraph) Bounds() lattice.Clip { return lattice.ClipAll3D(g.Side, g.T) }
+
 // Program assigns values to a dag: inputs at t = 0 and a step rule above.
 type Program interface {
 	// Input returns the value of input vertex v (v.T == 0).
@@ -262,24 +276,34 @@ type Program interface {
 	Step(v lattice.Point, operands []Value) Value
 }
 
+// seenPool recycles the dense dedup set of Preboundary: the recursive
+// space and execution walks call Preboundary for every partition node, and
+// pooling keeps that from allocating (and zeroing) a fresh set per call.
+// Sets are returned to the pool drained, so Reset is O(1).
+var seenPool = sync.Pool{New: func() any { return &lattice.PointSet{} }}
+
 // Preboundary returns Γin(U): the set of dag vertices outside the domain
 // that are predecessors of vertices inside it (Section 3 of the paper).
 // Only vertices of g count; stencil positions outside the machine are not
 // generated by Preds and therefore never appear.
 func Preboundary(g Graph, dom lattice.Domain) []lattice.Point {
-	seen := make(map[lattice.Point]bool)
+	seen := seenPool.Get().(*lattice.PointSet)
+	seen.Reset(lattice.NewIndexer(g.Bounds()))
 	var out []lattice.Point
 	var buf []lattice.Point
 	dom.Points(func(p lattice.Point) bool {
 		buf = g.Preds(p, buf[:0])
 		for _, q := range buf {
-			if !dom.Contains(q) && !seen[q] {
-				seen[q] = true
+			if !dom.Contains(q) && seen.Add(q) {
 				out = append(out, q)
 			}
 		}
 		return true
 	})
+	for _, q := range out {
+		seen.Remove(q)
+	}
+	seenPool.Put(seen)
 	return out
 }
 
@@ -314,18 +338,25 @@ func LiveOut(g Graph, dom lattice.Domain) []lattice.Point {
 // exactly the given vertex set: every vertex appears once, and every
 // predecessor inside the set appears earlier.
 func IsTopologicalOrder(g Graph, order []lattice.Point) bool {
-	pos := make(map[lattice.Point]int, len(order))
+	ix := lattice.NewIndexer(g.Bounds())
+	pos := lattice.NewAddrTable(ix)
 	for i, p := range order {
-		if _, dup := pos[p]; dup {
+		if !ix.Contains(p) {
+			// Not a vertex of g: it can have no in-set predecessors and
+			// cannot collide with any vertex index, but duplicates of it
+			// would need a side table; reject such orders outright.
 			return false
 		}
-		pos[p] = i
+		if _, dup := pos.Get(p); dup {
+			return false
+		}
+		pos.Set(p, i)
 	}
 	var buf []lattice.Point
 	for i, p := range order {
 		buf = g.Preds(p, buf[:0])
 		for _, q := range buf {
-			if j, in := pos[q]; in && j > i {
+			if j, in := pos.Get(q); in && j > i {
 				return false
 			}
 		}

@@ -1,0 +1,27 @@
+package exp
+
+import "testing"
+
+// BenchmarkExpAll compares the concurrent experiment battery against the
+// single-worker path on the quick scale. On a multi-core host the
+// parallel variant wins wall-clock roughly linearly in min(GOMAXPROCS,
+// 17 experiments); on one core the two coincide (the pool degenerates to
+// a single worker). Per-op allocations are the same work either way.
+func BenchmarkExpAll(b *testing.B) {
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := All(Scale{Quick: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := AllSequential(Scale{Quick: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,8 +1,11 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"bsmp/internal/analytic"
 	"bsmp/internal/cost"
@@ -708,16 +711,56 @@ func Coop(s Scale) (*Table, error) {
 	return t, nil
 }
 
-// All runs every E-* experiment in order.
+// allFns is the E-* experiment battery, in publication order.
+var allFns = []func(Scale) (*Table, error){
+	P1, ISA, T2, T3, T3D2, T4, T5, T1D2, D3, D3Multi, MM, SStar, Ablations, Levels, Coop, Pipe, MPrime,
+}
+
+// All runs every E-* experiment concurrently on up to GOMAXPROCS workers
+// and returns the tables in the same order the sequential battery always
+// produced. Experiments are independent — each builds its own guests,
+// graphs, and meters; the only shared state is the simulate package's
+// kernel caches, which are sync.Maps. An experiment failure does not stop
+// the others; all failures are reported together via errors.Join, in
+// battery order, so the error text is deterministic.
 func All(s Scale) ([]*Table, error) {
-	type fn func(Scale) (*Table, error)
-	var out []*Table
-	for _, f := range []fn{P1, ISA, T2, T3, T3D2, T4, T5, T1D2, D3, D3Multi, MM, SStar, Ablations, Levels, Coop, Pipe, MPrime} {
-		t, err := f(s)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, t)
+	return all(s, runtime.GOMAXPROCS(0))
+}
+
+// AllSequential runs the battery on a single worker: the seed's behavior,
+// kept for benchmark comparison (BenchmarkExpAll) and for profiling runs
+// where interleaved experiments would muddy the profile.
+func AllSequential(s Scale) ([]*Table, error) {
+	return all(s, 1)
+}
+
+func all(s Scale, workers int) ([]*Table, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(allFns) {
+		workers = len(allFns)
+	}
+	out := make([]*Table, len(allFns))
+	errs := make([]error, len(allFns))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i], errs[i] = allFns[i](s)
+			}
+		}()
+	}
+	for i := range allFns {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	figs, err := Figures()
 	if err != nil {

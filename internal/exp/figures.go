@@ -195,6 +195,10 @@ func (unboundedMesh) Contains(lattice.Point) bool { return true }
 func (unboundedMesh) Steps() int                  { return 1 << 30 }
 func (unboundedMesh) Nodes() int                  { return 1 << 30 }
 
+// Bounds is nominally unbounded; too large for a lattice.Indexer, which
+// validatePartition never builds.
+func (unboundedMesh) Bounds() lattice.Clip { return lattice.UnboundedClip() }
+
 func (unboundedMesh) Preds(v lattice.Point, buf []lattice.Point) []lattice.Point {
 	t := v.T - 1
 	return append(buf,
@@ -348,6 +352,10 @@ type unboundedCube struct{}
 func (unboundedCube) Contains(lattice.Point) bool { return true }
 func (unboundedCube) Steps() int                  { return 1 << 30 }
 func (unboundedCube) Nodes() int                  { return 1 << 30 }
+
+// Bounds is nominally unbounded; too large for a lattice.Indexer, which
+// validatePartition never builds.
+func (unboundedCube) Bounds() lattice.Clip { return lattice.UnboundedClip() }
 
 func (unboundedCube) Preds(v lattice.Point, buf []lattice.Point) []lattice.Point {
 	t := v.T - 1

@@ -48,3 +48,57 @@ func BenchmarkFigureOnePartition(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkIndexerVsMap compares the two Point -> address representations
+// on the executors' hot pattern: populate every point of a domain, look
+// each up, then remove it. The dense AddrTable is the production path;
+// the map variant is the seed implementation kept here as the baseline.
+func BenchmarkIndexerVsMap(b *testing.B) {
+	d := NewDiamond(0, 0, 128, UnboundedClip())
+	b.Run("addrtable", func(b *testing.B) {
+		tab := NewAddrTable(IndexerFor(d))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			d.Points(func(p Point) bool {
+				tab.Set(p, n)
+				n++
+				return true
+			})
+			d.Points(func(p Point) bool {
+				if _, ok := tab.Get(p); !ok {
+					b.Fatal("missing")
+				}
+				return true
+			})
+			d.Points(func(p Point) bool {
+				tab.Delete(p)
+				return true
+			})
+		}
+	})
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m := make(map[Point]int)
+			n := 0
+			d.Points(func(p Point) bool {
+				m[p] = n
+				n++
+				return true
+			})
+			d.Points(func(p Point) bool {
+				if _, ok := m[p]; !ok {
+					b.Fatal("missing")
+				}
+				return true
+			})
+			d.Points(func(p Point) bool {
+				delete(m, p)
+				return true
+			})
+		}
+	})
+}

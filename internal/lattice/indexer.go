@@ -1,0 +1,244 @@
+package lattice
+
+import "fmt"
+
+// Indexer is a bijection between the lattice points of a finite
+// axis-aligned box and the dense range [0, Len()). It is the address
+// arithmetic behind the executors' flat location tables: where the seed
+// implementation hashed every Point into a map on the innermost loops,
+// Index and Deindex are a handful of integer operations, and the backing
+// arrays they address are allocated once per execution and reused across
+// every recursion level.
+//
+// Indices ascend in (T, Z, Y, X) order: consecutive X values are adjacent,
+// one time layer occupies one contiguous block. Either coordinate order
+// would do for a bijection; this one keeps a domain's Points enumeration
+// (ascending (T, X, Y)) within one layer-sized window of the table, which
+// is as cache-friendly as the access pattern allows.
+type Indexer struct {
+	x0, y0, z0, t0 int
+	nx, ny, nz, nt int
+}
+
+// NewIndexer returns the Indexer of the given box. The box must be
+// bounded and small enough that its volume fits in an int; use
+// BoundingClip to derive a tight finite box from a domain.
+func NewIndexer(c Clip) Indexer {
+	if c.Empty() {
+		return Indexer{}
+	}
+	return Indexer{
+		x0: c.X0, y0: c.Y0, z0: c.Z0, t0: c.T0,
+		nx: c.X1 - c.X0, ny: c.Y1 - c.Y0, nz: c.Z1 - c.Z0, nt: c.T1 - c.T0,
+	}
+}
+
+// IndexerFor returns the Indexer of the domain's bounding box: an O(1)
+// Point<->int bijection covering every point of a Diamond, Box4, or Box6.
+func IndexerFor(dom Domain) Indexer { return NewIndexer(BoundingClip(dom)) }
+
+// Len reports the number of lattice points the Indexer covers.
+func (ix Indexer) Len() int { return ix.nx * ix.ny * ix.nz * ix.nt }
+
+// Bounds reports the covered box.
+func (ix Indexer) Bounds() Clip {
+	return Clip{
+		X0: ix.x0, X1: ix.x0 + ix.nx,
+		Y0: ix.y0, Y1: ix.y0 + ix.ny,
+		Z0: ix.z0, Z1: ix.z0 + ix.nz,
+		T0: ix.t0, T1: ix.t0 + ix.nt,
+	}
+}
+
+// Contains reports whether p lies inside the covered box.
+func (ix Indexer) Contains(p Point) bool {
+	x, y, z, t := p.X-ix.x0, p.Y-ix.y0, p.Z-ix.z0, p.T-ix.t0
+	return x >= 0 && x < ix.nx && y >= 0 && y < ix.ny &&
+		z >= 0 && z < ix.nz && t >= 0 && t < ix.nt
+}
+
+// Index maps a point of the covered box to its dense index. The caller
+// must ensure Contains(p); out-of-box points yield indices that collide
+// with in-box ones or fall outside [0, Len()).
+func (ix Indexer) Index(p Point) int {
+	return (((p.T-ix.t0)*ix.nz+(p.Z-ix.z0))*ix.ny+(p.Y-ix.y0))*ix.nx + (p.X - ix.x0)
+}
+
+// Deindex inverts Index.
+func (ix Indexer) Deindex(i int) Point {
+	x := i%ix.nx + ix.x0
+	i /= ix.nx
+	y := i%ix.ny + ix.y0
+	i /= ix.ny
+	z := i%ix.nz + ix.z0
+	return Point{X: x, Y: y, Z: z, T: i/ix.nz + ix.t0}
+}
+
+// BoundingClip returns a tight finite box containing every lattice point
+// of the domain, intersecting the domain's rotated-coordinate ranges with
+// its Clip — finite even under UnboundedClip, because the rotated ranges
+// themselves bound every machine coordinate.
+func BoundingClip(dom Domain) Clip {
+	switch d := dom.(type) {
+	case Diamond:
+		// x = (u-w)/2, t = (u+w)/2 over u in [U0,U0+RU), w in [W0,W0+RW).
+		c := Clip{
+			X0: ceilDiv(d.U0-(d.W0+d.RW-1), 2), X1: floorDiv(d.U0+d.RU-1-d.W0, 2) + 1,
+			Y0: 0, Y1: 1, Z0: 0, Z1: 1,
+			T0: ceilDiv(d.U0+d.W0, 2), T1: floorDiv(d.U0+d.RU-1+d.W0+d.RW-1, 2) + 1,
+		}
+		return c.Intersect(d.Clip)
+	case Box4:
+		c := Clip{
+			X0: ceilDiv(d.A0-(d.B0+d.RB-1), 2), X1: floorDiv(d.A0+d.RA-1-d.B0, 2) + 1,
+			Y0: ceilDiv(d.E0-(d.F0+d.RF-1), 2), Y1: floorDiv(d.E0+d.RE-1-d.F0, 2) + 1,
+			Z0: 0, Z1: 1,
+			T0: ceilDiv(maxInt(d.A0+d.B0, d.E0+d.F0), 2),
+			T1: floorDiv(minInt(d.A0+d.RA-1+d.B0+d.RB-1, d.E0+d.RE-1+d.F0+d.RF-1), 2) + 1,
+		}
+		return c.Intersect(d.Clip)
+	case Box6:
+		c := Clip{
+			X0: ceilDiv(d.A0-(d.B0+d.RB-1), 2), X1: floorDiv(d.A0+d.RA-1-d.B0, 2) + 1,
+			Y0: ceilDiv(d.E0-(d.F0+d.RF-1), 2), Y1: floorDiv(d.E0+d.RE-1-d.F0, 2) + 1,
+			Z0: ceilDiv(d.G0-(d.H0+d.RH-1), 2), Z1: floorDiv(d.G0+d.RG-1-d.H0, 2) + 1,
+			T0: ceilDiv(maxInt(maxInt(d.A0+d.B0, d.E0+d.F0), d.G0+d.H0), 2),
+			T1: floorDiv(minInt(minInt(d.A0+d.RA-1+d.B0+d.RB-1,
+				d.E0+d.RE-1+d.F0+d.RF-1), d.G0+d.RG-1+d.H0+d.RH-1), 2) + 1,
+		}
+		return c.Intersect(d.Clip)
+	default:
+		panic(fmt.Sprintf("lattice: BoundingClip does not support %T", dom))
+	}
+}
+
+// Intersect returns the box common to c and o.
+func (c Clip) Intersect(o Clip) Clip {
+	return Clip{
+		X0: maxInt(c.X0, o.X0), X1: minInt(c.X1, o.X1),
+		Y0: maxInt(c.Y0, o.Y0), Y1: minInt(c.Y1, o.Y1),
+		Z0: maxInt(c.Z0, o.Z0), Z1: minInt(c.Z1, o.Z1),
+		T0: maxInt(c.T0, o.T0), T1: minInt(c.T1, o.T1),
+	}
+}
+
+// AddrTable is a dense Point -> address table over an Indexer's box: the
+// flat-array replacement for the executors' map[Point]int location
+// tables. Absent entries are the sentinel -1; addresses must fit int32
+// (machine sizes here are far below 2³¹ words). The zero value is unusable;
+// allocate with NewAddrTable and reuse via Reset.
+type AddrTable struct {
+	ix    Indexer
+	slots []int32
+}
+
+// NewAddrTable returns an empty table covering ix's box.
+func NewAddrTable(ix Indexer) *AddrTable {
+	t := &AddrTable{ix: ix}
+	t.slots = make([]int32, ix.Len())
+	for i := range t.slots {
+		t.slots[i] = -1
+	}
+	return t
+}
+
+// Indexer reports the table's index mapping.
+func (t *AddrTable) Indexer() Indexer { return t.ix }
+
+// Reset clears the table, reusing the backing array when the new box fits.
+func (t *AddrTable) Reset(ix Indexer) {
+	t.ix = ix
+	if n := ix.Len(); n <= cap(t.slots) {
+		t.slots = t.slots[:n]
+	} else {
+		t.slots = make([]int32, n)
+	}
+	for i := range t.slots {
+		t.slots[i] = -1
+	}
+}
+
+// Get returns the address stored for p, if any.
+func (t *AddrTable) Get(p Point) (int, bool) {
+	a := t.slots[t.ix.Index(p)]
+	return int(a), a >= 0
+}
+
+// Set stores addr for p. addr must be non-negative.
+func (t *AddrTable) Set(p Point, addr int) {
+	if addr < 0 || int64(addr) > 1<<31-1 {
+		panic(fmt.Sprintf("lattice: address %d out of int32 range", addr))
+	}
+	t.slots[t.ix.Index(p)] = int32(addr)
+}
+
+// Delete removes p's entry.
+func (t *AddrTable) Delete(p Point) { t.slots[t.ix.Index(p)] = -1 }
+
+// PointSet is a dense bitset of lattice points over an Indexer's box —
+// the flat replacement for map[Point]bool membership sets. Adds are
+// tracked so the set can be drained in O(elements added) rather than
+// O(box volume), which is what makes one scratch set reusable across
+// every recursion level of an execution.
+type PointSet struct {
+	ix    Indexer
+	words []uint64
+	n     int
+}
+
+// NewPointSet returns an empty set over ix's box.
+func NewPointSet(ix Indexer) *PointSet {
+	return &PointSet{ix: ix, words: make([]uint64, (ix.Len()+63)/64)}
+}
+
+// Reset empties the set and re-targets it to ix's box, reusing the
+// backing words when they fit. The zeroing is O(box volume) only when
+// elements remain; a set drained with Remove resets for free.
+func (s *PointSet) Reset(ix Indexer) {
+	need := (ix.Len() + 63) / 64
+	dirty := s.n != 0
+	if need <= cap(s.words) {
+		s.words = s.words[:need]
+	} else {
+		s.words = make([]uint64, need)
+		dirty = false
+	}
+	if dirty {
+		for i := range s.words {
+			s.words[i] = 0
+		}
+	}
+	s.ix = ix
+	s.n = 0
+}
+
+// Len reports the number of points in the set.
+func (s *PointSet) Len() int { return s.n }
+
+// Add inserts p, reporting whether it was absent.
+func (s *PointSet) Add(p Point) bool {
+	i := s.ix.Index(p)
+	w, b := i>>6, uint64(1)<<(i&63)
+	if s.words[w]&b != 0 {
+		return false
+	}
+	s.words[w] |= b
+	s.n++
+	return true
+}
+
+// Has reports whether p is in the set.
+func (s *PointSet) Has(p Point) bool {
+	i := s.ix.Index(p)
+	return s.words[i>>6]&(uint64(1)<<(i&63)) != 0
+}
+
+// Remove deletes p if present.
+func (s *PointSet) Remove(p Point) {
+	i := s.ix.Index(p)
+	w, b := i>>6, uint64(1)<<(i&63)
+	if s.words[w]&b != 0 {
+		s.words[w] &^= b
+		s.n--
+	}
+}

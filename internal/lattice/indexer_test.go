@@ -1,0 +1,162 @@
+package lattice
+
+import "testing"
+
+// sampleDomains covers all three separator domain shapes, clipped and
+// unclipped, including recursion children (whose rotated-coordinate
+// origins are away from zero).
+func sampleDomains() []Domain {
+	var doms []Domain
+	d := NewDiamond(0, 0, 16, ClipAll1D(16, 17))
+	doms = append(doms, d)
+	doms = append(doms, d.Children()...)
+	o := FigureThreeOctahedron(8)
+	doms = append(doms, o)
+	doms = append(doms, o.Children()...)
+	b := CentralBox6(4)
+	doms = append(doms, b)
+	doms = append(doms, b.Children()...)
+	return doms
+}
+
+func TestIndexerBijection(t *testing.T) {
+	for _, dom := range sampleDomains() {
+		ix := IndexerFor(dom)
+		seen := make(map[int]Point)
+		n := 0
+		dom.Points(func(p Point) bool {
+			n++
+			if !ix.Contains(p) {
+				t.Fatalf("%v: point %v outside bounding box %v", dom, p, ix.Bounds())
+			}
+			i := ix.Index(p)
+			if i < 0 || i >= ix.Len() {
+				t.Fatalf("%v: index %d of %v outside [0, %d)", dom, i, p, ix.Len())
+			}
+			if q, dup := seen[i]; dup {
+				t.Fatalf("%v: points %v and %v collide at index %d", dom, q, p, i)
+			}
+			seen[i] = p
+			if back := ix.Deindex(i); back != p {
+				t.Fatalf("%v: Deindex(Index(%v)) = %v", dom, p, back)
+			}
+			return true
+		})
+		if n == 0 {
+			t.Fatalf("%v: no points enumerated", dom)
+		}
+		if n != dom.Size() {
+			t.Fatalf("%v: enumerated %d points, Size() = %d", dom, n, dom.Size())
+		}
+	}
+}
+
+func TestBoundingClipTight(t *testing.T) {
+	// Every face of the bounding box must touch at least one domain point:
+	// the box is tight, not merely containing.
+	for _, dom := range sampleDomains() {
+		c := BoundingClip(dom)
+		var hitX0, hitX1, hitT0, hitT1 bool
+		dom.Points(func(p Point) bool {
+			hitX0 = hitX0 || p.X == c.X0
+			hitX1 = hitX1 || p.X == c.X1-1
+			hitT0 = hitT0 || p.T == c.T0
+			hitT1 = hitT1 || p.T == c.T1-1
+			return true
+		})
+		if !hitX0 || !hitX1 || !hitT0 || !hitT1 {
+			t.Errorf("%v: bounding box %v not tight (x0 %v x1 %v t0 %v t1 %v)",
+				dom, c, hitX0, hitX1, hitT0, hitT1)
+		}
+	}
+}
+
+func TestAddrTable(t *testing.T) {
+	d := NewDiamond(0, 0, 8, UnboundedClip())
+	tab := NewAddrTable(IndexerFor(d))
+	n := 0
+	d.Points(func(p Point) bool {
+		if _, ok := tab.Get(p); ok {
+			t.Fatalf("fresh table has entry at %v", p)
+		}
+		tab.Set(p, n)
+		n++
+		return true
+	})
+	i := 0
+	d.Points(func(p Point) bool {
+		a, ok := tab.Get(p)
+		if !ok || a != i {
+			t.Fatalf("Get(%v) = %d, %v; want %d, true", p, a, ok, i)
+		}
+		i++
+		return true
+	})
+	d.Points(func(p Point) bool {
+		tab.Delete(p)
+		if _, ok := tab.Get(p); ok {
+			t.Fatalf("entry at %v survives Delete", p)
+		}
+		return true
+	})
+	// Reset re-targets the same backing storage to a smaller box.
+	small := NewDiamond(0, 0, 4, UnboundedClip())
+	tab.Reset(IndexerFor(small))
+	small.Points(func(p Point) bool {
+		if _, ok := tab.Get(p); ok {
+			t.Fatalf("reset table has entry at %v", p)
+		}
+		return true
+	})
+}
+
+func TestAddrTableSetPanicsOnNegative(t *testing.T) {
+	tab := NewAddrTable(NewIndexer(ClipAll1D(2, 2)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set(p, -1) did not panic")
+		}
+	}()
+	tab.Set(Point{}, -1)
+}
+
+func TestPointSet(t *testing.T) {
+	d := NewDiamond(0, 0, 8, UnboundedClip())
+	s := NewPointSet(IndexerFor(d))
+	var pts []Point
+	d.Points(func(p Point) bool {
+		pts = append(pts, p)
+		return true
+	})
+	for i, p := range pts {
+		if !s.Add(p) {
+			t.Fatalf("Add(%v) reported already present", p)
+		}
+		if s.Add(p) {
+			t.Fatalf("second Add(%v) reported newly added", p)
+		}
+		if s.Len() != i+1 {
+			t.Fatalf("Len() = %d after %d adds", s.Len(), i+1)
+		}
+	}
+	for _, p := range pts {
+		if !s.Has(p) {
+			t.Fatalf("Has(%v) false after Add", p)
+		}
+		s.Remove(p)
+		if s.Has(p) {
+			t.Fatalf("Has(%v) true after Remove", p)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len() = %d after draining", s.Len())
+	}
+	// A drained set must Reset without stale bits even when re-targeted.
+	s.Add(pts[0])
+	s.Reset(s.ix) // dirty reset: zeroing path
+	for _, p := range pts {
+		if s.Has(p) {
+			t.Fatalf("stale bit at %v after dirty Reset", p)
+		}
+	}
+}

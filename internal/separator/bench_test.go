@@ -32,3 +32,23 @@ func BenchmarkSpaceNeededMesh(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkExecutorAddressing measures the full address-management path
+// (dense loc table, live-set scratch, override arenas) by reusing one
+// Executor across iterations — the arena-warm steady state a sweep or
+// experiment battery sees.
+func BenchmarkExecutorAddressing(b *testing.B) {
+	g := dag.NewLineGraph(64, 64)
+	root := g.Domain()
+	space := SpaceNeeded(g, root, 8)
+	ex := &Executor{G: g, Prog: hashProg{}, LeafSize: 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var meter cost.Meter
+		mach := hram.New(space, hram.Standard(1, 1), &meter)
+		if _, err := ex.Execute(mach, root); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -43,8 +43,21 @@ type Executor struct {
 	// LeafSize bounds direct execution; DefaultLeafSize if zero.
 	LeafSize int
 
-	m   *hram.Machine
-	loc map[lattice.Point]int
+	m *hram.Machine
+	// loc is the dense address table: one int32 slot per dag vertex
+	// (lattice.Indexer over G.Bounds()), -1 when the vertex holds no live
+	// value. It replaces the seed's map[lattice.Point]int and is allocated
+	// once per Execute, shared by every recursion level.
+	loc *lattice.AddrTable
+	// live is the scratch live-out membership set. One set suffices for
+	// the whole recursion: it is populated and fully drained between a
+	// child's return and the next child's descent, so no two recursion
+	// levels ever hold it at once (see exec).
+	live *lattice.PointSet
+	// ovStack arenas the per-depth preboundary-override buffers, so the
+	// recursion reuses one backing array per depth instead of allocating
+	// per partition node.
+	ovStack [][]savedLoc
 
 	// maxAddrTouched tracks the peak address, for space-bound checks.
 	maxAddrTouched int
@@ -52,6 +65,13 @@ type Executor struct {
 	spaceMemo map[lattice.Domain]int
 	// levels accumulates per-recursion-depth transfer statistics.
 	levels []LevelStat
+}
+
+// savedLoc remembers a preboundary vertex's parent-level address while the
+// child executes with the vertex rebound to its copied-down slot.
+type savedLoc struct {
+	p    lattice.Point
+	addr int
 }
 
 // LevelStat records the relocation work done at one recursion depth of
@@ -136,7 +156,15 @@ func (e *Executor) Execute(m *hram.Machine, root lattice.Domain) (Result, error)
 		e.LeafSize = DefaultLeafSize
 	}
 	e.m = m
-	e.loc = make(map[lattice.Point]int, root.Size()/4+16)
+	ix := lattice.NewIndexer(e.G.Bounds())
+	if e.loc == nil {
+		e.loc = lattice.NewAddrTable(ix)
+		e.live = lattice.NewPointSet(ix)
+	} else {
+		// Executor reuse: retarget the arenas, keeping their storage.
+		e.loc.Reset(ix)
+		e.live.Reset(ix)
+	}
 	e.maxAddrTouched = 0
 	e.levels = nil
 	e.spaceMemo = make(map[lattice.Domain]int, 1024)
@@ -157,7 +185,7 @@ func (e *Executor) Execute(m *hram.Machine, root lattice.Domain) (Result, error)
 		if p.T != last {
 			return true
 		}
-		addr, ok := e.loc[p]
+		addr, ok := e.loc.Get(p)
 		if !ok {
 			count = -1
 			return false
@@ -221,30 +249,30 @@ func (e *Executor) exec(dom lattice.Domain, space int, depth int) error {
 	// Staging area below the incoming preboundary slot.
 	stagePtr := space - len(gin)
 
+	for len(e.ovStack) <= depth {
+		e.ovStack = append(e.ovStack, nil)
+	}
 	for _, kid := range kids {
 		skid := spaceNeededMemo(e.G, kid, e.LeafSize, e.spaceMemo)
 		ginKid := dag.Preboundary(e.G, kid)
 
 		// Step 1 (Prop 2): copy the child's preboundary into
 		// [skid - |Γin(kid)|, skid), overriding loc only within the
-		// child's execution.
-		type saved struct {
-			p    lattice.Point
-			addr int
-			had  bool
-		}
-		overrides := make([]saved, 0, len(ginKid))
+		// child's execution. The override buffer comes from this depth's
+		// arena slot: deeper recursion uses its own slots, so the buffer
+		// stays valid across the exec(kid) call below.
+		overrides := e.ovStack[depth][:0]
 		dstBase := skid - len(ginKid)
 		before := e.m.Meter().Total(cost.Transfer)
 		for i, q := range ginKid {
-			src, ok := e.loc[q]
+			src, ok := e.loc.Get(q)
 			if !ok {
 				return fmt.Errorf("separator: preboundary value %v of %v unavailable", q, kid)
 			}
 			dst := dstBase + i
 			e.m.MoveWord(e.touch(dst), src)
-			overrides = append(overrides, saved{q, src, true})
-			e.loc[q] = dst
+			overrides = append(overrides, savedLoc{q, src})
+			e.loc.Set(q, dst)
 		}
 		// Re-fetch the accumulator: deeper recursion may have grown the
 		// levels slice, invalidating any held pointer.
@@ -259,12 +287,14 @@ func (e *Executor) exec(dom lattice.Domain, space int, depth int) error {
 
 		// Step 3: persist the child's live-outs into staging (below
 		// the parent's preboundary slot, above every child workspace).
+		// e.live is free here: the child's own exec drained it before
+		// returning, and it is drained again below before the next
+		// descent.
 		live := dag.LiveOut(e.G, kid)
 		before = e.m.Meter().Total(cost.Transfer)
-		liveSet := make(map[lattice.Point]bool, len(live))
 		for _, v := range live {
-			liveSet[v] = true
-			src, ok := e.loc[v]
+			e.live.Add(v)
+			src, ok := e.loc.Get(v)
 			if !ok {
 				return fmt.Errorf("separator: live-out value %v of %v unavailable", v, kid)
 			}
@@ -273,7 +303,7 @@ func (e *Executor) exec(dom lattice.Domain, space int, depth int) error {
 				return fmt.Errorf("separator: staging area underflow in %v", dom)
 			}
 			e.m.MoveWord(e.touch(stagePtr), src)
-			e.loc[v] = stagePtr
+			e.loc.Set(v, stagePtr)
 		}
 
 		st = e.level(depth)
@@ -283,14 +313,18 @@ func (e *Executor) exec(dom lattice.Domain, space int, depth int) error {
 		// Restore the parent-level addresses of the child's preboundary
 		// and drop dead child vertices so stale reads fail loudly.
 		for _, s := range overrides {
-			e.loc[s.p] = s.addr
+			e.loc.Set(s.p, s.addr)
 		}
 		kid.Points(func(p lattice.Point) bool {
-			if !liveSet[p] {
-				delete(e.loc, p)
+			if !e.live.Has(p) {
+				e.loc.Delete(p)
 			}
 			return true
 		})
+		for _, v := range live {
+			e.live.Remove(v)
+		}
+		e.ovStack[depth] = overrides
 	}
 	return nil
 }
@@ -306,7 +340,7 @@ func (e *Executor) execLeaf(dom lattice.Domain) error {
 		buf = e.G.Preds(p, buf[:0])
 		ops = ops[:0]
 		for _, q := range buf {
-			addr, ok := e.loc[q]
+			addr, ok := e.loc.Get(q)
 			if !ok {
 				fail = fmt.Errorf("separator: operand %v of %v unavailable", q, p)
 				return false
@@ -323,7 +357,7 @@ func (e *Executor) execLeaf(dom lattice.Domain) error {
 		addr := next
 		next++
 		e.m.Write(e.touch(addr), v)
-		e.loc[p] = addr
+		e.loc.Set(p, addr)
 		return true
 	})
 	return fail

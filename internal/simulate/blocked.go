@@ -1,8 +1,6 @@
 package simulate
 
 import (
-	"fmt"
-
 	"bsmp/internal/cost"
 	"bsmp/internal/dag"
 	"bsmp/internal/hram"
@@ -37,6 +35,10 @@ import (
 // have been satisfied" — under which block relocations cost latency plus
 // length instead of length times latency, and the locality slowdown
 // largely disappears (experiment E-PIPE).
+//
+// The recursion itself lives in blocked_exec.go, shared with BlockedD2
+// and BlockedD3; this wrapper supplies the line geometry: node id = x,
+// operand stencil (self, left, right), columns sorted by ascending x.
 func BlockedD1(n, m, steps, leafWidth int, prog network.Program, opts ...hram.Option) (Result, error) {
 	if leafWidth <= 0 {
 		leafWidth = m
@@ -45,51 +47,37 @@ func BlockedD1(n, m, steps, leafWidth int, prog network.Program, opts ...hram.Op
 		leafWidth = 2
 	}
 	g := dag.NewLineGraph(n, steps+1)
+	iw, err := imageWords(prog, m)
+	if err != nil {
+		return Result{}, err
+	}
+	geom := blockedGeom{
+		nodeIndex: func(p lattice.Point) int { return p.X },
+		nodePos:   func(node int) lattice.Point { return lattice.Point{X: node} },
+		netPreds: func(p lattice.Point, buf []lattice.Point) []lattice.Point {
+			// Operands in network order: (self, left, right) at t-1.
+			buf = append(buf, lattice.Point{X: p.X, T: p.T - 1})
+			if p.X > 0 {
+				buf = append(buf, lattice.Point{X: p.X - 1, T: p.T - 1})
+			}
+			if p.X < n-1 {
+				buf = append(buf, lattice.Point{X: p.X + 1, T: p.T - 1})
+			}
+			return buf
+		},
+		sortCols: true,
+	}
+	b := newBlockedExec(g, prog, m, iw, steps, leafWidth, geom)
 	root := g.Domain()
-	iw := m
-	if mu, ok := prog.(MemUser); ok {
-		iw = mu.MemWords(m)
-		if iw < 1 || iw > m {
-			return Result{}, fmt.Errorf("simulate: MemWords(%d) = %d out of range", m, iw)
-		}
-	}
-	b := &blockedExec{
-		g: g, prog: prog, n: n, m: m, iw: iw, steps: steps, leafWidth: leafWidth,
-		loc: make(map[bkey]int, 4*n),
-	}
 	space := b.spaceNeeded(root)
 	var meter cost.Meter
 	b.mach = hram.New(space, hram.Standard(1, m), &meter, opts...)
-	if err := b.exec(root, space); err != nil {
+	if err := b.exec(root, space, 0); err != nil {
 		return Result{}, err
 	}
-
-	out := make([]hram.Word, n)
-	mems := make([][]hram.Word, n)
-	staticBuf := make([]hram.Word, m)
-	for x := 0; x < n; x++ {
-		addr, ok := b.loc[bkey{false, x, steps}]
-		if !ok {
-			return Result{}, fmt.Errorf("simulate: missing final broadcast of node %d", x)
-		}
-		out[x] = b.mach.Peek(addr)
-		base, ok := b.loc[bkey{true, x, steps + 1}]
-		if !ok {
-			return Result{}, fmt.Errorf("simulate: missing final memory of node %d", x)
-		}
-		mems[x] = make([]hram.Word, m)
-		for i := 0; i < iw; i++ {
-			mems[x][i] = b.mach.Peek(base + i)
-		}
-		if iw < m {
-			// Cells beyond the declared live region are never addressed;
-			// they retain their initial contents.
-			for i := range staticBuf {
-				staticBuf[i] = 0
-			}
-			b.prog.Init(x, staticBuf)
-			copy(mems[x][iw:], staticBuf[iw:])
-		}
+	out, mems, err := b.collect(n)
+	if err != nil {
+		return Result{}, err
 	}
 	return Result{
 		Outputs:  out,
@@ -111,299 +99,4 @@ type MemUser interface {
 	// given the machine's density m. Must satisfy 1 <= m' <= m, and
 	// Address must always return values below m'.
 	MemWords(memSize int) int
-}
-
-// bkey identifies a flowing value: a broadcast word (mem = false: the value
-// of dag vertex (x, t)) or a column image (mem = true: node x's m'-word
-// live memory before step t; t = steps+1 is the final memory).
-type bkey struct {
-	mem  bool
-	x, t int
-}
-
-type blockedExec struct {
-	g         dag.LineGraph
-	prog      network.Program
-	n, m      int
-	iw        int // image words actually relocated: m' <= m (MemUser)
-	steps     int
-	leafWidth int
-	mach      *hram.Machine
-	loc       map[bkey]int
-}
-
-// colSpan is a column's contiguous vertex-time interval within a domain.
-type colSpan struct {
-	x, ta, tb int // vertex times [ta, tb] present in the domain
-}
-
-// columns returns the per-column time spans of dom, ordered by x.
-func (b *blockedExec) columns(dom lattice.Domain) []colSpan {
-	first := make(map[int]int)
-	last := make(map[int]int)
-	var xs []int
-	dom.Points(func(p lattice.Point) bool {
-		if ta, ok := first[p.X]; !ok || p.T < ta {
-			if !ok {
-				xs = append(xs, p.X)
-			}
-			first[p.X] = p.T
-		}
-		if tb, ok := last[p.X]; !ok || p.T > tb {
-			last[p.X] = p.T
-		}
-		return true
-	})
-	// Points enumerates by (T, X): xs is in first-seen order; sort by x.
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
-	spans := make([]colSpan, len(xs))
-	for i, x := range xs {
-		spans[i] = colSpan{x: x, ta: first[x], tb: last[x]}
-	}
-	return spans
-}
-
-// memIn returns the image keys dom consumes: Mem(x, ta) for each column
-// whose first simulated vertex time ta is >= 1 (ta = 0 columns materialize
-// their own image from prog.Init).
-func (b *blockedExec) memIn(spans []colSpan) []bkey {
-	var in []bkey
-	for _, s := range spans {
-		if s.ta >= 1 {
-			in = append(in, bkey{true, s.x, s.ta})
-		}
-	}
-	return in
-}
-
-// inSize is the word count of a domain's incoming data: one word per
-// preboundary broadcast value plus m words per consumed image.
-func (b *blockedExec) inSize(dom lattice.Domain, spans []colSpan) int {
-	return len(dag.Preboundary(b.g, dom)) + b.iw*len(b.memIn(spans))
-}
-
-// isLeaf reports whether dom is executed naively in place.
-func (b *blockedExec) isLeaf(dom lattice.Domain) bool {
-	return dom.Span() <= b.leafWidth || dom.Children() == nil
-}
-
-// spaceNeeded mirrors separator.SpaceNeeded for the two-kind value flow.
-func (b *blockedExec) spaceNeeded(dom lattice.Domain) int {
-	spans := b.columns(dom)
-	in := b.inSize(dom, spans)
-	if b.isLeaf(dom) {
-		// Working space: every column image resident plus one word per
-		// vertex for broadcast values.
-		return len(spans)*b.iw + dom.Size() + in
-	}
-	smax, stage := 0, 0
-	for _, kid := range dom.Children() {
-		if s := b.spaceNeeded(kid); s > smax {
-			smax = s
-		}
-		kidSpans := b.columns(kid)
-		stage += len(dag.LiveOut(b.g, kid)) + b.iw*len(kidSpans)
-	}
-	return smax + stage + in
-}
-
-// exec implements the Proposition 2 recursion for the blocked value flow.
-// Contract: incoming keys (preboundary broadcasts and consumed images)
-// have valid loc addresses on entry; on exit, live-out broadcasts and the
-// produced images Mem(x, tb+1) have valid loc addresses.
-func (b *blockedExec) exec(dom lattice.Domain, space int) error {
-	if b.isLeaf(dom) {
-		return b.execLeaf(dom)
-	}
-	// The incoming slot occupies [space-inSize, space); staging grows
-	// downward from its floor.
-	stagePtr := space - b.inSize(dom, b.columns(dom))
-
-	for _, kid := range dom.Children() {
-		kidSpans := b.columns(kid)
-		kidGin := dag.Preboundary(b.g, kid)
-		kidMemIn := b.memIn(kidSpans)
-		skid := b.spaceNeeded(kid)
-
-		// Copy incoming data into the child's top slot: images first,
-		// then broadcast words.
-		type saved struct {
-			k    bkey
-			addr int
-		}
-		var overrides []saved
-		dst := skid - b.inSize(kid, kidSpans)
-		if dst < 0 {
-			return fmt.Errorf("simulate: child slot underflow in %v", kid)
-		}
-		for _, k := range kidMemIn {
-			src, ok := b.loc[k]
-			if !ok {
-				return fmt.Errorf("simulate: image %v unavailable for %v", k, kid)
-			}
-			b.mach.BlockCopy(dst, src, b.iw)
-			overrides = append(overrides, saved{k, src})
-			b.loc[k] = dst
-			dst += b.iw
-		}
-		for _, q := range kidGin {
-			k := bkey{false, q.X, q.T}
-			src, ok := b.loc[k]
-			if !ok {
-				return fmt.Errorf("simulate: broadcast %v unavailable for %v", k, kid)
-			}
-			b.mach.MoveWord(dst, src)
-			overrides = append(overrides, saved{k, src})
-			b.loc[k] = dst
-			dst++
-		}
-
-		if err := b.exec(kid, skid); err != nil {
-			return err
-		}
-
-		// Persist the child's products into staging: produced images and
-		// live-out broadcasts.
-		for _, s := range kidSpans {
-			k := bkey{true, s.x, s.tb + 1}
-			src, ok := b.loc[k]
-			if !ok {
-				return fmt.Errorf("simulate: produced image %v missing after %v", k, kid)
-			}
-			stagePtr -= b.iw
-			if stagePtr < skid {
-				return fmt.Errorf("simulate: staging underflow in %v", dom)
-			}
-			b.mach.BlockCopy(stagePtr, src, b.iw)
-			b.loc[k] = stagePtr
-		}
-		live := dag.LiveOut(b.g, kid)
-		liveSet := make(map[lattice.Point]bool, len(live))
-		for _, v := range live {
-			liveSet[v] = true
-			k := bkey{false, v.X, v.T}
-			src, ok := b.loc[k]
-			if !ok {
-				return fmt.Errorf("simulate: live-out %v missing after %v", k, kid)
-			}
-			stagePtr--
-			if stagePtr < skid {
-				return fmt.Errorf("simulate: staging underflow in %v", dom)
-			}
-			b.mach.MoveWord(stagePtr, src)
-			b.loc[k] = stagePtr
-		}
-
-		// Restore incoming keys to the parent copies, then drop dead
-		// entries: consumed images and non-live broadcasts of the child.
-		for _, s := range overrides {
-			b.loc[s.k] = s.addr
-		}
-		for _, k := range kidMemIn {
-			delete(b.loc, k)
-		}
-		kid.Points(func(p lattice.Point) bool {
-			if !liveSet[p] {
-				delete(b.loc, bkey{false, p.X, p.T})
-			}
-			return true
-		})
-	}
-	return nil
-}
-
-// execLeaf simulates the domain naively in place: all column images
-// resident at the bottom of the workspace, broadcast values above them.
-func (b *blockedExec) execLeaf(dom lattice.Domain) error {
-	spans := b.columns(dom)
-	imageBase := make(map[int]int, len(spans))
-	next := 0
-	for _, s := range spans {
-		imageBase[s.x] = next
-		next += b.iw
-	}
-	// Bring consumed images local.
-	for _, s := range spans {
-		if s.ta >= 1 {
-			k := bkey{true, s.x, s.ta}
-			src, ok := b.loc[k]
-			if !ok {
-				return fmt.Errorf("simulate: image %v unavailable in leaf %v", k, dom)
-			}
-			b.mach.BlockCopy(imageBase[s.x], src, b.iw)
-			b.loc[k] = imageBase[s.x]
-		}
-	}
-	var buf []lattice.Point
-	ops := make([]hram.Word, 0, 3)
-	initMem := make([]hram.Word, b.m)
-	var fail error
-	dom.Points(func(p lattice.Point) bool {
-		base := imageBase[p.X]
-		if p.T == 0 {
-			// Materialize the initial state. The initial memory image is
-			// an input: it sits in the host's memory from the start (the
-			// paper charges only its relocation, which the recursion's
-			// BlockCopy calls do), so Poke is free; the broadcast value
-			// of the input vertex (x, 0) costs one op and one write.
-			for i := range initMem {
-				initMem[i] = 0
-			}
-			bv := b.prog.Init(p.X, initMem)
-			for i, w := range initMem[:b.iw] {
-				b.mach.Poke(base+i, w)
-			}
-			b.mach.Op()
-			b.mach.Write(next, bv)
-			b.loc[bkey{false, p.X, 0}] = next
-			next++
-			return true
-		}
-		cellOff := b.prog.Address(p.X, p.T, b.m)
-		if cellOff >= b.iw {
-			fail = fmt.Errorf("simulate: address %d beyond declared live memory %d", cellOff, b.iw)
-			return false
-		}
-		addr := base + cellOff
-		cell := b.mach.Read(addr)
-		// Operands in network order: (self, left, right) at t-1.
-		ops = ops[:0]
-		buf = buf[:0]
-		buf = append(buf, lattice.Point{X: p.X, T: p.T - 1})
-		if p.X > 0 {
-			buf = append(buf, lattice.Point{X: p.X - 1, T: p.T - 1})
-		}
-		if p.X < b.n-1 {
-			buf = append(buf, lattice.Point{X: p.X + 1, T: p.T - 1})
-		}
-		for _, q := range buf {
-			a, ok := b.loc[bkey{false, q.X, q.T}]
-			if !ok {
-				fail = fmt.Errorf("simulate: operand %v of %v unavailable in leaf", q, p)
-				return false
-			}
-			ops = append(ops, b.mach.Read(a))
-		}
-		out, cellOut := b.prog.Step(p.X, p.T, cell, ops)
-		b.mach.Op()
-		b.mach.Write(addr, cellOut)
-		b.mach.Write(next, out)
-		b.loc[bkey{false, p.X, p.T}] = next
-		next++
-		return true
-	})
-	if fail != nil {
-		return fail
-	}
-	// Rename images in place: consumed Mem(x, ta) becomes produced
-	// Mem(x, tb+1) at zero cost.
-	for _, s := range spans {
-		delete(b.loc, bkey{true, s.x, s.ta})
-		b.loc[bkey{true, s.x, s.tb + 1}] = imageBase[s.x]
-	}
-	return nil
 }

@@ -1,8 +1,6 @@
 package simulate
 
 import (
-	"fmt"
-
 	"bsmp/internal/cost"
 	"bsmp/internal/dag"
 	"bsmp/internal/hram"
@@ -27,6 +25,10 @@ import (
 // n must be a perfect square; leafSpan <= 0 selects span m (the
 // executable-domain width that balances per-vertex access cost against
 // per-level relocation, the same tradeoff as d = 1).
+//
+// The recursion lives in blocked_exec.go, shared across dimensions; this
+// wrapper supplies the mesh geometry: node id = y*side+x, operand stencil
+// (self, W, E, S, N), columns in first-seen (T, X, Y) order.
 func BlockedD2(n, m, steps, leafSpan int, prog network.Program, opts ...hram.Option) (Result, error) {
 	side := intSqrtExact(n)
 	if leafSpan <= 0 {
@@ -36,53 +38,44 @@ func BlockedD2(n, m, steps, leafSpan int, prog network.Program, opts ...hram.Opt
 		leafSpan = 2
 	}
 	g := dag.NewMeshGraph(side, steps+1)
+	iw, err := imageWords(prog, m)
+	if err != nil {
+		return Result{}, err
+	}
+	geom := blockedGeom{
+		nodeIndex: func(p lattice.Point) int { return p.Y*side + p.X },
+		nodePos: func(node int) lattice.Point {
+			return lattice.Point{X: node % side, Y: node / side}
+		},
+		netPreds: func(p lattice.Point, buf []lattice.Point) []lattice.Point {
+			// Operands in network order: self, W, E, S, N (clipped).
+			buf = append(buf, lattice.Point{X: p.X, Y: p.Y, T: p.T - 1})
+			if p.X > 0 {
+				buf = append(buf, lattice.Point{X: p.X - 1, Y: p.Y, T: p.T - 1})
+			}
+			if p.X < side-1 {
+				buf = append(buf, lattice.Point{X: p.X + 1, Y: p.Y, T: p.T - 1})
+			}
+			if p.Y > 0 {
+				buf = append(buf, lattice.Point{X: p.X, Y: p.Y - 1, T: p.T - 1})
+			}
+			if p.Y < side-1 {
+				buf = append(buf, lattice.Point{X: p.X, Y: p.Y + 1, T: p.T - 1})
+			}
+			return buf
+		},
+	}
+	b := newBlockedExec(g, prog, m, iw, steps, leafSpan, geom)
 	root := g.Domain()
-	iw := m
-	if mu, ok := prog.(MemUser); ok {
-		iw = mu.MemWords(m)
-		if iw < 1 || iw > m {
-			return Result{}, fmt.Errorf("simulate: MemWords(%d) = %d out of range", m, iw)
-		}
-	}
-	b := &blocked2Exec{
-		g: g, prog: prog, side: side, m: m, iw: iw, steps: steps, leafSpan: leafSpan,
-		loc:   make(map[b2key]int, 4*n),
-		space: make(map[lattice.Domain]int, 1024),
-	}
 	space := b.spaceNeeded(root)
 	var meter cost.Meter
 	b.mach = hram.New(space, hram.Standard(2, m), &meter, opts...)
-	if err := b.exec(root, space); err != nil {
+	if err := b.exec(root, space, 0); err != nil {
 		return Result{}, err
 	}
-
-	out := make([]hram.Word, n)
-	mems := make([][]hram.Word, n)
-	staticBuf := make([]hram.Word, m)
-	for y := 0; y < side; y++ {
-		for x := 0; x < side; x++ {
-			node := y*side + x
-			addr, ok := b.loc[b2key{false, x, y, steps}]
-			if !ok {
-				return Result{}, fmt.Errorf("simulate: missing final broadcast of node %d", node)
-			}
-			out[node] = b.mach.Peek(addr)
-			base, ok := b.loc[b2key{true, x, y, steps + 1}]
-			if !ok {
-				return Result{}, fmt.Errorf("simulate: missing final memory of node %d", node)
-			}
-			mems[node] = make([]hram.Word, m)
-			for i := 0; i < iw; i++ {
-				mems[node][i] = b.mach.Peek(base + i)
-			}
-			if iw < m {
-				for i := range staticBuf {
-					staticBuf[i] = 0
-				}
-				b.prog.Init(node, staticBuf)
-				copy(mems[node][iw:], staticBuf[iw:])
-			}
-		}
+	out, mems, err := b.collect(n)
+	if err != nil {
+		return Result{}, err
 	}
 	return Result{
 		Outputs:  out,
@@ -92,279 +85,4 @@ func BlockedD2(n, m, steps, leafSpan int, prog network.Program, opts ...hram.Opt
 		Steps:    steps,
 		Space:    space,
 	}, nil
-}
-
-// b2key identifies a flowing d = 2 value: a broadcast word at dag vertex
-// (x, y, t), or (mem = true) node (x, y)'s live image before step t.
-type b2key struct {
-	mem     bool
-	x, y, t int
-}
-
-type blocked2Exec struct {
-	g        dag.MeshGraph
-	prog     network.Program
-	side, m  int
-	iw       int
-	steps    int
-	leafSpan int
-	mach     *hram.Machine
-	loc      map[b2key]int
-	space    map[lattice.Domain]int
-}
-
-// col2Span is one node's contiguous vertex-time interval in a domain.
-type col2Span struct {
-	x, y, ta, tb int
-}
-
-// columns returns the per-node time spans of dom, in first-seen order
-// (deterministic: Points enumerates by (T, X, Y)).
-func (b *blocked2Exec) columns(dom lattice.Domain) []col2Span {
-	type xy struct{ x, y int }
-	idx := make(map[xy]int)
-	var spans []col2Span
-	dom.Points(func(p lattice.Point) bool {
-		k := xy{p.X, p.Y}
-		if i, ok := idx[k]; ok {
-			if p.T < spans[i].ta {
-				spans[i].ta = p.T
-			}
-			if p.T > spans[i].tb {
-				spans[i].tb = p.T
-			}
-			return true
-		}
-		idx[k] = len(spans)
-		spans = append(spans, col2Span{x: p.X, y: p.Y, ta: p.T, tb: p.T})
-		return true
-	})
-	return spans
-}
-
-func (b *blocked2Exec) memIn(spans []col2Span) []b2key {
-	var in []b2key
-	for _, s := range spans {
-		if s.ta >= 1 {
-			in = append(in, b2key{true, s.x, s.y, s.ta})
-		}
-	}
-	return in
-}
-
-func (b *blocked2Exec) inSize(dom lattice.Domain, spans []col2Span) int {
-	return len(dag.Preboundary(b.g, dom)) + b.iw*len(b.memIn(spans))
-}
-
-func (b *blocked2Exec) isLeaf(dom lattice.Domain) bool {
-	return dom.Span() <= b.leafSpan || dom.Children() == nil
-}
-
-func (b *blocked2Exec) spaceNeeded(dom lattice.Domain) int {
-	if s, ok := b.space[dom]; ok {
-		return s
-	}
-	spans := b.columns(dom)
-	in := b.inSize(dom, spans)
-	var out int
-	if b.isLeaf(dom) {
-		out = len(spans)*b.iw + dom.Size() + in
-	} else {
-		smax, stage := 0, 0
-		for _, kid := range dom.Children() {
-			if s := b.spaceNeeded(kid); s > smax {
-				smax = s
-			}
-			stage += len(dag.LiveOut(b.g, kid)) + b.iw*len(b.columns(kid))
-		}
-		out = smax + stage + in
-	}
-	b.space[dom] = out
-	return out
-}
-
-// exec mirrors blockedExec.exec over octahedral domains.
-func (b *blocked2Exec) exec(dom lattice.Domain, space int) error {
-	if b.isLeaf(dom) {
-		return b.execLeaf(dom)
-	}
-	stagePtr := space - b.inSize(dom, b.columns(dom))
-
-	for _, kid := range dom.Children() {
-		kidSpans := b.columns(kid)
-		kidGin := dag.Preboundary(b.g, kid)
-		kidMemIn := b.memIn(kidSpans)
-		skid := b.spaceNeeded(kid)
-
-		type saved struct {
-			k    b2key
-			addr int
-		}
-		var overrides []saved
-		dst := skid - b.inSize(kid, kidSpans)
-		if dst < 0 {
-			return fmt.Errorf("simulate: child slot underflow in %v", kid)
-		}
-		for _, k := range kidMemIn {
-			src, ok := b.loc[k]
-			if !ok {
-				return fmt.Errorf("simulate: image %v unavailable for %v", k, kid)
-			}
-			b.mach.BlockCopy(dst, src, b.iw)
-			overrides = append(overrides, saved{k, src})
-			b.loc[k] = dst
-			dst += b.iw
-		}
-		for _, q := range kidGin {
-			k := b2key{false, q.X, q.Y, q.T}
-			src, ok := b.loc[k]
-			if !ok {
-				return fmt.Errorf("simulate: broadcast %v unavailable for %v", k, kid)
-			}
-			b.mach.MoveWord(dst, src)
-			overrides = append(overrides, saved{k, src})
-			b.loc[k] = dst
-			dst++
-		}
-
-		if err := b.exec(kid, skid); err != nil {
-			return err
-		}
-
-		for _, s := range kidSpans {
-			k := b2key{true, s.x, s.y, s.tb + 1}
-			src, ok := b.loc[k]
-			if !ok {
-				return fmt.Errorf("simulate: produced image %v missing after %v", k, kid)
-			}
-			stagePtr -= b.iw
-			if stagePtr < skid {
-				return fmt.Errorf("simulate: staging underflow in %v", dom)
-			}
-			b.mach.BlockCopy(stagePtr, src, b.iw)
-			b.loc[k] = stagePtr
-		}
-		live := dag.LiveOut(b.g, kid)
-		liveSet := make(map[lattice.Point]bool, len(live))
-		for _, v := range live {
-			liveSet[v] = true
-			k := b2key{false, v.X, v.Y, v.T}
-			src, ok := b.loc[k]
-			if !ok {
-				return fmt.Errorf("simulate: live-out %v missing after %v", k, kid)
-			}
-			stagePtr--
-			if stagePtr < skid {
-				return fmt.Errorf("simulate: staging underflow in %v", dom)
-			}
-			b.mach.MoveWord(stagePtr, src)
-			b.loc[k] = stagePtr
-		}
-
-		for _, s := range overrides {
-			b.loc[s.k] = s.addr
-		}
-		for _, k := range kidMemIn {
-			delete(b.loc, k)
-		}
-		kid.Points(func(p lattice.Point) bool {
-			if !liveSet[p] {
-				delete(b.loc, b2key{false, p.X, p.Y, p.T})
-			}
-			return true
-		})
-	}
-	return nil
-}
-
-// execLeaf simulates the domain naively in place, images resident at the
-// bottom of the workspace.
-func (b *blocked2Exec) execLeaf(dom lattice.Domain) error {
-	spans := b.columns(dom)
-	type xy struct{ x, y int }
-	imageBase := make(map[xy]int, len(spans))
-	next := 0
-	for _, s := range spans {
-		imageBase[xy{s.x, s.y}] = next
-		next += b.iw
-	}
-	for _, s := range spans {
-		if s.ta >= 1 {
-			k := b2key{true, s.x, s.y, s.ta}
-			src, ok := b.loc[k]
-			if !ok {
-				return fmt.Errorf("simulate: image %v unavailable in leaf %v", k, dom)
-			}
-			b.mach.BlockCopy(imageBase[xy{s.x, s.y}], src, b.iw)
-			b.loc[k] = imageBase[xy{s.x, s.y}]
-		}
-	}
-	ops := make([]hram.Word, 0, 5)
-	nbs := make([]lattice.Point, 0, 4)
-	initMem := make([]hram.Word, b.m)
-	var fail error
-	dom.Points(func(p lattice.Point) bool {
-		base := imageBase[xy{p.X, p.Y}]
-		node := p.Y*b.side + p.X
-		if p.T == 0 {
-			for i := range initMem {
-				initMem[i] = 0
-			}
-			bv := b.prog.Init(node, initMem)
-			for i, w := range initMem[:b.iw] {
-				b.mach.Poke(base+i, w)
-			}
-			b.mach.Op()
-			b.mach.Write(next, bv)
-			b.loc[b2key{false, p.X, p.Y, 0}] = next
-			next++
-			return true
-		}
-		cellOff := b.prog.Address(node, p.T, b.m)
-		if cellOff >= b.iw {
-			fail = fmt.Errorf("simulate: address %d beyond declared live memory %d", cellOff, b.iw)
-			return false
-		}
-		addr := base + cellOff
-		cell := b.mach.Read(addr)
-		// Operands in network order: self, W, E, S, N (clipped).
-		nbs = nbs[:0]
-		nbs = append(nbs, lattice.Point{X: p.X, Y: p.Y, T: p.T - 1})
-		if p.X > 0 {
-			nbs = append(nbs, lattice.Point{X: p.X - 1, Y: p.Y, T: p.T - 1})
-		}
-		if p.X < b.side-1 {
-			nbs = append(nbs, lattice.Point{X: p.X + 1, Y: p.Y, T: p.T - 1})
-		}
-		if p.Y > 0 {
-			nbs = append(nbs, lattice.Point{X: p.X, Y: p.Y - 1, T: p.T - 1})
-		}
-		if p.Y < b.side-1 {
-			nbs = append(nbs, lattice.Point{X: p.X, Y: p.Y + 1, T: p.T - 1})
-		}
-		ops = ops[:0]
-		for _, q := range nbs {
-			a, ok := b.loc[b2key{false, q.X, q.Y, q.T}]
-			if !ok {
-				fail = fmt.Errorf("simulate: operand %v of %v unavailable in leaf", q, p)
-				return false
-			}
-			ops = append(ops, b.mach.Read(a))
-		}
-		out, cellOut := b.prog.Step(node, p.T, cell, ops)
-		b.mach.Op()
-		b.mach.Write(addr, cellOut)
-		b.mach.Write(next, out)
-		b.loc[b2key{false, p.X, p.Y, p.T}] = next
-		next++
-		return true
-	})
-	if fail != nil {
-		return fail
-	}
-	for _, s := range spans {
-		delete(b.loc, b2key{true, s.x, s.y, s.ta})
-		b.loc[b2key{true, s.x, s.y, s.tb + 1}] = imageBase[xy{s.x, s.y}]
-	}
-	return nil
 }

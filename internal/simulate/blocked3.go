@@ -1,8 +1,6 @@
 package simulate
 
 import (
-	"fmt"
-
 	"bsmp/internal/cost"
 	"bsmp/internal/dag"
 	"bsmp/internal/hram"
@@ -19,6 +17,11 @@ import (
 // conjecture about.
 //
 // n must be a perfect cube; leafSpan <= 0 selects span m.
+//
+// The recursion lives in blocked_exec.go, shared across dimensions; this
+// wrapper supplies the cube geometry: node id = (z*side+y)*side+x,
+// operand stencil self then the six cube neighbors in Neighbors order
+// (W, E, S, N, D, U), columns in first-seen (T, X, Y, Z) order.
 func BlockedD3(n, m, steps, leafSpan int, prog network.Program, opts ...hram.Option) (Result, error) {
 	side := intCbrtExact(n)
 	if leafSpan <= 0 {
@@ -28,55 +31,51 @@ func BlockedD3(n, m, steps, leafSpan int, prog network.Program, opts ...hram.Opt
 		leafSpan = 2
 	}
 	g := dag.NewCubeGraph(side, steps+1)
+	iw, err := imageWords(prog, m)
+	if err != nil {
+		return Result{}, err
+	}
+	geom := blockedGeom{
+		nodeIndex: func(p lattice.Point) int { return (p.Z*side+p.Y)*side + p.X },
+		nodePos: func(node int) lattice.Point {
+			return lattice.Point{X: node % side, Y: (node / side) % side, Z: node / (side * side)}
+		},
+		netPreds: func(p lattice.Point, buf []lattice.Point) []lattice.Point {
+			// Operands in network order: self, then the six cube neighbors
+			// in Neighbors order (W, E, S, N, D, U), clipped.
+			buf = append(buf, lattice.Point{X: p.X, Y: p.Y, Z: p.Z, T: p.T - 1})
+			if p.X > 0 {
+				buf = append(buf, lattice.Point{X: p.X - 1, Y: p.Y, Z: p.Z, T: p.T - 1})
+			}
+			if p.X < side-1 {
+				buf = append(buf, lattice.Point{X: p.X + 1, Y: p.Y, Z: p.Z, T: p.T - 1})
+			}
+			if p.Y > 0 {
+				buf = append(buf, lattice.Point{X: p.X, Y: p.Y - 1, Z: p.Z, T: p.T - 1})
+			}
+			if p.Y < side-1 {
+				buf = append(buf, lattice.Point{X: p.X, Y: p.Y + 1, Z: p.Z, T: p.T - 1})
+			}
+			if p.Z > 0 {
+				buf = append(buf, lattice.Point{X: p.X, Y: p.Y, Z: p.Z - 1, T: p.T - 1})
+			}
+			if p.Z < side-1 {
+				buf = append(buf, lattice.Point{X: p.X, Y: p.Y, Z: p.Z + 1, T: p.T - 1})
+			}
+			return buf
+		},
+	}
+	b := newBlockedExec(g, prog, m, iw, steps, leafSpan, geom)
 	root := g.Domain()
-	iw := m
-	if mu, ok := prog.(MemUser); ok {
-		iw = mu.MemWords(m)
-		if iw < 1 || iw > m {
-			return Result{}, fmt.Errorf("simulate: MemWords(%d) = %d out of range", m, iw)
-		}
-	}
-	b := &blocked3Exec{
-		g: g, prog: prog, side: side, m: m, iw: iw, steps: steps, leafSpan: leafSpan,
-		loc:   make(map[b3key]int, 4*n),
-		space: make(map[lattice.Domain]int, 1024),
-	}
 	space := b.spaceNeeded(root)
 	var meter cost.Meter
 	b.mach = hram.New(space, hram.Standard(3, m), &meter, opts...)
-	if err := b.exec(root, space); err != nil {
+	if err := b.exec(root, space, 0); err != nil {
 		return Result{}, err
 	}
-
-	out := make([]hram.Word, n)
-	mems := make([][]hram.Word, n)
-	staticBuf := make([]hram.Word, m)
-	for z := 0; z < side; z++ {
-		for y := 0; y < side; y++ {
-			for x := 0; x < side; x++ {
-				node := (z*side+y)*side + x
-				addr, ok := b.loc[b3key{false, x, y, z, steps}]
-				if !ok {
-					return Result{}, fmt.Errorf("simulate: missing final broadcast of node %d", node)
-				}
-				out[node] = b.mach.Peek(addr)
-				base, ok := b.loc[b3key{true, x, y, z, steps + 1}]
-				if !ok {
-					return Result{}, fmt.Errorf("simulate: missing final memory of node %d", node)
-				}
-				mems[node] = make([]hram.Word, m)
-				for i := 0; i < iw; i++ {
-					mems[node][i] = b.mach.Peek(base + i)
-				}
-				if iw < m {
-					for i := range staticBuf {
-						staticBuf[i] = 0
-					}
-					b.prog.Init(node, staticBuf)
-					copy(mems[node][iw:], staticBuf[iw:])
-				}
-			}
-		}
+	out, mems, err := b.collect(n)
+	if err != nil {
+		return Result{}, err
 	}
 	return Result{
 		Outputs:  out,
@@ -86,279 +85,4 @@ func BlockedD3(n, m, steps, leafSpan int, prog network.Program, opts ...hram.Opt
 		Steps:    steps,
 		Space:    space,
 	}, nil
-}
-
-// b3key identifies a flowing d = 3 value.
-type b3key struct {
-	mem        bool
-	x, y, z, t int
-}
-
-type blocked3Exec struct {
-	g        dag.CubeGraph
-	prog     network.Program
-	side, m  int
-	iw       int
-	steps    int
-	leafSpan int
-	mach     *hram.Machine
-	loc      map[b3key]int
-	space    map[lattice.Domain]int
-}
-
-type col3Span struct {
-	x, y, z, ta, tb int
-}
-
-func (b *blocked3Exec) columns(dom lattice.Domain) []col3Span {
-	type xyz struct{ x, y, z int }
-	idx := make(map[xyz]int)
-	var spans []col3Span
-	dom.Points(func(p lattice.Point) bool {
-		k := xyz{p.X, p.Y, p.Z}
-		if i, ok := idx[k]; ok {
-			if p.T < spans[i].ta {
-				spans[i].ta = p.T
-			}
-			if p.T > spans[i].tb {
-				spans[i].tb = p.T
-			}
-			return true
-		}
-		idx[k] = len(spans)
-		spans = append(spans, col3Span{x: p.X, y: p.Y, z: p.Z, ta: p.T, tb: p.T})
-		return true
-	})
-	return spans
-}
-
-func (b *blocked3Exec) memIn(spans []col3Span) []b3key {
-	var in []b3key
-	for _, s := range spans {
-		if s.ta >= 1 {
-			in = append(in, b3key{true, s.x, s.y, s.z, s.ta})
-		}
-	}
-	return in
-}
-
-func (b *blocked3Exec) inSize(dom lattice.Domain, spans []col3Span) int {
-	return len(dag.Preboundary(b.g, dom)) + b.iw*len(b.memIn(spans))
-}
-
-func (b *blocked3Exec) isLeaf(dom lattice.Domain) bool {
-	return dom.Span() <= b.leafSpan || dom.Children() == nil
-}
-
-func (b *blocked3Exec) spaceNeeded(dom lattice.Domain) int {
-	if s, ok := b.space[dom]; ok {
-		return s
-	}
-	spans := b.columns(dom)
-	in := b.inSize(dom, spans)
-	var out int
-	if b.isLeaf(dom) {
-		out = len(spans)*b.iw + dom.Size() + in
-	} else {
-		smax, stage := 0, 0
-		for _, kid := range dom.Children() {
-			if s := b.spaceNeeded(kid); s > smax {
-				smax = s
-			}
-			stage += len(dag.LiveOut(b.g, kid)) + b.iw*len(b.columns(kid))
-		}
-		out = smax + stage + in
-	}
-	b.space[dom] = out
-	return out
-}
-
-func (b *blocked3Exec) exec(dom lattice.Domain, space int) error {
-	if b.isLeaf(dom) {
-		return b.execLeaf(dom)
-	}
-	stagePtr := space - b.inSize(dom, b.columns(dom))
-
-	for _, kid := range dom.Children() {
-		kidSpans := b.columns(kid)
-		kidGin := dag.Preboundary(b.g, kid)
-		kidMemIn := b.memIn(kidSpans)
-		skid := b.spaceNeeded(kid)
-
-		type saved struct {
-			k    b3key
-			addr int
-		}
-		var overrides []saved
-		dst := skid - b.inSize(kid, kidSpans)
-		if dst < 0 {
-			return fmt.Errorf("simulate: child slot underflow in %v", kid)
-		}
-		for _, k := range kidMemIn {
-			src, ok := b.loc[k]
-			if !ok {
-				return fmt.Errorf("simulate: image %v unavailable for %v", k, kid)
-			}
-			b.mach.BlockCopy(dst, src, b.iw)
-			overrides = append(overrides, saved{k, src})
-			b.loc[k] = dst
-			dst += b.iw
-		}
-		for _, q := range kidGin {
-			k := b3key{false, q.X, q.Y, q.Z, q.T}
-			src, ok := b.loc[k]
-			if !ok {
-				return fmt.Errorf("simulate: broadcast %v unavailable for %v", k, kid)
-			}
-			b.mach.MoveWord(dst, src)
-			overrides = append(overrides, saved{k, src})
-			b.loc[k] = dst
-			dst++
-		}
-
-		if err := b.exec(kid, skid); err != nil {
-			return err
-		}
-
-		for _, s := range kidSpans {
-			k := b3key{true, s.x, s.y, s.z, s.tb + 1}
-			src, ok := b.loc[k]
-			if !ok {
-				return fmt.Errorf("simulate: produced image %v missing after %v", k, kid)
-			}
-			stagePtr -= b.iw
-			if stagePtr < skid {
-				return fmt.Errorf("simulate: staging underflow in %v", dom)
-			}
-			b.mach.BlockCopy(stagePtr, src, b.iw)
-			b.loc[k] = stagePtr
-		}
-		live := dag.LiveOut(b.g, kid)
-		liveSet := make(map[lattice.Point]bool, len(live))
-		for _, v := range live {
-			liveSet[v] = true
-			k := b3key{false, v.X, v.Y, v.Z, v.T}
-			src, ok := b.loc[k]
-			if !ok {
-				return fmt.Errorf("simulate: live-out %v missing after %v", k, kid)
-			}
-			stagePtr--
-			if stagePtr < skid {
-				return fmt.Errorf("simulate: staging underflow in %v", dom)
-			}
-			b.mach.MoveWord(stagePtr, src)
-			b.loc[k] = stagePtr
-		}
-
-		for _, s := range overrides {
-			b.loc[s.k] = s.addr
-		}
-		for _, k := range kidMemIn {
-			delete(b.loc, k)
-		}
-		kid.Points(func(p lattice.Point) bool {
-			if !liveSet[p] {
-				delete(b.loc, b3key{false, p.X, p.Y, p.Z, p.T})
-			}
-			return true
-		})
-	}
-	return nil
-}
-
-func (b *blocked3Exec) execLeaf(dom lattice.Domain) error {
-	spans := b.columns(dom)
-	type xyz struct{ x, y, z int }
-	imageBase := make(map[xyz]int, len(spans))
-	next := 0
-	for _, s := range spans {
-		imageBase[xyz{s.x, s.y, s.z}] = next
-		next += b.iw
-	}
-	for _, s := range spans {
-		if s.ta >= 1 {
-			k := b3key{true, s.x, s.y, s.z, s.ta}
-			src, ok := b.loc[k]
-			if !ok {
-				return fmt.Errorf("simulate: image %v unavailable in leaf %v", k, dom)
-			}
-			b.mach.BlockCopy(imageBase[xyz{s.x, s.y, s.z}], src, b.iw)
-			b.loc[k] = imageBase[xyz{s.x, s.y, s.z}]
-		}
-	}
-	ops := make([]hram.Word, 0, 7)
-	nbs := make([]lattice.Point, 0, 6)
-	initMem := make([]hram.Word, b.m)
-	var fail error
-	dom.Points(func(p lattice.Point) bool {
-		base := imageBase[xyz{p.X, p.Y, p.Z}]
-		node := (p.Z*b.side+p.Y)*b.side + p.X
-		if p.T == 0 {
-			for i := range initMem {
-				initMem[i] = 0
-			}
-			bv := b.prog.Init(node, initMem)
-			for i, w := range initMem[:b.iw] {
-				b.mach.Poke(base+i, w)
-			}
-			b.mach.Op()
-			b.mach.Write(next, bv)
-			b.loc[b3key{false, p.X, p.Y, p.Z, 0}] = next
-			next++
-			return true
-		}
-		cellOff := b.prog.Address(node, p.T, b.m)
-		if cellOff >= b.iw {
-			fail = fmt.Errorf("simulate: address %d beyond declared live memory %d", cellOff, b.iw)
-			return false
-		}
-		addr := base + cellOff
-		cell := b.mach.Read(addr)
-		// Operands in network order: self, then the six cube neighbors
-		// in Neighbors order (W, E, S, N, D, U), clipped.
-		nbs = nbs[:0]
-		nbs = append(nbs, lattice.Point{X: p.X, Y: p.Y, Z: p.Z, T: p.T - 1})
-		if p.X > 0 {
-			nbs = append(nbs, lattice.Point{X: p.X - 1, Y: p.Y, Z: p.Z, T: p.T - 1})
-		}
-		if p.X < b.side-1 {
-			nbs = append(nbs, lattice.Point{X: p.X + 1, Y: p.Y, Z: p.Z, T: p.T - 1})
-		}
-		if p.Y > 0 {
-			nbs = append(nbs, lattice.Point{X: p.X, Y: p.Y - 1, Z: p.Z, T: p.T - 1})
-		}
-		if p.Y < b.side-1 {
-			nbs = append(nbs, lattice.Point{X: p.X, Y: p.Y + 1, Z: p.Z, T: p.T - 1})
-		}
-		if p.Z > 0 {
-			nbs = append(nbs, lattice.Point{X: p.X, Y: p.Y, Z: p.Z - 1, T: p.T - 1})
-		}
-		if p.Z < b.side-1 {
-			nbs = append(nbs, lattice.Point{X: p.X, Y: p.Y, Z: p.Z + 1, T: p.T - 1})
-		}
-		ops = ops[:0]
-		for _, q := range nbs {
-			a, ok := b.loc[b3key{false, q.X, q.Y, q.Z, q.T}]
-			if !ok {
-				fail = fmt.Errorf("simulate: operand %v of %v unavailable in leaf", q, p)
-				return false
-			}
-			ops = append(ops, b.mach.Read(a))
-		}
-		out, cellOut := b.prog.Step(node, p.T, cell, ops)
-		b.mach.Op()
-		b.mach.Write(addr, cellOut)
-		b.mach.Write(next, out)
-		b.loc[b3key{false, p.X, p.Y, p.Z, p.T}] = next
-		next++
-		return true
-	})
-	if fail != nil {
-		return fail
-	}
-	for _, s := range spans {
-		delete(b.loc, b3key{true, s.x, s.y, s.z, s.ta})
-		b.loc[b3key{true, s.x, s.y, s.z, s.tb + 1}] = imageBase[xyz{s.x, s.y, s.z}]
-	}
-	return nil
 }

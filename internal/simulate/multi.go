@@ -214,14 +214,34 @@ func MultiD1Cycles(n, p, m, cycles int, prog network.Program, opts MultiOptions)
 	return res, nil
 }
 
-// kernelCache memoizes measured diamond-execution kernels per (s, m).
-var kernelCache sync.Map // [2]int -> cost.Time
+// kernelKey identifies a measured diamond kernel. The kernel time is NOT
+// program-independent — prog.Address picks the memory cell touched per
+// vertex (the f(x) access cost varies with the cell offset) and an
+// optional MemUser shrinks the relocated image from m to m' words — so
+// the key carries a program fingerprint alongside (s, m). Programs here
+// are small comparable config structs (guest.AsNetwork values and the
+// like), so %T plus the printed field values identify the cost-relevant
+// behavior; TestDiamondKernelProgramDependence pins the requirement.
+type kernelKey struct {
+	s, m int
+	prog string
+}
+
+// kernelCache memoizes measured diamond-execution kernels per
+// (s, m, program fingerprint). sync.Map: experiments calibrate kernels
+// from concurrently running goroutines (exp.All).
+var kernelCache sync.Map // kernelKey -> cost.Time
+
+// progFingerprint renders a program's identity for kernel-cache keying.
+func progFingerprint(prog network.Program) string {
+	return fmt.Sprintf("%T:%+v", prog, prog)
+}
 
 // diamondKernel measures the time to execute one diamond D(s) with memory
 // density m by running the real Theorem 3 executor on an s × s computation
 // (two diamonds' worth of vertices) and halving.
 func diamondKernel(s, m int, prog network.Program) (cost.Time, error) {
-	key := [2]int{s, m}
+	key := kernelKey{s, m, progFingerprint(prog)}
 	if v, ok := kernelCache.Load(key); ok {
 		return v.(cost.Time), nil
 	}

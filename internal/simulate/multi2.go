@@ -158,6 +158,11 @@ func multi2Cost(n, p, m, steps, s int, noRearrange bool) (float64, int, [3]float
 // s × s × s box holds about two octahedra's worth of vertices). Cached
 // per (s, m); spans are capped at 16 for calibration (the constant has
 // converged by then) and scaled by volume.
+//
+// Unlike diamondKernel, the key needs no program fingerprint: the
+// calibration guest is fixed internally (guest.AsNetwork{MixCA{Seed: 42}}
+// below), never supplied by the caller, so (s, m) determines the
+// measurement. sync.Map because exp.All calibrates concurrently.
 var b2KernelCache sync.Map // [2]int -> float64
 
 func blocked2Kernel(s, m int) (float64, error) {

@@ -139,6 +139,10 @@ func multi3Cost(n, p, m, steps, s int, noRearrange bool) (float64, int, [3]float
 
 // blocked3Kernel measures the d = 3 per-domain kernel from a real
 // BlockedD3 run of a span-s, s-step cube guest.
+//
+// As with b2KernelCache, (s, m) suffices as the key: the calibration
+// guest is the fixed internal MixCA program, not a caller-supplied one.
+// sync.Map because exp.All calibrates concurrently.
 var b3KernelCache sync.Map // [2]int -> float64
 
 func blocked3Kernel(s, m int) (float64, error) {
