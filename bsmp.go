@@ -184,6 +184,28 @@ func VerifyDag(r Result, d, n int, prog DagProgram) error {
 	return simulate.VerifyDag(r, d, n, prog)
 }
 
+// Scheme registry: the paper's simulation algorithms selectable by name
+// ("naive", "unidc", "blocked", "multi") and dimension instead of
+// hard-wired function calls.
+
+// Scheme is a named simulation algorithm entry.
+type Scheme = simulate.Scheme
+
+// SchemeConfig carries the per-run knobs a scheme may consume; the zero
+// value selects every scheme's paper-optimal defaults.
+type SchemeConfig = simulate.SchemeConfig
+
+// Schemes lists the registered (algorithm, dimension) entries.
+func Schemes() []Scheme { return simulate.Schemes }
+
+// SchemeByName returns the registered scheme for (name, d).
+func SchemeByName(name string, d int) (Scheme, error) { return simulate.SchemeByName(name, d) }
+
+// RunScheme looks up (name, d) in the registry and runs it.
+func RunScheme(name string, d, n, p, m, steps int, prog Program, cfg SchemeConfig) (MultiResult, error) {
+	return simulate.RunScheme(name, d, n, p, m, steps, prog, cfg)
+}
+
 // Closed-form bounds (package analytic re-exported).
 
 // A is Theorem 1's locality-slowdown term A(n, m, p) for dimension d.

@@ -1,0 +1,117 @@
+// Command benchdiff reads `go test -bench` output on stdin and checks it
+// against a recorded baseline (the BENCH_pr*.json files at the repo
+// root): every -require'd benchmark must have run, and any benchmark
+// with a baseline entry must stay within -max-ratio of its recorded
+// ns/op. It is the CI benchmark smoke — a coarse "did the benchmarks run
+// and did nothing regress by an order of magnitude" gate, deliberately
+// tolerant of hardware variance (use -max-ratio 0 to only report).
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchtime=1x ./... | benchdiff -baseline BENCH_pr2.json -require BenchmarkMultiD1 -max-ratio 50
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// baselineFile mirrors the BENCH_pr*.json shape; only the benchmark
+// names and their "after" ns/op matter here.
+type baselineFile struct {
+	Benchmarks []struct {
+		Name  string `json:"name"`
+		After *struct {
+			NsOp float64 `json:"ns_op"`
+		} `json:"after"`
+	} `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline JSON (BENCH_pr*.json shape); empty = no time comparison")
+	maxRatio := flag.Float64("max-ratio", 0, "fail if measured ns/op exceeds baseline by this factor; 0 = report only")
+	require := flag.String("require", "", "comma-separated benchmark names that must appear in the input")
+	flag.Parse()
+
+	base := map[string]float64{}
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		var bf baselineFile
+		if err := json.Unmarshal(raw, &bf); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", *baseline, err)
+			os.Exit(2)
+		}
+		for _, b := range bf.Benchmarks {
+			if b.After == nil || b.After.NsOp == 0 {
+				continue
+			}
+			// Names are recorded as "BenchmarkX (pkg/path)"; key on the
+			// bare benchmark name.
+			base[strings.Fields(b.Name)[0]] = b.After.NsOp
+		}
+	}
+
+	measured := map[string]float64{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		measured[m[1]] = ns
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: reading stdin: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, name := range strings.Split(*require, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := measured[name]; !ok {
+			fmt.Printf("MISSING  %s (required benchmark did not run)\n", name)
+			failed = true
+		}
+	}
+	for name, ns := range measured {
+		want, ok := base[name]
+		if !ok {
+			fmt.Printf("new      %-28s %12.0f ns/op (no baseline)\n", name, ns)
+			continue
+		}
+		ratio := ns / want
+		verdict := "ok"
+		if *maxRatio > 0 && ratio > *maxRatio {
+			verdict = fmt.Sprintf("FAIL (> %gx)", *maxRatio)
+			failed = true
+		}
+		fmt.Printf("%-8s %-28s %12.0f ns/op  baseline %12.0f  ratio %5.2f\n", verdict, name, ns, want, ratio)
+	}
+	if len(measured) == 0 {
+		fmt.Println("MISSING  no benchmark lines found on stdin")
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

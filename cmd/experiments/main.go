@@ -22,9 +22,22 @@ func main() {
 	md := flag.Bool("md", false, "emit markdown instead of plain tables")
 	asJSON := flag.Bool("json", false, "emit the tables as JSON")
 	seq := flag.Bool("seq", false, "run experiments sequentially (one worker)")
+	schemes := flag.Bool("schemes", false, "list the registered simulation schemes and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *schemes {
+		fmt.Printf("%-8s %-2s %-5s %s\n", "name", "d", "multi", "description")
+		for _, s := range bsmp.Schemes() {
+			multi := "-"
+			if s.Multiproc {
+				multi = "p>1"
+			}
+			fmt.Printf("%-8s %-2d %-5s %s\n", s.Name, s.D, multi, s.Description)
+		}
+		return
+	}
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {

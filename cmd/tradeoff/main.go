@@ -24,11 +24,12 @@ import (
 )
 
 func main() {
-	d := flag.Int("d", 1, "mesh dimension (1 or 2)")
-	n := flag.Int("n", 1024, "machine volume n (d=2: a perfect square)")
-	p := flag.Int("p", 16, "host processors (divides n; d=2: a perfect square)")
+	d := flag.Int("d", 1, "mesh dimension (1, 2 or 3)")
+	n := flag.Int("n", 1024, "machine volume n (d=2: a perfect square; d=3: a perfect cube)")
+	p := flag.Int("p", 16, "host processors (divides n; same shape constraint as n)")
 	ms := flag.String("m", "1,4,16,64,256,1024", "comma-separated memory densities")
 	measure := flag.Bool("measure", false, "also run the executable simulation")
+	scheme := flag.String("scheme", "multi", "simulation scheme to measure (see bsmp.Schemes)")
 	steps := flag.Int("steps", 64, "guest steps to simulate when measuring")
 	sweep := flag.Bool("sweep", false, "dyadic m sweep with an ASCII curve of A(n,m,p)")
 	csv := flag.Bool("csv", false, "emit CSV instead of the aligned table")
@@ -79,7 +80,7 @@ func main() {
 		row := fmt.Sprintf("%8d %8s %8.0f %14.1f %14.1f",
 			m, rangeName(*d, *n, m, *p), bsmp.OptimalS(*n, m, *p), a, bound)
 		if *measure {
-			slow, err := measured(*d, *n, *p, m, *steps)
+			slow, err := measured(*scheme, *d, *n, *p, m, *steps)
 			if err != nil {
 				log.Fatalf("m=%d: %v", m, err)
 			}
@@ -155,34 +156,40 @@ func rangeName(d, n, m, p int) string {
 	}
 }
 
-func measured(d, n, p, m, steps int) (float64, error) {
-	side := 0
-	if d == 2 {
-		for side*side < n {
-			side++
-		}
+// measured runs the named registry scheme and reports its slowdown
+// Tp/Tn. The d = 1 run is additionally verified against the pure
+// reference execution (the cheap case; every scheme is verified across
+// dimensions by the test suite and experiment E-REG).
+func measured(scheme string, d, n, p, m, steps int) (float64, error) {
+	prog := guestProg(d, n)
+	r, err := bsmp.RunScheme(scheme, d, n, p, m, steps, prog, bsmp.SchemeConfig{})
+	if err != nil {
+		return 0, err
 	}
-	prog := bsmp.AsNetwork{G: bsmp.MixCA{Seed: 9}, Side: side}
-	var t bsmp.Time
-	switch d {
-	case 1:
-		r, err := bsmp.MultiD1(n, p, m, steps, prog, bsmp.MultiOptions{})
-		if err != nil {
-			return 0, err
-		}
+	if d == 1 {
 		if err := r.Verify(1, n, m, prog); err != nil {
 			return 0, err
 		}
-		t = r.Time
-	case 2:
-		r, err := bsmp.MultiD2(n, p, m, steps, prog, bsmp.Multi2Options{})
-		if err != nil {
-			return 0, err
-		}
-		t = r.Time
-	default:
-		return 0, fmt.Errorf("dimension %d not supported", d)
 	}
 	tn := bsmp.GuestTime(d, n, m, steps, prog)
-	return float64(t) / float64(tn), nil
+	return float64(r.Time) / float64(tn), nil
+}
+
+// guestProg builds the standard MixCA measurement guest with the grid
+// geometry d requires.
+func guestProg(d, n int) bsmp.Program {
+	side := 0
+	switch d {
+	case 2:
+		for side*side < n {
+			side++
+		}
+		return bsmp.AsNetwork{G: bsmp.MixCA{Seed: 9}, Side: side}
+	case 3:
+		for side*side*side < n {
+			side++
+		}
+		return bsmp.AsNetwork{G: bsmp.MixCA{Seed: 9}, CubeSide: side}
+	}
+	return bsmp.AsNetwork{G: bsmp.MixCA{Seed: 9}}
 }

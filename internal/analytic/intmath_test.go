@@ -1,0 +1,63 @@
+package analytic
+
+import "testing"
+
+func TestRoundToPow2Divisor(t *testing.T) {
+	cases := []struct {
+		target float64
+		limit  int
+		want   int
+	}{
+		{7.9, 64, 8}, {0.3, 64, 1}, {100, 16, 16}, {5, 8, 4}, {1024, 32, 32},
+		{1, 1, 1}, {6, 12, 4}, {16, 24, 8}, // non-pow2 limits: halve until divisor
+	}
+	for _, c := range cases {
+		if got := RoundToPow2Divisor(c.target, c.limit); got != c.want {
+			t.Errorf("RoundToPow2Divisor(%v, %d) = %d, want %d", c.target, c.limit, got, c.want)
+		}
+	}
+}
+
+func TestRoundToPow2DivisorAlwaysDivides(t *testing.T) {
+	for limit := 1; limit <= 96; limit++ {
+		for _, target := range []float64{0, 0.5, 1, 2.7, 9, 33, 1e6} {
+			s := RoundToPow2Divisor(target, limit)
+			if s < 1 || limit%s != 0 {
+				t.Fatalf("RoundToPow2Divisor(%v, %d) = %d does not divide", target, limit, s)
+			}
+			if s&(s-1) != 0 {
+				t.Fatalf("RoundToPow2Divisor(%v, %d) = %d not a power of two", target, limit, s)
+			}
+		}
+	}
+}
+
+func TestIntSqrtExact(t *testing.T) {
+	for _, c := range []struct{ n, want int }{{0, 0}, {1, 1}, {4, 2}, {64, 8}, {1024, 32}} {
+		if got := IntSqrtExact(c.n); got != c.want {
+			t.Errorf("IntSqrtExact(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestIntCbrtExact(t *testing.T) {
+	for _, c := range []struct{ n, want int }{{0, 0}, {1, 1}, {8, 2}, {64, 4}, {512, 8}} {
+		if got := IntCbrtExact(c.n); got != c.want {
+			t.Errorf("IntCbrtExact(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestIntRootsPanicOnInexact(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("IntSqrtExact(63)", func() { IntSqrtExact(63) })
+	mustPanic("IntCbrtExact(63)", func() { IntCbrtExact(63) })
+}

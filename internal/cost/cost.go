@@ -218,11 +218,86 @@ func (m *Meter) Reset() {
 	m.Ledger.Reset()
 }
 
+// Canonical phase names used by the multiprocessor simulations. A Bank
+// accepts any string as a phase name; these four are the Theorem 4 /
+// Theorem 1 schedule that every MultiResult reports.
+const (
+	// PhaseRearrange is the one-time π = π2·π1 memory rearrangement.
+	PhaseRearrange = "rearrange"
+	// PhaseRegime1 is the level-by-level data relocation of Regime 1.
+	PhaseRegime1 = "regime1"
+	// PhaseRegime2Exec is the kernel-execution part of Regime 2.
+	PhaseRegime2Exec = "regime2-exec"
+	// PhaseRegime2Exchange is the face/boundary exchange part of Regime 2.
+	PhaseRegime2Exchange = "regime2-exchange"
+)
+
+// PhaseEntry is one named phase of a Bank's history: how much makespan it
+// consumed and the merged ledger of everything charged while it was open.
+type PhaseEntry struct {
+	Name string
+	// Time is the makespan advance (MaxNow delta) attributable to the
+	// phase, summed over every interval during which it was open.
+	Time Time
+	// Ledger is the merged per-category charge delta across all
+	// processors during the phase.
+	Ledger Ledger
+}
+
+// PhaseBreakdown is a Bank's per-phase attribution, in first-open order
+// with same-named intervals merged. Entry Times telescope: their sum
+// equals the final makespan up to float-summation reordering (each entry
+// is a difference of makespan snapshots).
+type PhaseBreakdown []PhaseEntry
+
+// Time reports the makespan attributed to the named phase (0 if absent).
+func (pb PhaseBreakdown) Time(name string) Time {
+	for _, e := range pb {
+		if e.Name == name {
+			return e.Time
+		}
+	}
+	return 0
+}
+
+// Total reports the summed makespan across all phases — the Bank's final
+// makespan, up to float-summation grouping.
+func (pb PhaseBreakdown) Total() Time {
+	var s Time
+	for _, e := range pb {
+		s += e.Time
+	}
+	return s
+}
+
+// String formats the breakdown as "name=time ..." in phase order.
+func (pb PhaseBreakdown) String() string {
+	if len(pb) == 0 {
+		return "empty"
+	}
+	var b strings.Builder
+	for i, e := range pb {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%.6g", e.Name, e.Time)
+	}
+	return b.String()
+}
+
+// phaseMark snapshots the bank state at the instant a phase was opened.
+type phaseMark struct {
+	name string
+	at   Time
+	led  Ledger
+}
+
 // Bank is a set of per-processor Meters evolving on independent time lines,
 // joined at synchronization points. It models a p-node machine where node
 // clocks advance independently between communication events.
 type Bank struct {
 	meters []Meter
+	marks  []phaseMark
 }
 
 // NewBank creates a bank of p meters, all at time 0. It panics if p < 1.
@@ -306,9 +381,50 @@ func (b *Bank) Ledgers() Ledger {
 	return out
 }
 
-// Reset returns every meter to time zero with empty ledgers.
+// Mark opens a named accounting phase: all makespan growth and ledger
+// charges from now until the next Mark (or Phases call) are attributed to
+// name. Marking does not touch any clock or ledger — attribution is pure
+// bookkeeping on snapshots, so charge sequences (and therefore virtual
+// times) are identical with and without marks.
+func (b *Bank) Mark(name string) {
+	b.marks = append(b.marks, phaseMark{name: name, at: b.MaxNow(), led: b.Ledgers()})
+}
+
+// Phases closes the open phase and returns the per-phase breakdown:
+// same-named intervals merged, in first-open order. It returns nil if
+// Mark was never called.
+func (b *Bank) Phases() PhaseBreakdown {
+	if len(b.marks) == 0 {
+		return nil
+	}
+	end := phaseMark{at: b.MaxNow(), led: b.Ledgers()}
+	var out PhaseBreakdown
+	idx := make(map[string]int)
+	for i, mk := range b.marks {
+		next := end
+		if i+1 < len(b.marks) {
+			next = b.marks[i+1]
+		}
+		j, ok := idx[mk.name]
+		if !ok {
+			j = len(out)
+			idx[mk.name] = j
+			out = append(out, PhaseEntry{Name: mk.name})
+		}
+		out[j].Time += next.at - mk.at
+		for c := range out[j].Ledger.totals {
+			out[j].Ledger.totals[c] += next.led.totals[c] - mk.led.totals[c]
+			out[j].Ledger.counts[c] += next.led.counts[c] - mk.led.counts[c]
+		}
+	}
+	return out
+}
+
+// Reset returns every meter to time zero with empty ledgers and drops all
+// phase marks.
 func (b *Bank) Reset() {
 	for i := range b.meters {
 		b.meters[i].Reset()
 	}
+	b.marks = nil
 }

@@ -379,3 +379,103 @@ func TestBankSize(t *testing.T) {
 		t.Fatal("Size mismatch")
 	}
 }
+
+func TestBankPhasesAttribution(t *testing.T) {
+	b := NewBank(2)
+	b.Mark(PhaseRearrange)
+	b.Proc(0).Charge(Transfer, 10)
+	b.Proc(1).Charge(Transfer, 10)
+	b.Barrier()
+	b.Mark(PhaseRegime1)
+	b.Proc(0).Charge(Transfer, 5)
+	b.Proc(1).Charge(Transfer, 7)
+	b.Mark(PhaseRegime2Exec)
+	b.Proc(0).Charge(Compute, 3)
+	b.Proc(1).Charge(Compute, 1)
+	b.Barrier()
+
+	pb := b.Phases()
+	if len(pb) != 3 {
+		t.Fatalf("got %d phases, want 3: %v", len(pb), pb)
+	}
+	if got := pb.Time(PhaseRearrange); got != 10 {
+		t.Errorf("rearrange time %v, want 10", got)
+	}
+	// Makespan went 10 -> 17 during regime1 (proc 1 is the critical path).
+	if got := pb.Time(PhaseRegime1); got != 7 {
+		t.Errorf("regime1 time %v, want 7", got)
+	}
+	// 17 -> 20: proc 0 finishes at 10+5+3 = 18, proc 1 at 17+1 = 18...
+	// barrier makespan is 18, so the exec phase advanced 18-17 = 1.
+	if got := pb.Time(PhaseRegime2Exec); got != 1 {
+		t.Errorf("regime2-exec time %v, want 1", got)
+	}
+	if got, want := pb.Total(), b.MaxNow(); got != want {
+		t.Errorf("phase total %v != makespan %v", got, want)
+	}
+	// Ledger sub-attribution: regime1 charged 12 transfer across procs.
+	var r1 Ledger
+	for _, e := range pb {
+		if e.Name == PhaseRegime1 {
+			r1 = e.Ledger
+		}
+	}
+	if got := r1.Total(Transfer); got != 12 {
+		t.Errorf("regime1 transfer ledger %v, want 12", got)
+	}
+	if got := r1.Count(Transfer); got != 2 {
+		t.Errorf("regime1 transfer count %v, want 2", got)
+	}
+}
+
+func TestBankPhasesMergesRepeatedNames(t *testing.T) {
+	b := NewBank(1)
+	for i := 0; i < 3; i++ {
+		b.Mark(PhaseRegime2Exec)
+		b.Proc(0).Charge(Compute, 2)
+		b.Mark(PhaseRegime2Exchange)
+		b.Proc(0).Charge(Message, 1)
+	}
+	pb := b.Phases()
+	if len(pb) != 2 {
+		t.Fatalf("got %d phases, want 2 merged: %v", len(pb), pb)
+	}
+	if pb[0].Name != PhaseRegime2Exec || pb[0].Time != 6 {
+		t.Errorf("exec entry = %+v, want 6 across 3 intervals", pb[0])
+	}
+	if pb[1].Name != PhaseRegime2Exchange || pb[1].Time != 3 {
+		t.Errorf("exchange entry = %+v, want 3", pb[1])
+	}
+	if pb[1].Ledger.Count(Message) != 3 {
+		t.Errorf("exchange message count %d, want 3", pb[1].Ledger.Count(Message))
+	}
+}
+
+func TestBankPhasesEmptyAndReset(t *testing.T) {
+	b := NewBank(2)
+	if b.Phases() != nil {
+		t.Error("unmarked bank reported phases")
+	}
+	b.Mark(PhaseRearrange)
+	b.Proc(0).Charge(Compute, 4)
+	if got := b.Phases().Total(); got != 4 {
+		t.Errorf("total %v, want 4", got)
+	}
+	b.Reset()
+	if b.Phases() != nil {
+		t.Error("reset did not clear phase marks")
+	}
+	if got := b.Phases().Time("nope"); got != 0 {
+		t.Errorf("absent phase time %v, want 0", got)
+	}
+}
+
+func TestPhaseBreakdownString(t *testing.T) {
+	if got := (PhaseBreakdown)(nil).String(); got != "empty" {
+		t.Errorf("nil breakdown string %q", got)
+	}
+	pb := PhaseBreakdown{{Name: "a", Time: 1.5}, {Name: "b", Time: 2}}
+	if got := pb.String(); got != "a=1.5 b=2" {
+		t.Errorf("breakdown string %q", got)
+	}
+}

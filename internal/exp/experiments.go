@@ -711,9 +711,106 @@ func Coop(s Scale) (*Table, error) {
 	return t, nil
 }
 
+// Registry runs every entry of the scheme registry once at a small
+// common scale through simulate.RunScheme — the exact call path
+// cmd/tradeoff uses — verifying outputs wherever the scheme is
+// executable-grade and reporting, for the multiprocessor rows, the
+// per-phase attribution of the makespan (rearrangement, Regime 1
+// relocation, Regime 2 kernel execution, Regime 2 boundary exchange).
+func Registry(s Scale) (*Table, error) {
+	steps1, steps2, steps3 := 16, 8, 4
+	if !s.Quick {
+		steps1, steps2, steps3 = 32, 16, 8
+	}
+	t := &Table{
+		ID:    "E-REG",
+		Title: "Scheme registry: the simulation ladder through one call path",
+		PaperClaim: "the paper's algorithms — naive (Prop. 1), divide-and-conquer " +
+			"(Thms. 2/5), blocked (Thm. 3), multiprocessor (Thm. 4 / Thm. 1) — as " +
+			"named schemes selectable per dimension",
+		Header: []string{"scheme", "d", "n", "p", "m", "T_p", "check", "rearr/reg1/exec/exch"},
+	}
+	for _, sc := range simulate.Schemes {
+		var n, p, m, steps, side int
+		switch sc.D {
+		case 1:
+			n, steps = 64, steps1
+		case 2:
+			side = 8
+			n, steps = side*side, steps2
+		default:
+			side = 4
+			n, steps = side*side*side, steps3
+		}
+		p = 1
+		if sc.Multiproc {
+			p = 4
+			if sc.D == 3 {
+				p = 8
+			}
+		}
+		m = 4
+		if sc.Name == "unidc" {
+			m = 1 // Theorems 2 and 5 are the m = 1 case
+		}
+		dagGuest := guest.Rule90{Seed: 1}
+		prog := prog1d()
+		switch {
+		case sc.Name == "unidc" && sc.D == 2:
+			prog = guest.AsNetwork{G: dagGuest, Side: side}
+		case sc.Name == "unidc" && sc.D == 3:
+			prog = guest.AsNetwork{G: dagGuest, CubeSide: side}
+		case sc.Name == "unidc":
+			prog = guest.AsNetwork{G: dagGuest}
+		case sc.D == 2:
+			prog = prog2d(side)
+		case sc.D == 3:
+			prog = guest.AsNetwork{G: guest.MixCA{Seed: 9}, CubeSide: side}
+		}
+		res, err := simulate.RunScheme(sc.Name, sc.D, n, p, m, steps, prog, simulate.SchemeConfig{})
+		if err != nil {
+			return nil, fmt.Errorf("scheme %s d=%d: %w", sc.Name, sc.D, err)
+		}
+		// Executable-grade schemes replay the reference computation
+		// bit-exactly; unidc is checked at the dag level; the d >= 2
+		// multiprocessor entries are model-grade (fidelity L2).
+		check := "exact"
+		switch {
+		case sc.Name == "unidc":
+			if err := simulate.VerifyDag(res.Result, sc.D, n, dagGuest); err != nil {
+				return nil, fmt.Errorf("scheme unidc d=%d: %w", sc.D, err)
+			}
+			check = "dag"
+		case sc.Name == "multi" && sc.D >= 2:
+			check = "model"
+		default:
+			if err := res.Verify(sc.D, n, m, prog); err != nil {
+				return nil, fmt.Errorf("scheme %s d=%d: %w", sc.Name, sc.D, err)
+			}
+		}
+		phases := "-"
+		if pb := res.Phases; pb != nil {
+			tot := float64(pb.Total())
+			share := func(name string) string {
+				return fmt.Sprintf("%.0f%%", 100*float64(pb.Time(name))/tot)
+			}
+			phases = share(cost.PhaseRearrange) + "/" + share(cost.PhaseRegime1) +
+				"/" + share(cost.PhaseRegime2Exec) + "/" + share(cost.PhaseRegime2Exchange)
+		}
+		t.Rows = append(t.Rows, []string{
+			sc.Name, d(sc.D), d(n), d(p), d(m), g3(float64(res.Time)), check, phases,
+		})
+	}
+	t.Notes = append(t.Notes,
+		"every row ran through RunScheme(name, d, ...) — no scheme-specific call sites",
+		"phase shares are fractions of the multiprocessor makespan Time + PrepTime",
+		"the naive scheme has no d = 3 entry; blocked/multi cover d = 3, unidc covers the m = 1 dag")
+	return t, nil
+}
+
 // allFns is the E-* experiment battery, in publication order.
 var allFns = []func(Scale) (*Table, error){
-	P1, ISA, T2, T3, T3D2, T4, T5, T1D2, D3, D3Multi, MM, SStar, Ablations, Levels, Coop, Pipe, MPrime,
+	P1, ISA, T2, T3, T3D2, T4, T5, T1D2, D3, D3Multi, MM, SStar, Ablations, Levels, Coop, Pipe, MPrime, Registry,
 }
 
 // All runs every E-* experiment concurrently on up to GOMAXPROCS workers

@@ -100,6 +100,24 @@ func (pm Permutation) SegmentOfProcessor(j int) (lo, hi int) {
 	return j * k, (j + 1) * k
 }
 
+// MaxAdjacentDisplacement reports the maximum distance in the rearranged
+// array between the images of originally adjacent strips:
+// max_i |π(i+1) − π(i)|. Property 1 of Section 4.2 bounds this by q/p,
+// which is what licenses charging Theorem 4's Regime 1 relocations and
+// cooperating-mode exchanges at distance (q/p)·s = n/p; computing the
+// bound from the permutation itself (by enumeration) certifies the charge
+// instead of asserting it. For q == p the permutation is the identity and
+// the displacement is 1 = q/p.
+func (pm Permutation) MaxAdjacentDisplacement() int {
+	mx := 1 // a single strip (q == 1) never moves
+	for i := 0; i+1 < pm.Q; i++ {
+		if d := pm.NeighborDistance(i); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
 // NeighborDistance reports the distance in the rearranged array between the
 // positions of originally adjacent strips i and i+1. The paper's property 1
 // guarantees this is 1 or q/p.

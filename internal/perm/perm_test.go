@@ -153,3 +153,26 @@ func TestIdentityWhenPEqualsQ(t *testing.T) {
 		}
 	}
 }
+
+// TestMaxAdjacentDisplacementIsQOverP certifies the distance the
+// multiprocessor simulation charges for Regime 1 relocations and
+// cooperating-mode exchanges: for every (q, p) the worst displacement
+// between originally adjacent strips is exactly q/p (property 1), and
+// every individual displacement is either 1 or q/p.
+func TestMaxAdjacentDisplacementIsQOverP(t *testing.T) {
+	for _, tc := range []struct{ q, p int }{
+		{4, 2}, {8, 2}, {8, 4}, {16, 4}, {32, 8}, {64, 4}, {6, 3}, {12, 4},
+		{8, 8}, {5, 5}, // q == p: identity permutation, displacement 1 = q/p
+	} {
+		pm := New(tc.q, tc.p)
+		want := tc.q / tc.p
+		if got := pm.MaxAdjacentDisplacement(); got != want {
+			t.Errorf("q=%d p=%d: MaxAdjacentDisplacement = %d, want q/p = %d", tc.q, tc.p, got, want)
+		}
+		for i := 0; i+1 < tc.q; i++ {
+			if d := pm.NeighborDistance(i); d != 1 && d != want {
+				t.Errorf("q=%d p=%d: NeighborDistance(%d) = %d, want 1 or %d", tc.q, tc.p, i, d, want)
+			}
+		}
+	}
+}

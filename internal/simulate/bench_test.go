@@ -1,6 +1,10 @@
 package simulate
 
-import "testing"
+import (
+	"testing"
+
+	"bsmp/internal/guest"
+)
 
 func BenchmarkBlockedD1Small(b *testing.B) {
 	prog := netProg(0)
@@ -24,6 +28,42 @@ func BenchmarkCoopBlock(b *testing.B) {
 	prog := netProg(0)
 	for i := 0; i < b.N; i++ {
 		if _, err := CoopBlock(256, 8, 4, 8, 16, prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultiD1(b *testing.B) {
+	prog := netProg(0)
+	for i := 0; i < b.N; i++ {
+		if _, err := MultiD1(256, 8, 16, 64, prog, MultiOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultiD2(b *testing.B) {
+	prog := netProg(16)
+	for i := 0; i < b.N; i++ {
+		if _, err := MultiD2(256, 4, 8, 8, prog, Multi2Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultiD3(b *testing.B) {
+	prog := guest.AsNetwork{G: guest.MixCA{Seed: 9}, CubeSide: 8}
+	for i := 0; i < b.N; i++ {
+		if _, err := MultiD3(512, 8, 4, 8, prog, Multi3Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunSchemeMultiD1(b *testing.B) {
+	prog := netProg(0)
+	for i := 0; i < b.N; i++ {
+		if _, err := RunScheme("multi", 1, 256, 8, 16, 64, prog, SchemeConfig{}); err != nil {
 			b.Fatal(err)
 		}
 	}

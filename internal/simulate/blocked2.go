@@ -1,6 +1,7 @@
 package simulate
 
 import (
+	"bsmp/internal/analytic"
 	"bsmp/internal/cost"
 	"bsmp/internal/dag"
 	"bsmp/internal/hram"
@@ -30,7 +31,7 @@ import (
 // wrapper supplies the mesh geometry: node id = y*side+x, operand stencil
 // (self, W, E, S, N), columns in first-seen (T, X, Y) order.
 func BlockedD2(n, m, steps, leafSpan int, prog network.Program, opts ...hram.Option) (Result, error) {
-	side := intSqrtExact(n)
+	side := analytic.IntSqrtExact(n)
 	if leafSpan <= 0 {
 		leafSpan = m
 	}

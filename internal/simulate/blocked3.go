@@ -1,6 +1,7 @@
 package simulate
 
 import (
+	"bsmp/internal/analytic"
 	"bsmp/internal/cost"
 	"bsmp/internal/dag"
 	"bsmp/internal/hram"
@@ -23,7 +24,7 @@ import (
 // operand stencil self then the six cube neighbors in Neighbors order
 // (W, E, S, N, D, U), columns in first-seen (T, X, Y, Z) order.
 func BlockedD3(n, m, steps, leafSpan int, prog network.Program, opts ...hram.Option) (Result, error) {
-	side := intCbrtExact(n)
+	side := analytic.IntCbrtExact(n)
 	if leafSpan <= 0 {
 		leafSpan = m
 	}

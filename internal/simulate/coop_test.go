@@ -89,3 +89,28 @@ func TestPropertyCoopSoloAgree(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCoopCrossoverBothDirections(t *testing.T) {
+	// "One alternative may be preferable over the other" (§4.2) — in both
+	// directions. Cooperation exchanges one boundary value per step over
+	// the full inter-processor distance; solo execution pulls the s·m-word
+	// remote preboundary once. With many steps and m = 1 the per-step
+	// exchanges dominate and solo must win; at large m the preboundary
+	// dominates and cooperation must win. Same geometry, only m moves.
+	n, p, s, steps := 1024, 8, 4, 64
+	prog := netProg(0)
+	lo, err := CoopBlock(n, p, 1, s, steps, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.SoloTime >= lo.CoopTime {
+		t.Errorf("m=1: solo %v not cheaper than coop %v", lo.SoloTime, lo.CoopTime)
+	}
+	hi, err := CoopBlock(n, p, 64, s, steps, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.CoopTime >= hi.SoloTime {
+		t.Errorf("m=64: coop %v not cheaper than solo %v", hi.CoopTime, hi.SoloTime)
+	}
+}

@@ -1,6 +1,7 @@
 package simulate
 
 import (
+	"math"
 	"testing"
 
 	"bsmp/internal/cost"
@@ -81,6 +82,35 @@ func TestGoldenBlocked(t *testing.T) {
 func TestGoldenMulti(t *testing.T) {
 	p1 := guest.AsNetwork{G: guest.MixCA{Seed: 9}}
 
+	// Phase attribution rides along without perturbing the golden times:
+	// the breakdown names the four schedule phases in order and its entry
+	// times telescope to the full makespan Time + PrepTime (up to float
+	// regrouping of the same charges, hence the relative tolerance on the
+	// sum while Time itself stays bit-exact).
+	checkPhases := func(name string, mr MultiResult) {
+		t.Helper()
+		wantNames := []string{
+			cost.PhaseRearrange, cost.PhaseRegime1,
+			cost.PhaseRegime2Exec, cost.PhaseRegime2Exchange,
+		}
+		if len(mr.Phases) != len(wantNames) {
+			t.Errorf("%s: %d phases, want %d (%v)", name, len(mr.Phases), len(wantNames), mr.Phases)
+			return
+		}
+		for i, want := range wantNames {
+			if mr.Phases[i].Name != want {
+				t.Errorf("%s: phase[%d] = %q, want %q", name, i, mr.Phases[i].Name, want)
+			}
+		}
+		full := float64(mr.Time + mr.PrepTime)
+		if got := float64(mr.Phases.Total()); math.Abs(got-full) > 1e-9*full {
+			t.Errorf("%s: phase total %v != Time+PrepTime %v", name, got, full)
+		}
+		if got := mr.Phases.Time(cost.PhaseRearrange); got != mr.PrepTime {
+			t.Errorf("%s: rearrange phase %v != PrepTime %v", name, got, mr.PrepTime)
+		}
+	}
+
 	mr, err := MultiD1(64, 4, 16, 16, p1, MultiOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -91,6 +121,7 @@ func TestGoldenMulti(t *testing.T) {
 	if mr.PrepTime != 45232 {
 		t.Errorf("MultiD1: PrepTime = %v, golden 45232", mr.PrepTime)
 	}
+	checkPhases("MultiD1", mr)
 
 	m2, err := MultiD2(256, 4, 8, 8, guest.AsNetwork{G: guest.MixCA{Seed: 9}, Side: 16}, Multi2Options{})
 	if err != nil {
@@ -99,6 +130,7 @@ func TestGoldenMulti(t *testing.T) {
 	if m2.Time != 121540.75244594147 {
 		t.Errorf("MultiD2: Time = %v, golden 121540.75244594147", m2.Time)
 	}
+	checkPhases("MultiD2", m2)
 
 	m3, err := MultiD3(512, 8, 4, 8, guest.AsNetwork{G: guest.MixCA{Seed: 9}, CubeSide: 8}, Multi3Options{})
 	if err != nil {
@@ -107,6 +139,7 @@ func TestGoldenMulti(t *testing.T) {
 	if m3.Time != 151296.39378136813 {
 		t.Errorf("MultiD3: Time = %v, golden 151296.39378136813", m3.Time)
 	}
+	checkPhases("MultiD3", m3)
 
 	cr, err := CoopBlock(64, 4, 8, 8, 8, p1)
 	if err != nil {

@@ -3,7 +3,6 @@ package simulate
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"bsmp/internal/analytic"
 	"bsmp/internal/cost"
@@ -12,36 +11,95 @@ import (
 	"bsmp/internal/perm"
 )
 
-// MultiOptions configure the multiprocessor simulation; the zero value is
-// the paper's full scheme. The ablation flags disable individual
-// mechanisms to measure how load-bearing each one is (DESIGN.md § 6).
+// MultiOptions configure the multiprocessor simulations; the zero value
+// is the paper's full scheme. One struct serves every dimension (the
+// aliases Multi2Options/Multi3Options keep the historical names): d = 1
+// reads StripWidth and NoCooperate, d = 2/3 read SpanOverride, all read
+// NoRearrange. The ablation flags disable individual mechanisms to
+// measure how load-bearing each one is (DESIGN.md § 6).
 type MultiOptions struct {
-	// StripWidth overrides the strip width s; 0 selects the paper's
-	// optimum s* (rounded to a power of two dividing n/p).
+	// StripWidth overrides the d = 1 strip width s; 0 selects the
+	// paper's optimum s* (rounded to a power of two dividing n/p).
 	StripWidth int
-	// NoRearrange skips the π = π2π1 memory rearrangement: Regime 1
-	// relocations and cooperating-mode exchanges then occur at the
-	// original Θ(n)-scale distances instead of Θ(n/p).
+	// SpanOverride fixes the d = 2/3 kernel span σ; 0 lets the model
+	// pick the cost-minimizing power of two in [2, (n/p)^(1/d)].
+	SpanOverride int
+	// NoRearrange skips the memory rearrangement: Regime 1 relocations
+	// and cooperating-mode exchanges then occur at the original
+	// Θ(n^(1/d))-scale distances instead of Θ((n/p)^(1/d)).
 	NoRearrange bool
-	// NoCooperate disables the cooperating execution mode: diamonds
-	// sitting across strip boundaries are executed solo by one
+	// NoCooperate disables the d = 1 cooperating execution mode:
+	// diamonds sitting across strip boundaries are executed solo by one
 	// processor, which must pull the remote half of the preboundary —
 	// s·m memory words instead of s broadcast words.
 	NoCooperate bool
 }
 
+// Multi2Options configures the d = 2 multiprocessor model.
+type Multi2Options = MultiOptions
+
+// Multi3Options configures the d = 3 multiprocessor model.
+type Multi3Options = MultiOptions
+
 // MultiResult extends Result with the multiprocessor-specific accounting.
+// One struct serves every dimension (aliases Multi2Result/Multi3Result):
+// StripWidth/PrepTime/Domains are d = 1 fields, Span is d = 2/3.
 type MultiResult struct {
 	Result
 	// PrepTime is the one-time rearrangement cost (the paper amortizes
 	// it over repeated simulation cycles; it is excluded from Time).
 	PrepTime cost.Time
-	// StripWidth is the strip width s actually used.
+	// StripWidth is the d = 1 strip width s actually used.
 	StripWidth int
+	// Span is the d = 2/3 kernel span σ actually used.
+	Span int
 	// Regime1Levels is the number of relocation levels executed.
 	Regime1Levels int
 	// Domains is the number of D(p·s) domains processed in Regime 2.
 	Domains int
+	// Phases attributes the schedule's makespan and charges to the
+	// rearrange / regime1 / regime2-exec / regime2-exchange phases; its
+	// entry times sum to Time + PrepTime (up to float regrouping). Nil
+	// for the degenerate p = 1 fallback, which runs no phased schedule.
+	Phases cost.PhaseBreakdown
+}
+
+// Multi2Result reports the d = 2 multiprocessor run.
+type Multi2Result = MultiResult
+
+// Multi3Result reports the d = 3 multiprocessor run.
+type Multi3Result = MultiResult
+
+// multiGeomD1 is the d = 1 geometry spec: the Theorem 4 scheme. The
+// span-model fields are nil because the d = 1 planner below implements
+// the paper's explicit construction (strips, π rearrangement, diamond
+// domains) rather than the d-generic span model; it draws the kernel
+// machinery, κ normalization and face size from the spec.
+var multiGeomD1 = &multiGeom{
+	d:           1,
+	kernelFloor: 4, // a width-1 strip: one vertex per step, in place
+	calSpan:     func(s int) int { return s },
+	calProg: func(_ int, prog network.Program) network.Program {
+		// The kernel is NOT program-independent: prog.Address picks the
+		// memory cell touched per vertex and an optional MemUser shrinks
+		// the relocated image from m to m' words, so d = 1 calibrates on
+		// the caller's program (TestDiamondKernelProgramDependence).
+		return prog
+	},
+	calRun: func(cal, m int, prog network.Program) (Result, error) {
+		// An s × s computation holds about two diamonds' worth of
+		// vertices; the kernel is half its measured time.
+		return BlockedD1(cal, m, cal, 0, prog)
+	},
+	distRed:    func(pf float64) float64 { return pf },
+	faceSize:   func(sf float64) float64 { return sf },
+	theoryExec: func(sf, mf float64) float64 { return sf * sf / 2 * math.Min(sf, mf*analytic.Log(sf/mf)) },
+}
+
+// diamondKernel measures the time to execute one diamond D(s) with memory
+// density m — the d = 1 entry of the engine's unified kernel cache.
+func diamondKernel(s, m int, prog network.Program) (float64, error) {
+	return multiGeomD1.kernel(s, m, prog)
 }
 
 // MultiD1 runs Theorem 4's simulation of M1(n, n, m) on M1(n, p, m):
@@ -76,17 +134,14 @@ func MultiD1(n, p, m, steps int, prog network.Program, opts MultiOptions) (Multi
 	}
 	s := opts.StripWidth
 	if s <= 0 {
-		s = roundToPow2Divisor(analytic.OptimalS(n, m, p), n/p)
+		s = analytic.RoundToPow2Divisor(analytic.OptimalS(n, m, p), n/p)
 	}
 	if s < 1 || (n/p)%s != 0 {
 		return MultiResult{}, fmt.Errorf("simulate: strip width %d must divide n/p = %d", s, n/p)
 	}
 	q := n / s
 	pi := perm.New(q, p)
-	_ = pi // the permutation's properties are what license the distance
-	// charges below; its action on strip indices is exercised in tests.
 
-	bank := cost.NewBank(p)
 	nf, pf, mf, sf := float64(n), float64(p), float64(m), float64(s)
 
 	// The per-diamond execution kernel is measured from a real Theorem 3
@@ -100,73 +155,75 @@ func MultiD1(n, p, m, steps int, prog network.Program, opts MultiOptions) (Multi
 	if err != nil {
 		return MultiResult{}, err
 	}
-	theoryExec := sf * sf / 2 * math.Min(sf, mf*analytic.Log(sf/mf))
-	kappa := float64(kernel) / theoryExec
+	kappa := kernel / multiGeomD1.theoryExec(sf, mf)
 	if kappa < 1 {
 		kappa = 1
 	}
 
-	// Phase 0: rearrangement. n·m words move distance Θ(n) with p-fold
-	// parallelism: per processor, (n·m/p) words at average distance n/2.
-	for i := 0; i < p; i++ {
-		bank.Proc(i).Charge(cost.Transfer, kappa*nf*mf/pf*nf/2)
+	// The rearranged relocation/exchange distance is certified by the
+	// permutation itself: originally adjacent strips end up at most
+	// MaxAdjacentDisplacement = q/p strips apart (property 1), i.e.
+	// (q/p)·s = n/p guest distance — the p-fold reduction from the raw
+	// Θ(n) scale. The ablated scheme forgoes it.
+	relocDist := float64(pi.MaxAdjacentDisplacement() * s)
+	if opts.NoRearrange {
+		relocDist = nf
 	}
-	prep := bank.Barrier()
 
-	// Phase 1: Regime 1 — relocation levels. Level k moves 2^k·n·m words
-	// at geometric distance (n/2^k)/p (rearranged) or n/2^k (ablated):
-	// the 2^k factors cancel, so every level costs n²m/(distDiv·p) wall
-	// time per processor — the paper's Θ(n²m/p²) with rearrangement.
-	// (A word moved across guest-volume distance D occupies D·m memory
+	// Phase 1 quantities: Regime 1 relocation levels. Level k moves
+	// 2^k·n·m words at geometric distance relocDist/2^k: the 2^k factors
+	// cancel, so every level costs n·m·relocDist/p wall time per
+	// processor — the paper's Θ(n²m/p²) with rearrangement. (A word
+	// moved across guest-volume distance D occupies D·m memory
 	// addresses, and f(x) = x/m, so the per-word cost is D independent
 	// of m.)
 	levels := 0
 	if s < n/p {
 		levels = int(math.Round(math.Log2(nf / (pf * sf))))
 	}
-	distDiv := pf
-	if opts.NoRearrange {
-		distDiv = 1
-	}
-	perLevelPerProc := kappa * nf * mf * (nf / distDiv) / pf
-	for k := 1; k <= levels; k++ {
-		for i := 0; i < p; i++ {
-			bank.Proc(i).Charge(cost.Transfer, perLevelPerProc)
-		}
+	perLevelPerProc := kappa * nf * mf * relocDist / pf
+	regime1 := make([]float64, levels)
+	for k := range regime1 {
+		regime1[k] = perLevelPerProc
 	}
 
-	// Phase 2: Regime 2 — the (n/ps)² domains of D(p·s), 2p-1 stages each.
+	// Phase 2 quantities: the (n/ps)² domains of D(p·s), 2p-1 stages
+	// each: p-1 solo, p cooperating.
 	cells := lattice.DiamondGrid(n, steps+1, p*s)
 	numDomains := len(cells)
-	exchDist := nf / pf
+	exchDist := float64(pi.MaxAdjacentDisplacement() * s)
 	if opts.NoRearrange {
 		exchDist = nf / 2
 	}
-	for range cells {
-		// 2p-1 stages: p-1 solo, p cooperating.
-		solo := float64(p - 1)
-		coop := float64(p)
-		var stageExtra float64
-		if opts.NoCooperate {
-			// Solo execution of shared diamonds: pull s·m remote words
-			// through memory, each paying the exchange distance.
-			stageExtra = kappa * sf * mf * exchDist
-		} else {
-			// Exchange Θ(s) broadcast values over the link, each paying
-			// the full distance (no pipelining, as in the paper's
-			// per-item accounting "in time O(s·n/p)").
-			stageExtra = kappa * sf * exchDist
-		}
-		for i := 0; i < p; i++ {
-			bank.Proc(i).Charge(cost.Compute, (solo+coop)*float64(kernel))
-			if opts.NoCooperate {
-				bank.Proc(i).Charge(cost.Transfer, coop*stageExtra)
-			} else {
-				bank.Proc(i).Charge(cost.Message, coop*stageExtra)
-			}
-		}
-		bank.Barrier()
+	solo := float64(p - 1)
+	coop := float64(p)
+	var stageExtra float64
+	exchCat := cost.Message
+	if opts.NoCooperate {
+		// Solo execution of shared diamonds: pull s·m remote words
+		// through memory, each paying the exchange distance.
+		stageExtra = kappa * multiGeomD1.faceSize(sf) * mf * exchDist
+		exchCat = cost.Transfer
+	} else {
+		// Exchange Θ(s) broadcast values over the link, each paying
+		// the full distance (no pipelining, as in the paper's
+		// per-item accounting "in time O(s·n/p)").
+		stageExtra = kappa * multiGeomD1.faceSize(sf) * exchDist
 	}
+
+	bank, prep := playSchedule(p, multiSchedule{
+		// Phase 0: rearrangement. n·m words move distance Θ(n) with
+		// p-fold parallelism: per processor, (n·m/p) words at average
+		// distance n/2.
+		prep:         kappa * nf * mf / pf * nf / 2,
+		hasPrep:      true,
+		regime1:      regime1,
+		domains:      numDomains,
+		exec:         (solo + coop) * kernel,
+		exch:         coop * stageExtra,
+		exchCat:      exchCat,
+		roundBarrier: true,
+	})
 	elapsed := bank.MaxNow() - prep
 
 	// Functional execution (exact): the schedule above is a topological
@@ -185,6 +242,7 @@ func MultiD1(n, p, m, steps int, prog network.Program, opts MultiOptions) (Multi
 		StripWidth:    s,
 		Regime1Levels: levels,
 		Domains:       numDomains,
+		Phases:        bank.Phases(),
 	}, nil
 }
 
@@ -212,70 +270,4 @@ func MultiD1Cycles(n, p, m, cycles int, prog network.Program, opts MultiOptions)
 	res.Time = total
 	res.Steps = cycles * n
 	return res, nil
-}
-
-// kernelKey identifies a measured diamond kernel. The kernel time is NOT
-// program-independent — prog.Address picks the memory cell touched per
-// vertex (the f(x) access cost varies with the cell offset) and an
-// optional MemUser shrinks the relocated image from m to m' words — so
-// the key carries a program fingerprint alongside (s, m). Programs here
-// are small comparable config structs (guest.AsNetwork values and the
-// like), so %T plus the printed field values identify the cost-relevant
-// behavior; TestDiamondKernelProgramDependence pins the requirement.
-type kernelKey struct {
-	s, m int
-	prog string
-}
-
-// kernelCache memoizes measured diamond-execution kernels per
-// (s, m, program fingerprint). sync.Map: experiments calibrate kernels
-// from concurrently running goroutines (exp.All).
-var kernelCache sync.Map // kernelKey -> cost.Time
-
-// progFingerprint renders a program's identity for kernel-cache keying.
-func progFingerprint(prog network.Program) string {
-	return fmt.Sprintf("%T:%+v", prog, prog)
-}
-
-// diamondKernel measures the time to execute one diamond D(s) with memory
-// density m by running the real Theorem 3 executor on an s × s computation
-// (two diamonds' worth of vertices) and halving.
-func diamondKernel(s, m int, prog network.Program) (cost.Time, error) {
-	key := kernelKey{s, m, progFingerprint(prog)}
-	if v, ok := kernelCache.Load(key); ok {
-		return v.(cost.Time), nil
-	}
-	if s < 2 {
-		// A width-1 strip: one vertex per step, executed in place.
-		kernelCache.Store(key, cost.Time(4))
-		return 4, nil
-	}
-	res, err := BlockedD1(s, m, s, 0, prog)
-	if err != nil {
-		return 0, err
-	}
-	k := res.Time / 2
-	kernelCache.Store(key, k)
-	return k, nil
-}
-
-// roundToPow2Divisor rounds target to the nearest power of two in [1, cap]
-// (cap itself must be a power of two for exact divisibility).
-func roundToPow2Divisor(target float64, cap int) int {
-	if target < 1 {
-		target = 1
-	}
-	e := math.Round(math.Log2(target))
-	s := int(math.Exp2(e))
-	if s < 1 {
-		s = 1
-	}
-	for s > cap {
-		s /= 2
-	}
-	// Ensure divisibility even when cap is not a power of two.
-	for s > 1 && cap%s != 0 {
-		s /= 2
-	}
-	return s
 }

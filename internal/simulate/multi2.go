@@ -1,15 +1,57 @@
 package simulate
 
 import (
-	"fmt"
 	"math"
-	"sync"
 
 	"bsmp/internal/analytic"
-	"bsmp/internal/cost"
 	"bsmp/internal/guest"
 	"bsmp/internal/network"
 )
+
+// multiGeomD2 is the d = 2 geometry spec consumed by the shared
+// multiprocessor engine (multi_exec.go): octahedral kernels of span σ
+// hold ~σ³ dag vertices and exchange ~σ² face values; the 2-D
+// rearrangement buys a √p distance reduction.
+//
+// Kernel calibration: a real BlockedD2 run of a span-σ, σ-step guest with
+// density m, halved (the σ × σ × σ box holds about two octahedra's worth
+// of vertices). Spans are capped at 16 for calibration (the machinery
+// constant has converged by then) and scaled by volume. Unlike d = 1, the
+// calibration guest is fixed internally — never supplied by the caller —
+// so cache entries depend only on (σ, m) plus the fixed fingerprint; the
+// assumption is explicit in the unified cache key and pinned by
+// TestSpanKernelFixedGuest.
+var multiGeomD2 = &multiGeom{
+	d:           2,
+	kernelFloor: 8,
+	calSpan: func(s int) int {
+		if s > 16 {
+			return 16
+		}
+		return s
+	},
+	calProg: func(cal int, _ network.Program) network.Program {
+		return guest.AsNetwork{G: guest.MixCA{Seed: 42}, Side: cal}
+	},
+	calRun: func(cal, m int, prog network.Program) (Result, error) {
+		return BlockedD2(cal*cal, m, cal, 0, prog)
+	},
+	// Scale by dag volume (cal²·cal -> σ²·σ); the per-vertex cost is
+	// span-dominated and grows ~linearly, so scale that too.
+	scaleExp:      4,
+	checkShape:    func(n int) { analytic.IntSqrtExact(n) },
+	regionSideInt: func(n, p int) int { return int(math.Sqrt(float64(n) / float64(p))) },
+	regionSide:    func(nf, pf float64) float64 { return math.Sqrt(nf / pf) },
+	distRed:       func(pf float64) float64 { return math.Sqrt(pf) },
+	rawExchDist:   func(nf float64) float64 { return math.Sqrt(nf) / 2 },
+	relocCoeff:    3,
+	kernelCoeff:   4,
+	kernelVol:     func(sf float64) float64 { return sf * sf * sf },
+	faceSize:      func(sf float64) float64 { return sf * sf },
+	theoryExec: func(sf, mf float64) float64 {
+		return (sf * sf * sf / 2) * math.Min(sf, mf*analytic.Log(sf*sf/mf))
+	},
+}
 
 // MultiD2 runs the d = 2 case of Theorem 1: simulating M2(n, n, m) on
 // M2(n, p, m). The paper states the d = 2 bound and the octahedral
@@ -31,164 +73,7 @@ import (
 // The span σ is chosen by minimizing the resulting cost over powers of
 // two (the implementation analog of the paper's s* analysis); pass
 // SpanOverride to ablate. Functionally the guest advances exactly.
-type Multi2Options struct {
-	// SpanOverride fixes the octahedron span σ; 0 lets the model pick
-	// the cost-minimizing power of two in [2, sqrt(n/p)].
-	SpanOverride int
-	// NoRearrange removes the √p distance reduction in Regime 1 and
-	// cooperation.
-	NoRearrange bool
-}
-
-// Multi2Result reports the d = 2 run.
-type Multi2Result struct {
-	Result
-	// Span is the octahedron span σ used.
-	Span int
-	// Regime1Levels is the relocation level count.
-	Regime1Levels int
-}
-
-// MultiD2 simulates steps steps of the d = 2 guest. n and p must be
-// perfect squares with p | n.
+// n and p must be perfect squares with p | n.
 func MultiD2(n, p, m, steps int, prog network.Program, opts Multi2Options) (Multi2Result, error) {
-	if p < 1 || n%p != 0 {
-		return Multi2Result{}, fmt.Errorf("simulate: need p | n, got n=%d p=%d", n, p)
-	}
-	side := intSqrtExact(n)
-	_ = side
-	regionSide := int(math.Sqrt(float64(n) / float64(p)))
-	if regionSide < 1 {
-		regionSide = 1
-	}
-
-	// Candidate spans: powers of two up to the per-processor region side.
-	var spans []int
-	for s := 2; s <= regionSide; s *= 2 {
-		spans = append(spans, s)
-	}
-	if len(spans) == 0 {
-		spans = []int{2}
-	}
-	if opts.SpanOverride > 0 {
-		spans = []int{opts.SpanOverride}
-	}
-
-	best := math.Inf(1)
-	bestSpan := spans[0]
-	bestLevels := 0
-	var bestBreak [3]float64
-	for _, s := range spans {
-		total, levels, brk, err := multi2Cost(n, p, m, steps, s, opts.NoRearrange)
-		if err != nil {
-			return Multi2Result{}, err
-		}
-		if total < best {
-			best, bestSpan, bestLevels, bestBreak = total, s, levels, brk
-		}
-	}
-
-	// Charge the chosen schedule into a bank for ledger attribution.
-	bank := cost.NewBank(p)
-	for i := 0; i < p; i++ {
-		bank.Proc(i).Charge(cost.Transfer, bestBreak[0])
-		bank.Proc(i).Charge(cost.Compute, bestBreak[1])
-		bank.Proc(i).Charge(cost.Message, bestBreak[2])
-	}
-	bank.Barrier()
-
-	outs, mems := network.RunGuestPure(2, n, m, steps, prog)
-	return Multi2Result{
-		Result: Result{
-			Outputs:  outs,
-			Memories: mems,
-			Time:     bank.MaxNow(),
-			Ledger:   bank.Ledgers(),
-			Steps:    steps,
-		},
-		Span:          bestSpan,
-		Regime1Levels: bestLevels,
-	}, nil
-}
-
-// multi2Cost evaluates the phase model for span s, returning the total
-// per-processor time, the level count, and the (relocation, execution,
-// exchange) breakdown.
-func multi2Cost(n, p, m, steps, s int, noRearrange bool) (float64, int, [3]float64, error) {
-	nf, pf, mf, sf := float64(n), float64(p), float64(m), float64(s)
-	vol := nf * float64(steps+1)
-	regionSide := math.Sqrt(nf / pf)
-
-	kernel, err := blocked2Kernel(s, m)
-	if err != nil {
-		return 0, 0, [3]float64{}, err
-	}
-	// κ keeps the relocation/exchange phases commensurate with the
-	// measured kernel's machinery constant (same rationale as MultiD1).
-	perVertex := math.Min(sf, mf*analytic.Log(sf*sf/mf))
-	theory := (sf * sf * sf / 2) * perVertex
-	kap := kernel / theory
-	if kap < 1 {
-		kap = 1
-	}
-
-	levels := 0
-	if sf < regionSide {
-		levels = int(math.Round(math.Log2(regionSide / sf)))
-	}
-	distRed := math.Sqrt(pf)
-	if noRearrange {
-		distRed = 1
-	}
-	reloc := float64(levels) * kap * 3 * vol * mf / (distRed * pf)
-
-	numKernelsPerProc := 4 * vol / (sf * sf * sf) / pf
-	exec := numKernelsPerProc * kernel
-	exchDist := regionSide
-	if noRearrange {
-		exchDist = math.Sqrt(nf) / 2
-	}
-	exch := numKernelsPerProc * kap * sf * sf * exchDist
-
-	return reloc + exec + exch, levels, [3]float64{reloc, exec, exch}, nil
-}
-
-// blocked2Kernel measures the d = 2 per-domain execution kernel: a real
-// BlockedD2 run of a span-s, s-step guest with density m, halved (the
-// s × s × s box holds about two octahedra's worth of vertices). Cached
-// per (s, m); spans are capped at 16 for calibration (the constant has
-// converged by then) and scaled by volume.
-//
-// Unlike diamondKernel, the key needs no program fingerprint: the
-// calibration guest is fixed internally (guest.AsNetwork{MixCA{Seed: 42}}
-// below), never supplied by the caller, so (s, m) determines the
-// measurement. sync.Map because exp.All calibrates concurrently.
-var b2KernelCache sync.Map // [2]int -> float64
-
-func blocked2Kernel(s, m int) (float64, error) {
-	key := [2]int{s, m}
-	if v, ok := b2KernelCache.Load(key); ok {
-		return v.(float64), nil
-	}
-	if s < 2 {
-		b2KernelCache.Store(key, 8.0)
-		return 8, nil
-	}
-	cal := s
-	if cal > 16 {
-		cal = 16
-	}
-	prog := guest.AsNetwork{G: guest.MixCA{Seed: 42}, Side: cal}
-	res, err := BlockedD2(cal*cal, m, cal, 0, prog)
-	if err != nil {
-		return 0, err
-	}
-	k := float64(res.Time) / 2
-	if cal != s {
-		// Scale by dag volume (cal²·cal -> s²·s); the per-vertex cost is
-		// span-dominated and grows ~linearly, so scale that too.
-		k *= math.Pow(float64(s)/float64(cal), 4)
-	}
-	b2KernelCache.Store(key, k)
-	return k, nil
+	return multiSpan(multiGeomD2, n, p, m, steps, prog, opts)
 }

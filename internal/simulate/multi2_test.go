@@ -1,16 +1,15 @@
 package simulate
 
 import (
-	"testing"
-
 	"bsmp/internal/analytic"
+	"testing"
 )
 
 func TestMultiD2Functional(t *testing.T) {
 	for _, tc := range []struct{ n, p, m, steps int }{
 		{64, 4, 1, 8}, {64, 4, 4, 8}, {256, 16, 2, 8},
 	} {
-		side := intSqrtExact(tc.n)
+		side := analytic.IntSqrtExact(tc.n)
 		prog := netProg(side)
 		res, err := MultiD2(tc.n, tc.p, tc.m, tc.steps, prog, Multi2Options{})
 		if err != nil {

@@ -1,15 +1,52 @@
 package simulate
 
 import (
-	"fmt"
 	"math"
-	"sync"
 
 	"bsmp/internal/analytic"
-	"bsmp/internal/cost"
 	"bsmp/internal/guest"
 	"bsmp/internal/network"
 )
+
+// multiGeomD3 is the d = 3 geometry spec consumed by the shared
+// multiprocessor engine (multi_exec.go): span-σ kernels over the Box6
+// separator hold ~σ⁴ dag vertices and exchange ~σ³ face values; the 3-D
+// rearrangement buys a p^(1/3) distance reduction.
+//
+// Kernel calibration: a real BlockedD3 run of a span-σ, σ-step cube
+// guest, halved; spans are capped at 8 (the machinery constant has
+// converged) and scaled by volume. As with d = 2, the calibration guest
+// is the fixed internal MixCA program, so cache entries depend only on
+// (σ, m) plus the fixed fingerprint (TestSpanKernelFixedGuest).
+var multiGeomD3 = &multiGeom{
+	d:           3,
+	kernelFloor: 8,
+	calSpan: func(s int) int {
+		if s > 8 {
+			return 8
+		}
+		return s
+	},
+	calProg: func(cal int, _ network.Program) network.Program {
+		return guest.AsNetwork{G: guest.MixCA{Seed: 42}, CubeSide: cal}
+	},
+	calRun: func(cal, m int, prog network.Program) (Result, error) {
+		return BlockedD3(cal*cal*cal, m, cal, 0, prog)
+	},
+	scaleExp:      5,
+	checkShape:    func(n int) { analytic.IntCbrtExact(n) },
+	regionSideInt: func(n, p int) int { return int(math.Cbrt(float64(n) / float64(p))) },
+	regionSide:    func(nf, pf float64) float64 { return math.Cbrt(nf / pf) },
+	distRed:       func(pf float64) float64 { return math.Cbrt(pf) },
+	rawExchDist:   func(nf float64) float64 { return math.Cbrt(nf) / 2 },
+	relocCoeff:    4,
+	kernelCoeff:   5,
+	kernelVol:     func(sf float64) float64 { return sf * sf * sf * sf },
+	faceSize:      func(sf float64) float64 { return sf * sf * sf },
+	theoryExec: func(sf, mf float64) float64 {
+		return (sf * sf * sf * sf / 3) * math.Min(sf, mf*analytic.Log(sf*sf*sf/mf))
+	},
+}
 
 // MultiD3 evaluates the conjectured d = 3 case of Theorem 1: simulating
 // M3(n, n, m) on M3(n, p, m). The paper only conjectures this case; with
@@ -27,146 +64,8 @@ import (
 // The span σ is cost-minimized over powers of two. Functionally the guest
 // advances exactly. This is model-grade in the same sense as MultiD2
 // (DESIGN.md fidelity level L2); its value is making the conjectured
-// four-range structure of A(3, n, m, p) measurable.
-type Multi3Options struct {
-	// SpanOverride fixes σ; 0 = cost-minimizing power of two.
-	SpanOverride int
-	// NoRearrange removes the p^(1/3) distance reduction.
-	NoRearrange bool
-}
-
-// Multi3Result reports the d = 3 run.
-type Multi3Result struct {
-	Result
-	Span          int
-	Regime1Levels int
-}
-
-// MultiD3 simulates steps steps of the d = 3 guest; n and p must be
+// four-range structure of A(3, n, m, p) measurable. n and p must be
 // perfect cubes with p | n.
 func MultiD3(n, p, m, steps int, prog network.Program, opts Multi3Options) (Multi3Result, error) {
-	if p < 1 || n%p != 0 {
-		return Multi3Result{}, fmt.Errorf("simulate: need p | n, got n=%d p=%d", n, p)
-	}
-	_ = intCbrtExact(n)
-	regionSide := int(math.Cbrt(float64(n) / float64(p)))
-	if regionSide < 1 {
-		regionSide = 1
-	}
-	var spans []int
-	for s := 2; s <= regionSide; s *= 2 {
-		spans = append(spans, s)
-	}
-	if len(spans) == 0 {
-		spans = []int{2}
-	}
-	if opts.SpanOverride > 0 {
-		spans = []int{opts.SpanOverride}
-	}
-
-	best := math.Inf(1)
-	bestSpan := spans[0]
-	bestLevels := 0
-	var bestBreak [3]float64
-	for _, s := range spans {
-		total, levels, brk, err := multi3Cost(n, p, m, steps, s, opts.NoRearrange)
-		if err != nil {
-			return Multi3Result{}, err
-		}
-		if total < best {
-			best, bestSpan, bestLevels, bestBreak = total, s, levels, brk
-		}
-	}
-
-	bank := cost.NewBank(p)
-	for i := 0; i < p; i++ {
-		bank.Proc(i).Charge(cost.Transfer, bestBreak[0])
-		bank.Proc(i).Charge(cost.Compute, bestBreak[1])
-		bank.Proc(i).Charge(cost.Message, bestBreak[2])
-	}
-	bank.Barrier()
-
-	outs, mems := network.RunGuestPure(3, n, m, steps, prog)
-	return Multi3Result{
-		Result: Result{
-			Outputs:  outs,
-			Memories: mems,
-			Time:     bank.MaxNow(),
-			Ledger:   bank.Ledgers(),
-			Steps:    steps,
-		},
-		Span:          bestSpan,
-		Regime1Levels: bestLevels,
-	}, nil
-}
-
-func multi3Cost(n, p, m, steps, s int, noRearrange bool) (float64, int, [3]float64, error) {
-	nf, pf, mf, sf := float64(n), float64(p), float64(m), float64(s)
-	vol := nf * float64(steps+1)
-	regionSide := math.Cbrt(nf / pf)
-
-	kernel, err := blocked3Kernel(s, m)
-	if err != nil {
-		return 0, 0, [3]float64{}, err
-	}
-	perVertex := math.Min(sf, mf*analytic.Log(sf*sf*sf/mf))
-	theory := (sf * sf * sf * sf / 3) * perVertex
-	kap := kernel / theory
-	if kap < 1 {
-		kap = 1
-	}
-
-	levels := 0
-	if sf < regionSide {
-		levels = int(math.Round(math.Log2(regionSide / sf)))
-	}
-	distRed := math.Cbrt(pf)
-	if noRearrange {
-		distRed = 1
-	}
-	reloc := float64(levels) * kap * 4 * vol * mf / (distRed * pf)
-
-	numKernelsPerProc := 5 * vol / (sf * sf * sf * sf) / pf
-	exec := numKernelsPerProc * kernel
-	exchDist := regionSide
-	if noRearrange {
-		exchDist = math.Cbrt(nf) / 2
-	}
-	exch := numKernelsPerProc * kap * sf * sf * sf * exchDist
-
-	return reloc + exec + exch, levels, [3]float64{reloc, exec, exch}, nil
-}
-
-// blocked3Kernel measures the d = 3 per-domain kernel from a real
-// BlockedD3 run of a span-s, s-step cube guest.
-//
-// As with b2KernelCache, (s, m) suffices as the key: the calibration
-// guest is the fixed internal MixCA program, not a caller-supplied one.
-// sync.Map because exp.All calibrates concurrently.
-var b3KernelCache sync.Map // [2]int -> float64
-
-func blocked3Kernel(s, m int) (float64, error) {
-	key := [2]int{s, m}
-	if v, ok := b3KernelCache.Load(key); ok {
-		return v.(float64), nil
-	}
-	if s < 2 {
-		b3KernelCache.Store(key, 8.0)
-		return 8, nil
-	}
-	cal := s
-	if cal > 8 {
-		cal = 8 // the machinery constant has converged; scale by volume
-	}
-	prog := guest.AsNetwork{G: guest.MixCA{Seed: 42}, CubeSide: cal}
-	res, err := BlockedD3(cal*cal*cal, m, cal, 0, prog)
-	if err != nil {
-		return 0, err
-	}
-	k := float64(res.Time) / 2
-	if cal != s {
-		k *= math.Pow(float64(s)/float64(cal), 5)
-	}
-	b3KernelCache.Store(key, k)
-	return k, nil
+	return multiSpan(multiGeomD3, n, p, m, steps, prog, opts)
 }

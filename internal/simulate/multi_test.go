@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"bsmp/internal/analytic"
+	"bsmp/internal/perm"
 )
 
 func TestMultiD1Functional(t *testing.T) {
@@ -182,17 +183,51 @@ func TestMultiD1StripOverrideValidation(t *testing.T) {
 	}
 }
 
-func TestRoundToPow2Divisor(t *testing.T) {
-	cases := []struct {
-		target float64
-		cap    int
-		want   int
-	}{
-		{7.9, 64, 8}, {0.3, 64, 1}, {100, 16, 16}, {5, 8, 4}, {1024, 32, 32},
-	}
-	for _, c := range cases {
-		if got := roundToPow2Divisor(c.target, c.cap); got != c.want {
-			t.Errorf("roundToPow2Divisor(%v, %d) = %d, want %d", c.target, c.cap, got, c.want)
+// roundToPow2Divisor moved to analytic.RoundToPow2Divisor with direct
+// unit tests there; TestMultiD1StripWidthTracksOptimum above covers the
+// quantized strip selection end to end.
+
+func TestMultiD1RelocationDistanceDerivedFromPerm(t *testing.T) {
+	// The planner's Regime 1/exchange distance is certified by the
+	// rearrangement permutation itself: for the strip width the planner
+	// picks, π = π2·π1 leaves originally adjacent strips at most q/p
+	// apart, so the charged guest distance is exactly n/p.
+	for _, tc := range []struct{ n, p, m int }{
+		{64, 4, 16}, {64, 4, 4}, {256, 8, 16}, {1024, 8, 2}, {1024, 16, 256},
+	} {
+		s := analytic.RoundToPow2Divisor(analytic.OptimalS(tc.n, tc.m, tc.p), tc.n/tc.p)
+		q := tc.n / s
+		pi := perm.New(q, tc.p)
+		hop := pi.MaxAdjacentDisplacement()
+		if want := q / tc.p; hop != want {
+			t.Errorf("%+v: max adjacent displacement %d, want q/p = %d", tc, hop, want)
 		}
+		if hop*s != tc.n/tc.p {
+			t.Errorf("%+v: certified distance %d, want n/p = %d", tc, hop*s, tc.n/tc.p)
+		}
+	}
+}
+
+func TestMultiD1CyclesPrepShareVanishes(t *testing.T) {
+	// Section 4.2: the rearrangement "gives a contribution to the
+	// slowdown that vanishes as the number of simulated steps increases".
+	// PrepTime is constant while Time grows linearly in cycles, so the
+	// prep share must fall strictly and end up negligible.
+	n, p, m := 64, 4, 4
+	prog := netProg(0)
+	prevShare := 2.0
+	for _, cycles := range []int{1, 4, 16, 64} {
+		res, err := MultiD1Cycles(n, p, m, cycles, prog, MultiOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		share := float64(res.PrepTime) / float64(res.Time)
+		if share >= prevShare {
+			t.Errorf("cycles=%d: prep share %v not decreasing (prev %v)", cycles, share, prevShare)
+		}
+		prevShare = share
+	}
+	if prevShare > 0.05 {
+		t.Errorf("prep share %v at 64 cycles, want < 5%%", prevShare)
 	}
 }

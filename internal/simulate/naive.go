@@ -1,8 +1,7 @@
 package simulate
 
 import (
-	"fmt"
-
+	"bsmp/internal/analytic"
 	"bsmp/internal/hram"
 	"bsmp/internal/network"
 )
@@ -37,8 +36,8 @@ func Naive(d, n, p, m, steps int, prog network.Program) (Result, error) {
 	if d == 1 {
 		regionOf = func(v int) (int, int) { return v / perHost, v % perHost }
 	} else {
-		guestSide = intSqrtExact(n)
-		patch = intSqrtExact(perHost)
+		guestSide = analytic.IntSqrtExact(n)
+		patch = analytic.IntSqrtExact(perHost)
 		hostSide := host.Side()
 		regionOf = func(v int) (int, int) {
 			gx, gy := v%guestSide, v/guestSide
@@ -134,15 +133,4 @@ func Naive(d, n, p, m, steps int, prog network.Program) (Result, error) {
 		Ledger:   host.Bank.Ledgers(),
 		Steps:    steps,
 	}, nil
-}
-
-func intSqrtExact(n int) int {
-	r := 0
-	for (r+1)*(r+1) <= n {
-		r++
-	}
-	if r*r != n {
-		panic(fmt.Sprintf("simulate: %d is not a perfect square", n))
-	}
-	return r
 }

@@ -1,11 +1,11 @@
 package simulate
 
 import (
-	"math"
-	"testing"
-
+	"bsmp/internal/analytic"
 	"bsmp/internal/guest"
 	"bsmp/internal/network"
+	"math"
+	"testing"
 )
 
 func netProg(side int) network.Program {
@@ -34,7 +34,7 @@ func TestNaiveFunctionalD2(t *testing.T) {
 	for _, tc := range []struct{ n, p, m, steps int }{
 		{16, 1, 1, 4}, {16, 4, 2, 5}, {64, 4, 1, 6}, {64, 16, 3, 4},
 	} {
-		side := intSqrtExact(tc.n)
+		side := analytic.IntSqrtExact(tc.n)
 		prog := netProg(side)
 		res, err := Naive(2, tc.n, tc.p, tc.m, tc.steps, prog)
 		if err != nil {
@@ -70,7 +70,7 @@ func TestNaiveSlowdownShapeD2(t *testing.T) {
 	// d = 2, p = 1: slowdown ~ n^1.5.
 	var logN, logS []float64
 	for _, n := range []int{16, 64, 256} {
-		side := intSqrtExact(n)
+		side := analytic.IntSqrtExact(n)
 		prog := netProg(side)
 		res, err := Naive(2, n, 1, 1, 4, prog)
 		if err != nil {

@@ -1,0 +1,162 @@
+package simulate
+
+import (
+	"fmt"
+
+	"bsmp/internal/dag"
+	"bsmp/internal/guest"
+	"bsmp/internal/network"
+)
+
+// SchemeConfig carries the per-run knobs a registered scheme may consume.
+// The zero value selects every scheme's default (paper-optimal) settings.
+type SchemeConfig struct {
+	// Leaf is the uniprocessor recursion leaf (UniDC leafSize, blocked
+	// leafWidth/leafSpan); 0 selects the scheme default.
+	Leaf int
+	// Multi configures the multiprocessor schemes (strip/span overrides
+	// and mechanism ablations).
+	Multi MultiOptions
+}
+
+// Scheme is a named simulation algorithm from the paper's ladder,
+// runnable through a single signature. Uniprocessor schemes require
+// p = 1; unidc additionally requires m = 1 (Theorems 2 and 5) and a
+// program with a dag view. Every scheme returns a MultiResult; the
+// multiprocessor accounting fields are zero for uniprocessor schemes.
+type Scheme struct {
+	// Name is the registry key: "naive", "unidc", "blocked" or "multi".
+	Name string
+	// D is the mesh dimension the entry serves.
+	D int
+	// Multiproc reports whether the scheme exploits p > 1.
+	Multiproc bool
+	// Description is a one-line summary with the scheme's slowdown.
+	Description string
+	// Run executes the scheme on an n-node guest with density m for
+	// steps steps on p host processors.
+	Run func(n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error)
+}
+
+// dagView extracts the dag.Program behind a network program. No type can
+// implement both interfaces directly (their Step methods conflict), so
+// the dag view lives on the wrapped guest of an AsNetwork adapter.
+func dagView(prog network.Program) (dag.Program, bool) {
+	if an, ok := prog.(guest.AsNetwork); ok {
+		if dp, ok := an.G.(dag.Program); ok {
+			return dp, true
+		}
+	}
+	return nil, false
+}
+
+func uniOnly(name string, p int) error {
+	if p != 1 {
+		return fmt.Errorf("simulate: scheme %q is uniprocessor, got p=%d (want 1)", name, p)
+	}
+	return nil
+}
+
+func naiveScheme(d int) Scheme {
+	return Scheme{
+		Name: "naive", D: d, Multiproc: true,
+		Description: "step-by-step mimicry (Prop. 1), slowdown Θ((n/p)^(1+1/d))",
+		Run: func(n, p, m, steps int, prog network.Program, _ SchemeConfig) (MultiResult, error) {
+			r, err := Naive(d, n, p, m, steps, prog)
+			return MultiResult{Result: r}, err
+		},
+	}
+}
+
+func unidcScheme(d int) Scheme {
+	return Scheme{
+		Name: "unidc", D: d, Multiproc: false,
+		Description: "uniprocessor divide-and-conquer for m = 1 (Thms. 2/5), slowdown Θ(n log n)",
+		Run: func(n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error) {
+			if err := uniOnly("unidc", p); err != nil {
+				return MultiResult{}, err
+			}
+			if m != 1 {
+				return MultiResult{}, fmt.Errorf("simulate: scheme unidc needs m=1, got m=%d", m)
+			}
+			dp, ok := dagView(prog)
+			if !ok {
+				return MultiResult{}, fmt.Errorf("simulate: scheme unidc needs a program with a dag view, got %T", prog)
+			}
+			r, err := UniDC(d, n, steps, cfg.Leaf, dp)
+			return MultiResult{Result: r}, err
+		},
+	}
+}
+
+func blockedScheme(d int) Scheme {
+	return Scheme{
+		Name: "blocked", D: d, Multiproc: false,
+		Description: "blocked uniprocessor scheme for general m (Thm. 3), slowdown Θ(n·min(n, m·Log(n/m)))",
+		Run: func(n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error) {
+			if err := uniOnly("blocked", p); err != nil {
+				return MultiResult{}, err
+			}
+			var r Result
+			var err error
+			switch d {
+			case 1:
+				r, err = BlockedD1(n, m, steps, cfg.Leaf, prog)
+			case 2:
+				r, err = BlockedD2(n, m, steps, cfg.Leaf, prog)
+			default:
+				r, err = BlockedD3(n, m, steps, cfg.Leaf, prog)
+			}
+			return MultiResult{Result: r}, err
+		},
+	}
+}
+
+func multiScheme(d int) Scheme {
+	return Scheme{
+		Name: "multi", D: d, Multiproc: true,
+		Description: "multiprocessor rearrangement + cooperating mode (Thm. 4 / Thm. 1), slowdown Θ((n/p)·A(n, m, p))",
+		Run: func(n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error) {
+			switch d {
+			case 1:
+				return MultiD1(n, p, m, steps, prog, cfg.Multi)
+			case 2:
+				return MultiD2(n, p, m, steps, prog, cfg.Multi)
+			default:
+				return MultiD3(n, p, m, steps, prog, cfg.Multi)
+			}
+		},
+	}
+}
+
+// Schemes is the registry of named simulation schemes, one entry per
+// (algorithm, dimension) the repository implements: naive (d = 1, 2),
+// unidc and blocked and multi (d = 1, 2, 3). Callers — bsmp.RunScheme,
+// cmd/tradeoff, cmd/experiments, the E-REG experiment — select
+// simulations by name and dimension instead of hard-wiring function
+// calls.
+var Schemes = []Scheme{
+	naiveScheme(1), naiveScheme(2),
+	unidcScheme(1), unidcScheme(2), unidcScheme(3),
+	blockedScheme(1), blockedScheme(2), blockedScheme(3),
+	multiScheme(1), multiScheme(2), multiScheme(3),
+}
+
+// SchemeByName returns the registered scheme for (name, d).
+func SchemeByName(name string, d int) (Scheme, error) {
+	for _, s := range Schemes {
+		if s.Name == name && s.D == d {
+			return s, nil
+		}
+	}
+	return Scheme{}, fmt.Errorf("simulate: no scheme %q for d=%d", name, d)
+}
+
+// RunScheme looks up (name, d) in the registry and runs it.
+func RunScheme(name string, d, n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error) {
+	s, err := SchemeByName(name, d)
+	if err != nil {
+		return MultiResult{}, err
+	}
+	return s.Run(n, p, m, steps, prog, cfg)
+}

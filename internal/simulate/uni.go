@@ -1,13 +1,13 @@
 package simulate
 
 import (
-	"fmt"
-
+	"bsmp/internal/analytic"
 	"bsmp/internal/cost"
 	"bsmp/internal/dag"
 	"bsmp/internal/hram"
 	"bsmp/internal/lattice"
 	"bsmp/internal/separator"
+	"fmt"
 )
 
 // UniDC runs the uniprocessor divide-and-conquer simulation for m = 1:
@@ -61,10 +61,10 @@ func UniNaiveDag(d, n, steps int, prog dag.Program) (Result, error) {
 	idx := func(p lattice.Point) int {
 		switch d {
 		case 2:
-			side := intSqrtExact(n)
+			side := analytic.IntSqrtExact(n)
 			return p.Y*side + p.X
 		case 3:
-			side := intCbrtExact(n)
+			side := analytic.IntCbrtExact(n)
 			return (p.Z*side+p.Y)*side + p.X
 		default:
 			return p.X
@@ -127,27 +127,16 @@ func guestDag(d, n, steps int) (dag.Graph, lattice.Domain, error) {
 		g := dag.NewLineGraph(n, steps)
 		return g, g.Domain(), nil
 	case 2:
-		side := intSqrtExact(n)
+		side := analytic.IntSqrtExact(n)
 		g := dag.NewMeshGraph(side, steps)
 		return g, g.Domain(), nil
 	case 3:
-		side := intCbrtExact(n)
+		side := analytic.IntCbrtExact(n)
 		g := dag.NewCubeGraph(side, steps)
 		return g, g.Domain(), nil
 	default:
 		return nil, nil, fmt.Errorf("simulate: dimension %d not in {1,2,3}", d)
 	}
-}
-
-func intCbrtExact(n int) int {
-	r := 0
-	for (r+1)*(r+1)*(r+1) <= n {
-		r++
-	}
-	if r*r*r != n {
-		panic(fmt.Sprintf("simulate: %d is not a perfect cube", n))
-	}
-	return r
 }
 
 // forEachNode visits the guest's nodes at t = 0 in index order.
@@ -158,14 +147,14 @@ func forEachNode(d, n int, f func(lattice.Point)) {
 			f(lattice.Point{X: x})
 		}
 	case 2:
-		side := intSqrtExact(n)
+		side := analytic.IntSqrtExact(n)
 		for y := 0; y < side; y++ {
 			for x := 0; x < side; x++ {
 				f(lattice.Point{X: x, Y: y})
 			}
 		}
 	default:
-		side := intCbrtExact(n)
+		side := analytic.IntCbrtExact(n)
 		for z := 0; z < side; z++ {
 			for y := 0; y < side; y++ {
 				for x := 0; x < side; x++ {
