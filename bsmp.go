@@ -55,8 +55,10 @@ type Time = cost.Time
 // Machine is the mesh machine Md(n, p, m) of Definition 2.
 type Machine = network.Machine
 
-// NewMachine builds Md(n, p, m): a d-dimensional mesh (d in {1, 2}) of p
-// hierarchical-memory nodes with total volume n and memory density m.
+// NewMachine builds Md(n, p, m): a d-dimensional mesh (d in {1, 2, 3}) of
+// p hierarchical-memory nodes with total volume n and memory density m.
+// It panics on malformed geometry (see network.New); use ValidateParams
+// to pre-check caller-supplied tuples.
 func NewMachine(d, n, p, m int) *Machine { return network.New(d, n, p, m) }
 
 // Program is a synchronous network computation: per-node m-word memory
@@ -201,9 +203,25 @@ func Schemes() []Scheme { return simulate.Schemes }
 // SchemeByName returns the registered scheme for (name, d).
 func SchemeByName(name string, d int) (Scheme, error) { return simulate.SchemeByName(name, d) }
 
-// RunScheme looks up (name, d) in the registry and runs it.
+// RunScheme looks up (name, d) in the registry and runs it. Parameters
+// are validated before any machinery is constructed: a malformed tuple
+// yields a *ParamError, never a panic.
 func RunScheme(name string, d, n, p, m, steps int, prog Program, cfg SchemeConfig) (MultiResult, error) {
 	return simulate.RunScheme(name, d, n, p, m, steps, prog, cfg)
+}
+
+// ParamError is the typed rejection of a malformed parameter tuple: the
+// offending field, the violated constraint, and the value. Every scheme
+// registry entry point returns it (wrapped in error) instead of
+// panicking.
+type ParamError = simulate.ParamError
+
+// ValidateParams checks (scheme, d, n, p, m, steps) against the
+// registered scheme's constraints without running anything. It returns
+// nil for a runnable tuple, a *ParamError for a constraint violation, or
+// the registry lookup error for an unknown (scheme, d) pair.
+func ValidateParams(scheme string, d, n, p, m, steps int) error {
+	return simulate.ValidateParams(scheme, d, n, p, m, steps)
 }
 
 // Closed-form bounds (package analytic re-exported).

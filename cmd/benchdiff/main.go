@@ -6,6 +6,13 @@
 // and did nothing regress by an order of magnitude" gate, deliberately
 // tolerant of hardware variance (use -max-ratio 0 to only report).
 //
+// Benchmarks are keyed on (package, name): `go test -bench ./...`
+// prefixes each package's results with a "pkg:" line, and two packages
+// may define same-named benchmarks, so keying on the bare name would
+// silently collapse them into whichever printed last. Baseline entries
+// recorded as "BenchmarkX (pkg/path, params)" match package-exactly;
+// bare baseline names still match when unambiguous.
+//
 // Usage:
 //
 //	go test -run xxx -bench . -benchtime=1x ./... | benchdiff -baseline BENCH_pr2.json -require BenchmarkMultiD1 -max-ratio 50
@@ -16,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"strconv"
@@ -33,7 +41,93 @@ type baselineFile struct {
 	} `json:"benchmarks"`
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
+	pkgLine   = regexp.MustCompile(`^pkg:\s+(\S+)`)
+)
+
+// baseEntry is one baseline benchmark: its recorded package (possibly
+// empty for legacy bare-name baselines) and ns/op.
+type baseEntry struct {
+	pkg  string
+	nsOp float64
+}
+
+// measurement is one benchmark line from stdin, tagged with the package
+// announced by the preceding "pkg:" line.
+type measurement struct {
+	name, pkg string
+	nsOp      float64
+}
+
+// parseBaselineName splits "BenchmarkX (pkg/path, params)" into the bare
+// name and the package path; names without a parenthesized package yield
+// pkg = "".
+func parseBaselineName(name string) (bare, pkg string) {
+	bare = strings.Fields(name)[0]
+	if open := strings.Index(name, "("); open >= 0 {
+		inner := name[open+1:]
+		if end := strings.IndexAny(inner, ",)"); end >= 0 {
+			inner = inner[:end]
+		}
+		pkg = strings.TrimSpace(inner)
+	}
+	return bare, pkg
+}
+
+// pkgMatches reports whether a measured import path and a baseline
+// package refer to the same package; baselines record module-relative
+// paths ("internal/simulate") while go test prints the full import path
+// ("bsmp/internal/simulate"), so suffix matches count.
+func pkgMatches(measured, baseline string) bool {
+	return measured == baseline ||
+		strings.HasSuffix(measured, "/"+baseline) ||
+		strings.HasSuffix(baseline, "/"+measured)
+}
+
+// scanMeasurements parses `go test -bench` output, attributing each
+// benchmark line to the package announced by the preceding "pkg:" line.
+// It returns the measurements in input order plus, per bare name, the
+// set of packages it appeared in (same-named benchmarks in different
+// packages stay distinct instead of overwriting each other).
+func scanMeasurements(r io.Reader) ([]measurement, map[string]map[string]bool, error) {
+	var measured []measurement
+	seen := map[string]map[string]bool{} // bare name -> set of packages
+	curPkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := pkgLine.FindStringSubmatch(line); m != nil {
+			curPkg = m[1]
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if seen[m[1]] == nil {
+			seen[m[1]] = map[string]bool{}
+		}
+		if seen[m[1]][curPkg] {
+			// Same (pkg, name) twice (e.g. -count > 1): keep the last
+			// measurement, as the bare-name version always did.
+			for i := range measured {
+				if measured[i].name == m[1] && measured[i].pkg == curPkg {
+					measured[i].nsOp = ns
+				}
+			}
+			continue
+		}
+		seen[m[1]][curPkg] = true
+		measured = append(measured, measurement{name: m[1], pkg: curPkg, nsOp: ns})
+	}
+	return measured, seen, sc.Err()
+}
 
 func main() {
 	baseline := flag.String("baseline", "", "baseline JSON (BENCH_pr*.json shape); empty = no time comparison")
@@ -41,7 +135,8 @@ func main() {
 	require := flag.String("require", "", "comma-separated benchmark names that must appear in the input")
 	flag.Parse()
 
-	base := map[string]float64{}
+	var base []baseEntry
+	baseByName := map[string][]int{} // bare name -> indices into base
 	if *baseline != "" {
 		raw, err := os.ReadFile(*baseline)
 		if err != nil {
@@ -57,29 +152,27 @@ func main() {
 			if b.After == nil || b.After.NsOp == 0 {
 				continue
 			}
-			// Names are recorded as "BenchmarkX (pkg/path)"; key on the
-			// bare benchmark name.
-			base[strings.Fields(b.Name)[0]] = b.After.NsOp
+			bare, pkg := parseBaselineName(b.Name)
+			baseByName[bare] = append(baseByName[bare], len(base))
+			base = append(base, baseEntry{pkg: pkg, nsOp: b.After.NsOp})
 		}
 	}
 
-	measured := map[string]float64{}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
-		if m == nil {
-			continue
-		}
-		ns, err := strconv.ParseFloat(m[2], 64)
-		if err != nil {
-			continue
-		}
-		measured[m[1]] = ns
-	}
-	if err := sc.Err(); err != nil {
+	measured, seen, err := scanMeasurements(os.Stdin)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: reading stdin: %v\n", err)
 		os.Exit(2)
+	}
+
+	for name, pkgs := range seen {
+		if len(pkgs) > 1 {
+			var list []string
+			for p := range pkgs {
+				list = append(list, p)
+			}
+			fmt.Fprintf(os.Stderr, "benchdiff: warning: %s defined in %d packages (%s); comparing per package\n",
+				name, len(pkgs), strings.Join(list, ", "))
+		}
 	}
 
 	failed := false
@@ -88,24 +181,49 @@ func main() {
 		if name == "" {
 			continue
 		}
-		if _, ok := measured[name]; !ok {
+		if len(seen[name]) == 0 {
 			fmt.Printf("MISSING  %s (required benchmark did not run)\n", name)
 			failed = true
 		}
 	}
-	for name, ns := range measured {
-		want, ok := base[name]
-		if !ok {
-			fmt.Printf("new      %-28s %12.0f ns/op (no baseline)\n", name, ns)
-			continue
+	for _, m := range measured {
+		label := m.name
+		if m.pkg != "" && len(seen[m.name]) > 1 {
+			label = fmt.Sprintf("%s [%s]", m.name, m.pkg)
 		}
-		ratio := ns / want
-		verdict := "ok"
-		if *maxRatio > 0 && ratio > *maxRatio {
-			verdict = fmt.Sprintf("FAIL (> %gx)", *maxRatio)
-			failed = true
+		// Package-exact baseline match first; a bare or package-less
+		// baseline entry still applies when the name is unambiguous.
+		var want float64
+		found := false
+		ambiguous := false
+		for _, i := range baseByName[m.name] {
+			if base[i].pkg != "" && pkgMatches(m.pkg, base[i].pkg) {
+				want, found = base[i].nsOp, true
+				break
+			}
 		}
-		fmt.Printf("%-8s %-28s %12.0f ns/op  baseline %12.0f  ratio %5.2f\n", verdict, name, ns, want, ratio)
+		if !found {
+			if idx := baseByName[m.name]; len(idx) == 1 {
+				want, found = base[idx[0]].nsOp, base[idx[0]].pkg == "" || pkgMatches(m.pkg, base[idx[0]].pkg)
+			} else if len(idx) > 1 {
+				ambiguous = true
+			}
+		}
+		switch {
+		case ambiguous:
+			fmt.Fprintf(os.Stderr, "benchdiff: warning: %s matches multiple baseline entries and none package-exactly; skipping comparison\n", label)
+			fmt.Printf("new      %-28s %12.0f ns/op (ambiguous baseline)\n", label, m.nsOp)
+		case !found:
+			fmt.Printf("new      %-28s %12.0f ns/op (no baseline)\n", label, m.nsOp)
+		default:
+			ratio := m.nsOp / want
+			verdict := "ok"
+			if *maxRatio > 0 && ratio > *maxRatio {
+				verdict = fmt.Sprintf("FAIL (> %gx)", *maxRatio)
+				failed = true
+			}
+			fmt.Printf("%-8s %-28s %12.0f ns/op  baseline %12.0f  ratio %5.2f\n", verdict, label, m.nsOp, want, ratio)
+		}
 	}
 	if len(measured) == 0 {
 		fmt.Println("MISSING  no benchmark lines found on stdin")

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScanMeasurementsKeepsSameNamedBenchmarksDistinct is the regression
+// test for the bare-name collision bug: two packages defining
+// BenchmarkRun must yield two measurements, not one silently
+// overwriting the other.
+func TestScanMeasurementsKeepsSameNamedBenchmarksDistinct(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: bsmp/internal/simulate
+BenchmarkRun-8    	     100	   1000.0 ns/op
+BenchmarkMultiD1-8	      10	  20000.0 ns/op
+PASS
+pkg: bsmp/internal/serve
+BenchmarkRun-8    	     100	   5000.0 ns/op
+PASS
+`
+	measured, seen, err := scanMeasurements(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(measured) != 3 {
+		t.Fatalf("got %d measurements, want 3: %+v", len(measured), measured)
+	}
+	if len(seen["BenchmarkRun"]) != 2 {
+		t.Fatalf("BenchmarkRun seen in %d packages, want 2", len(seen["BenchmarkRun"]))
+	}
+	byKey := map[string]float64{}
+	for _, m := range measured {
+		byKey[m.name+"|"+m.pkg] = m.nsOp
+	}
+	if byKey["BenchmarkRun|bsmp/internal/simulate"] != 1000 {
+		t.Errorf("simulate BenchmarkRun = %v, want 1000", byKey["BenchmarkRun|bsmp/internal/simulate"])
+	}
+	if byKey["BenchmarkRun|bsmp/internal/serve"] != 5000 {
+		t.Errorf("serve BenchmarkRun = %v, want 5000", byKey["BenchmarkRun|bsmp/internal/serve"])
+	}
+}
+
+func TestScanMeasurementsRepeatKeepsLast(t *testing.T) {
+	input := `pkg: bsmp/internal/simulate
+BenchmarkRun-8    	     100	   1000.0 ns/op
+BenchmarkRun-8    	     100	   3000.0 ns/op
+`
+	measured, _, err := scanMeasurements(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(measured) != 1 {
+		t.Fatalf("got %d measurements for -count=2 style repeats, want 1", len(measured))
+	}
+	if measured[0].nsOp != 3000 {
+		t.Fatalf("nsOp = %v, want the last measurement 3000", measured[0].nsOp)
+	}
+}
+
+func TestParseBaselineName(t *testing.T) {
+	cases := []struct {
+		in, bare, pkg string
+	}{
+		{"BenchmarkMultiD1 (internal/simulate, n=256 p=8 m=16 steps=64)", "BenchmarkMultiD1", "internal/simulate"},
+		{"BenchmarkRunSchemeMultiD1 (internal/simulate)", "BenchmarkRunSchemeMultiD1", "internal/simulate"},
+		{"BenchmarkBare", "BenchmarkBare", ""},
+	}
+	for _, tc := range cases {
+		bare, pkg := parseBaselineName(tc.in)
+		if bare != tc.bare || pkg != tc.pkg {
+			t.Errorf("parseBaselineName(%q) = %q, %q; want %q, %q", tc.in, bare, pkg, tc.bare, tc.pkg)
+		}
+	}
+}
+
+func TestPkgMatches(t *testing.T) {
+	if !pkgMatches("bsmp/internal/simulate", "internal/simulate") {
+		t.Error("module-qualified path should match module-relative baseline")
+	}
+	if !pkgMatches("bsmp/internal/simulate", "bsmp/internal/simulate") {
+		t.Error("identical paths should match")
+	}
+	if pkgMatches("bsmp/internal/serve", "internal/simulate") {
+		t.Error("different packages must not match")
+	}
+}

@@ -1,0 +1,65 @@
+// Command bsmpd serves the scheme registry and the closed-form Theorem 1
+// bounds over HTTP JSON. Endpoints:
+//
+//	POST /v1/run      run a simulation (cached, pooled, validated)
+//	GET  /v1/bounds   closed-form Theorem 1 quantities
+//	GET  /v1/schemes  scheme registry listing
+//	GET  /healthz     liveness (503 while draining)
+//	GET  /metrics     expvar-style counters
+//
+// Invalid parameter tuples get structured 400s with the typed ParamError;
+// load beyond the worker pool's queue gets 429; SIGINT/SIGTERM triggers a
+// graceful drain. See README.md "Running the daemon".
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bsmp/internal/serve"
+)
+
+func main() {
+	var cfg serve.Config
+	flag.StringVar(&cfg.Addr, "addr", ":8080", "listen address")
+	flag.IntVar(&cfg.Workers, "workers", 0, "concurrent simulation workers (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.QueueDepth, "queue", 64, "queued requests beyond running ones before 429")
+	flag.IntVar(&cfg.CacheEntries, "cache", 512, "result cache entries (negative disables)")
+	flag.DurationVar(&cfg.RequestTimeout, "timeout", 30*time.Second, "per-request simulation deadline")
+	flag.IntVar(&cfg.MaxN, "max-n", 1<<16, "largest accepted machine volume n")
+	flag.IntVar(&cfg.MaxM, "max-m", 1<<12, "largest accepted memory density m")
+	flag.IntVar(&cfg.MaxSteps, "max-steps", 1<<12, "largest accepted step count")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	flag.Parse()
+
+	s := serve.New(cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- s.ListenAndServe() }()
+	fmt.Printf("bsmpd listening on %s\n", cfg.Addr)
+
+	select {
+	case err := <-errc:
+		if err != nil {
+			log.Fatalf("bsmpd: %v", err)
+		}
+		return
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("bsmpd: draining (budget %s)", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := s.Shutdown(sctx); err != nil {
+		log.Fatalf("bsmpd: shutdown: %v", err)
+	}
+	log.Printf("bsmpd: drained cleanly")
+}

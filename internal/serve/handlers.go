@@ -1,0 +1,397 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"bsmp"
+	"bsmp/internal/cost"
+
+	"encoding/json"
+)
+
+// RunRequest is the POST /v1/run body: a full scheme-registry tuple plus
+// the guest selection and per-run SchemeConfig knobs.
+type RunRequest struct {
+	Scheme string `json:"scheme"`
+	D      int    `json:"d"`
+	N      int    `json:"n"`
+	P      int    `json:"p"`
+	M      int    `json:"m"`
+	Steps  int    `json:"steps"`
+	// Guest selects the workload: "mixca" (default, any m) or "rule90".
+	Guest string `json:"guest,omitempty"`
+	// Seed perturbs the guest's initial condition.
+	Seed   uint64    `json:"seed,omitempty"`
+	Config RunConfig `json:"config,omitempty"`
+}
+
+// RunConfig mirrors bsmp.SchemeConfig field by field for the JSON
+// surface.
+type RunConfig struct {
+	Leaf         int  `json:"leaf,omitempty"`
+	StripWidth   int  `json:"strip_width,omitempty"`
+	SpanOverride int  `json:"span_override,omitempty"`
+	NoRearrange  bool `json:"no_rearrange,omitempty"`
+	NoCooperate  bool `json:"no_cooperate,omitempty"`
+}
+
+// PhaseTime is one entry of the per-phase makespan attribution.
+type PhaseTime struct {
+	Name string  `json:"name"`
+	Time float64 `json:"time"`
+}
+
+// RunResponse reports a simulation: the echoed tuple, the virtual-time
+// accounting, and the serving metadata (cache/coalescing provenance).
+type RunResponse struct {
+	Scheme string `json:"scheme"`
+	D      int    `json:"d"`
+	N      int    `json:"n"`
+	P      int    `json:"p"`
+	M      int    `json:"m"`
+	Steps  int    `json:"steps"`
+	Guest  string `json:"guest"`
+	Seed   uint64 `json:"seed"`
+
+	// Time is the host's elapsed virtual time; PrepTime the one-time
+	// rearrangement cost (multiprocessor schemes).
+	Time     float64 `json:"time"`
+	PrepTime float64 `json:"prep_time,omitempty"`
+	// Slowdown is Time over the analytic guest time is not measured
+	// here; Bound is Theorem 1's closed-form (n/p)·A(n, m, p) for
+	// context.
+	Bound float64 `json:"theorem1_bound"`
+
+	StripWidth    int         `json:"strip_width,omitempty"`
+	Span          int         `json:"span,omitempty"`
+	Regime1Levels int         `json:"regime1_levels,omitempty"`
+	Domains       int         `json:"domains,omitempty"`
+	Phases        []PhaseTime `json:"phases,omitempty"`
+	// Ledger attributes Time by cost category.
+	Ledger map[string]float64 `json:"ledger"`
+
+	// Cached reports an LRU hit; Coalesced that this response shares a
+	// concurrent identical query's execution.
+	Cached    bool `json:"cached"`
+	Coalesced bool `json:"coalesced,omitempty"`
+}
+
+// BoundsResponse is the closed-form Theorem 1 payload for /v1/bounds.
+type BoundsResponse struct {
+	D int `json:"d"`
+	N int `json:"n"`
+	P int `json:"p"`
+	M int `json:"m"`
+
+	A          float64 `json:"a"`
+	Slowdown   float64 `json:"slowdown"`
+	Brent      float64 `json:"brent"`
+	NaiveBound float64 `json:"naive_bound"`
+	OptimalS   float64 `json:"optimal_s"`
+	// Boundaries are the three m-range boundaries of Theorem 1.
+	Boundaries [3]float64 `json:"range_boundaries"`
+}
+
+// SchemeInfo is one /v1/schemes registry entry.
+type SchemeInfo struct {
+	Name        string `json:"name"`
+	D           int    `json:"d"`
+	Multiproc   bool   `json:"multiproc"`
+	Description string `json:"description"`
+}
+
+// maxRunBody bounds the /v1/run request body; the whole tuple fits in a
+// few hundred bytes.
+const maxRunBody = 1 << 16
+
+// handleRun serves POST /v1/run.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method", "use POST", nil)
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is shutting down", nil)
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRunBody))
+	dec.DisallowUnknownFields()
+	var req RunRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "body", fmt.Sprintf("malformed request body: %v", err), nil)
+		return
+	}
+	if req.Guest == "" {
+		req.Guest = "mixca"
+	}
+	if req.Guest != "mixca" && req.Guest != "rule90" {
+		writeError(w, http.StatusBadRequest, "param", "unknown guest",
+			&bsmp.ParamError{Scheme: req.Scheme, Field: "guest",
+				Constraint: `must be "mixca" or "rule90"`, Got: req.Guest})
+		return
+	}
+	if pe := s.checkCaps(req); pe != nil {
+		writeError(w, http.StatusBadRequest, "param", pe.Error(), pe)
+		return
+	}
+	if err := bsmp.ValidateParams(req.Scheme, req.D, req.N, req.P, req.M, req.Steps); err != nil {
+		var pe *bsmp.ParamError
+		if !errors.As(err, &pe) {
+			// Registry lookup failure: surface it on the scheme field.
+			pe = &bsmp.ParamError{Scheme: req.Scheme, Field: "scheme",
+				Constraint: "must be a registered (scheme, d) pair", Got: req.Scheme}
+		}
+		writeError(w, http.StatusBadRequest, "param", err.Error(), pe)
+		return
+	}
+
+	key := cacheKey(req)
+	if v, ok := s.cache.Get(key); ok {
+		s.vars.Add("cache_hits", 1)
+		resp := *v.(*RunResponse)
+		resp.Cached = true
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	s.vars.Add("cache_misses", 1)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	v, err, shared := s.flight.Do(ctx, key, func() (any, error) {
+		return s.pool.Do(ctx, func() (any, error) {
+			resp, err := s.runScheme(req)
+			if err == nil {
+				s.vars.Add("runs", 1)
+				s.cache.Add(key, resp)
+			}
+			return resp, err
+		})
+	})
+	if shared {
+		s.vars.Add("coalesced", 1)
+	}
+	if err != nil {
+		s.writeRunError(w, err)
+		return
+	}
+	resp := *v.(*RunResponse)
+	resp.Coalesced = shared
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeRunError maps an execution failure onto the HTTP surface.
+func (s *Server) writeRunError(w http.ResponseWriter, err error) {
+	var pe *bsmp.ParamError
+	var pz *PanicError
+	switch {
+	case errors.As(err, &pz):
+		s.vars.Add("panics_recovered", 1)
+		writeError(w, http.StatusInternalServerError, "internal", err.Error(), nil)
+	case errors.Is(err, ErrQueueFull):
+		s.vars.Add("queue_rejects", 1)
+		writeError(w, http.StatusTooManyRequests, "queue_full", err.Error(), nil)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "draining", err.Error(), nil)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.vars.Add("deadline_timeouts", 1)
+		writeError(w, http.StatusGatewayTimeout, "deadline", "request deadline exceeded", nil)
+	case errors.As(err, &pe):
+		writeError(w, http.StatusBadRequest, "param", err.Error(), pe)
+	default:
+		// Remaining failures are tuple/config mismatches reported by the
+		// scheme itself (e.g. a strip width that does not divide n/p).
+		writeError(w, http.StatusBadRequest, "param", err.Error(), nil)
+	}
+}
+
+// checkCaps enforces the server-side size limits — valid paper geometry
+// can still be too big to simulate on request-serving budgets.
+func (s *Server) checkCaps(req RunRequest) *bsmp.ParamError {
+	switch {
+	case req.N > s.cfg.MaxN:
+		return &bsmp.ParamError{Scheme: req.Scheme, Field: "n",
+			Constraint: fmt.Sprintf("exceeds server limit %d", s.cfg.MaxN), Got: req.N}
+	case req.M > s.cfg.MaxM:
+		return &bsmp.ParamError{Scheme: req.Scheme, Field: "m",
+			Constraint: fmt.Sprintf("exceeds server limit %d", s.cfg.MaxM), Got: req.M}
+	case req.Steps > s.cfg.MaxSteps:
+		return &bsmp.ParamError{Scheme: req.Scheme, Field: "steps",
+			Constraint: fmt.Sprintf("exceeds server limit %d", s.cfg.MaxSteps), Got: req.Steps}
+	}
+	return nil
+}
+
+// cacheKey serializes the full request tuple — scheme, dimension, sizes,
+// guest, seed, and every SchemeConfig knob — so distinct runs never
+// alias.
+func cacheKey(req RunRequest) string {
+	return fmt.Sprintf("%s|d=%d|n=%d|p=%d|m=%d|steps=%d|g=%s|seed=%d|leaf=%d|sw=%d|so=%d|nr=%t|nc=%t",
+		req.Scheme, req.D, req.N, req.P, req.M, req.Steps, req.Guest, req.Seed,
+		req.Config.Leaf, req.Config.StripWidth, req.Config.SpanOverride,
+		req.Config.NoRearrange, req.Config.NoCooperate)
+}
+
+// buildGuest constructs the requested workload with the grid geometry d
+// requires (n's shape is already validated).
+func buildGuest(req RunRequest) bsmp.Program {
+	var g interface {
+		InitAt(x, y int, mem []bsmp.Word) bsmp.Word
+		Address(node, step, memSize int) int
+		Step2(node, step int, cell bsmp.Word, prev []bsmp.Word) (bsmp.Word, bsmp.Word)
+	}
+	if req.Guest == "rule90" {
+		g = bsmp.Rule90{Seed: req.Seed}
+	} else {
+		g = bsmp.MixCA{Seed: req.Seed}
+	}
+	side := 0
+	switch req.D {
+	case 2:
+		for side*side < req.N {
+			side++
+		}
+		return bsmp.AsNetwork{G: g, Side: side}
+	case 3:
+		for side*side*side < req.N {
+			side++
+		}
+		return bsmp.AsNetwork{G: g, CubeSide: side}
+	}
+	return bsmp.AsNetwork{G: g}
+}
+
+// ledgerCategories is the cost-category order reported in responses.
+var ledgerCategories = []cost.Category{cost.Compute, cost.Access, cost.Transfer, cost.Message, cost.Sync}
+
+// execute runs a validated request through the scheme registry — the
+// production runScheme implementation.
+func (s *Server) execute(req RunRequest) (*RunResponse, error) {
+	cfg := bsmp.SchemeConfig{
+		Leaf: req.Config.Leaf,
+		Multi: bsmp.MultiOptions{
+			StripWidth:   req.Config.StripWidth,
+			SpanOverride: req.Config.SpanOverride,
+			NoRearrange:  req.Config.NoRearrange,
+			NoCooperate:  req.Config.NoCooperate,
+		},
+	}
+	res, err := bsmp.RunScheme(req.Scheme, req.D, req.N, req.P, req.M, req.Steps, buildGuest(req), cfg)
+	if err != nil {
+		return nil, err
+	}
+	ledger := make(map[string]float64, len(ledgerCategories))
+	for _, cat := range ledgerCategories {
+		if t := res.Ledger.Total(cat); t != 0 {
+			ledger[cat.String()] = t
+		}
+	}
+	var phases []PhaseTime
+	for _, ph := range res.Phases {
+		phases = append(phases, PhaseTime{Name: ph.Name, Time: ph.Time})
+	}
+	return &RunResponse{
+		Scheme: req.Scheme, D: req.D, N: req.N, P: req.P, M: req.M, Steps: req.Steps,
+		Guest: req.Guest, Seed: req.Seed,
+		Time:       res.Time,
+		PrepTime:   res.PrepTime,
+		Bound:      bsmp.Slowdown(req.D, req.N, req.M, req.P),
+		StripWidth: res.StripWidth, Span: res.Span,
+		Regime1Levels: res.Regime1Levels, Domains: res.Domains,
+		Phases: phases, Ledger: ledger,
+	}, nil
+}
+
+// handleBounds serves GET /v1/bounds?d=&n=&p=&m= — the closed-form
+// Theorem 1 quantities, no simulation.
+func (s *Server) handleBounds(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method", "use GET", nil)
+		return
+	}
+	q := r.URL.Query()
+	get := func(name string) (int, *bsmp.ParamError) {
+		raw := q.Get(name)
+		if raw == "" {
+			return 0, &bsmp.ParamError{Field: name, Constraint: "query parameter required", Got: raw}
+		}
+		v, err := strconv.Atoi(raw)
+		if err != nil {
+			return 0, &bsmp.ParamError{Field: name, Constraint: "must be an integer", Got: raw}
+		}
+		return v, nil
+	}
+	var d, n, p, m int
+	for _, f := range []struct {
+		name string
+		dst  *int
+	}{{"d", &d}, {"n", &n}, {"p", &p}, {"m", &m}} {
+		v, pe := get(f.name)
+		if pe != nil {
+			writeError(w, http.StatusBadRequest, "param", pe.Error(), pe)
+			return
+		}
+		*f.dst = v
+	}
+	var pe *bsmp.ParamError
+	switch {
+	case d < 1 || d > 3:
+		pe = &bsmp.ParamError{Field: "d", Constraint: "mesh dimension must be 1, 2 or 3", Got: d}
+	case n < 1:
+		pe = &bsmp.ParamError{Field: "n", Constraint: "machine volume must be >= 1", Got: n}
+	case p < 1:
+		pe = &bsmp.ParamError{Field: "p", Constraint: "host processor count must be >= 1", Got: p}
+	case p > n:
+		pe = &bsmp.ParamError{Field: "p", Constraint: fmt.Sprintf("must satisfy p <= n = %d", n), Got: p}
+	case m < 1:
+		pe = &bsmp.ParamError{Field: "m", Constraint: "memory density must be >= 1", Got: m}
+	}
+	if pe != nil {
+		writeError(w, http.StatusBadRequest, "param", pe.Error(), pe)
+		return
+	}
+	b12, b23, b34 := bsmp.Boundaries(d, n, p)
+	writeJSON(w, http.StatusOK, BoundsResponse{
+		D: d, N: n, P: p, M: m,
+		A:          bsmp.A(d, n, m, p),
+		Slowdown:   bsmp.Slowdown(d, n, m, p),
+		Brent:      bsmp.BrentSlowdown(n, p),
+		NaiveBound: bsmp.NaiveSlowdownBound(d, n, p),
+		OptimalS:   bsmp.OptimalS(n, m, p),
+		Boundaries: [3]float64{b12, b23, b34},
+	})
+}
+
+// handleSchemes serves GET /v1/schemes: registry introspection.
+func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method", "use GET", nil)
+		return
+	}
+	var out []SchemeInfo
+	for _, sc := range bsmp.Schemes() {
+		out = append(out, SchemeInfo{
+			Name: sc.Name, D: sc.D, Multiproc: sc.Multiproc, Description: sc.Description,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleHealthz reports liveness; during graceful shutdown it flips to
+// 503 so load balancers stop routing here while in-flight work drains.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics serves the expvar map as JSON under the "bsmp" key.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"bsmp\": %s}\n", s.vars.String())
+}

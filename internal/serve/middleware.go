@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+
+	"bsmp"
+)
+
+// ErrorBody is the structured error payload every non-2xx response
+// carries.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail names the failure class and, for parameter rejections, the
+// typed ParamError so clients can point at the offending field.
+type ErrorDetail struct {
+	// Kind is one of "param", "body", "method", "not_found",
+	// "queue_full", "deadline", "draining", "internal".
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+	// Param carries the validation boundary's typed rejection.
+	Param *bsmp.ParamError `json:"param,omitempty"`
+}
+
+// writeJSON writes v with the given status; encoding failures fall back
+// to a plain 500 (the payloads here are all marshalable by construction).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("serve: encoding response: %v", err)
+	}
+}
+
+// writeError writes a structured error payload.
+func writeError(w http.ResponseWriter, status int, kind, msg string, pe *bsmp.ParamError) {
+	writeJSON(w, status, ErrorBody{Error: ErrorDetail{Kind: kind, Message: msg, Param: pe}})
+}
+
+// withRecover is the defense-in-depth boundary behind ValidateParams: if
+// a handler panics anyway, the panic is logged and converted to a
+// structured 500 instead of unwinding the whole daemon. The HTTP server
+// would confine the panic to the one connection regardless, but a typed
+// payload plus an expvar counter beats a silently dropped connection.
+func (s *Server) withRecover(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.vars.Add("panics_recovered", 1)
+				log.Printf("serve: recovered panic serving %s %s: %v", r.Method, r.URL.Path, rec)
+				// Best effort: if the handler already wrote a partial
+				// body this write is a no-op on the status line.
+				writeError(w, http.StatusInternalServerError, "internal",
+					fmt.Sprintf("internal error: %v", rec), nil)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withCounters maintains the request-level expvar counters.
+func (s *Server) withCounters(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.vars.Add("requests", 1)
+		cw := &countingWriter{ResponseWriter: w}
+		next.ServeHTTP(cw, r)
+		switch status := cw.status(); {
+		case status >= 500:
+			s.vars.Add("responses_5xx", 1)
+		case status >= 400:
+			s.vars.Add("responses_4xx", 1)
+		default:
+			s.vars.Add("responses_2xx", 1)
+		}
+	})
+}
+
+// countingWriter records the response status for the counters.
+type countingWriter struct {
+	http.ResponseWriter
+	wrote bool
+	code  int
+}
+
+func (c *countingWriter) WriteHeader(code int) {
+	if !c.wrote {
+		c.wrote = true
+		c.code = code
+	}
+	c.ResponseWriter.WriteHeader(code)
+}
+
+func (c *countingWriter) Write(b []byte) (int, error) {
+	if !c.wrote {
+		c.wrote = true
+		c.code = http.StatusOK
+	}
+	return c.ResponseWriter.Write(b)
+}
+
+func (c *countingWriter) status() int {
+	if !c.wrote {
+		return http.StatusOK
+	}
+	return c.code
+}

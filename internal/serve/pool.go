@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrQueueFull reports that the worker pool's bounded queue had no room
+// for the job — the daemon's load-shedding signal, mapped to HTTP 429.
+var ErrQueueFull = errors.New("serve: worker queue full")
+
+// ErrDraining reports a submission after shutdown began, mapped to 503.
+var ErrDraining = errors.New("serve: server draining")
+
+// PanicError wraps a panic recovered inside a pool job. Jobs run on
+// worker goroutines, outside the HTTP handler's recover middleware, so
+// an unrecovered panic there would kill the whole process; the pool
+// converts it to an error the handler maps to a structured 500.
+type PanicError struct{ Value any }
+
+func (e *PanicError) Error() string { return fmt.Sprintf("serve: panic in pool job: %v", e.Value) }
+
+// Pool is a bounded worker pool: a fixed number of workers draining a
+// fixed-depth queue. Simulations are CPU-bound and can run for seconds,
+// so unbounded handler concurrency would let a burst of expensive
+// queries grind every request to a halt; the pool caps concurrent
+// simulation work at Workers, absorbs a short burst in the queue, and
+// sheds anything beyond that immediately with ErrQueueFull.
+type Pool struct {
+	jobs chan poolJob
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+type poolJob struct {
+	ctx  context.Context
+	fn   func() (any, error)
+	done chan poolResult
+}
+
+type poolResult struct {
+	val any
+	err error
+}
+
+// NewPool starts workers goroutines serving a queue of depth slots
+// beyond the jobs actively running.
+func NewPool(workers, depth int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	p := &Pool{jobs: make(chan poolJob, depth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		// A job whose requester already gave up (deadline passed while
+		// queued) is skipped rather than computed for nobody.
+		if err := j.ctx.Err(); err != nil {
+			j.done <- poolResult{err: err}
+			continue
+		}
+		val, err := runJob(j.fn)
+		j.done <- poolResult{val: val, err: err}
+	}
+}
+
+func runJob(fn func() (any, error)) (val any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r}
+		}
+	}()
+	return fn()
+}
+
+// Do submits fn and waits for its result or ctx expiry. A full queue
+// fails fast with ErrQueueFull; a closed pool with ErrDraining. When ctx
+// expires after the job started, Do returns ctx.Err() while the worker
+// finishes in the background (simulations are not interruptible
+// mid-run) — the buffered done channel lets the worker move on.
+func (p *Pool) Do(ctx context.Context, fn func() (any, error)) (any, error) {
+	j := poolJob{ctx: ctx, fn: fn, done: make(chan poolResult, 1)}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrDraining
+	}
+	select {
+	case p.jobs <- j:
+		p.mu.Unlock()
+	default:
+		p.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	select {
+	case r := <-j.done:
+		return r.val, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close stops accepting jobs and blocks until every queued and running
+// job has finished — the graceful-drain half of server shutdown.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

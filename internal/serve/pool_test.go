@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsJobs(t *testing.T) {
+	p := NewPool(2, 4)
+	defer p.Close()
+	v, err := p.Do(context.Background(), func() (any, error) { return 7, nil })
+	if err != nil || v.(int) != 7 {
+		t.Fatalf("Do = %v, %v; want 7, nil", v, err)
+	}
+}
+
+func TestPoolQueueFull(t *testing.T) {
+	p := NewPool(1, 1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	// Occupy the single worker...
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.Do(context.Background(), func() (any, error) {
+			close(started)
+			<-release
+			return nil, nil
+		})
+	}()
+	<-started
+	// ...and the single queue slot: the submission enqueues, then its
+	// deadline fires while the worker is still busy, so Do returns but
+	// the job keeps the slot.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := p.Do(ctx, func() (any, error) { return nil, nil }); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued Do = %v, want DeadlineExceeded", err)
+	}
+	// Worker busy + queue slot held: the next submission sheds.
+	if _, err := p.Do(context.Background(), func() (any, error) { return nil, nil }); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("burst Do = %v, want ErrQueueFull", err)
+	}
+	close(release)
+	wg.Wait()
+	p.Close()
+}
+
+func TestPoolDeadlineWhileRunning(t *testing.T) {
+	p := NewPool(1, 1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var finished atomic.Bool
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := p.Do(ctx, func() (any, error) {
+			close(started)
+			<-release
+			finished.Store(true)
+			return 1, nil
+		})
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("err = %v, want DeadlineExceeded", err)
+		}
+	}()
+	<-started
+	<-done // caller gave up at its deadline while the job still runs
+	if finished.Load() {
+		t.Fatal("job finished before the caller's deadline fired")
+	}
+	close(release)
+	p.Close() // drains: waits for the abandoned job to finish
+	if !finished.Load() {
+		t.Fatal("Close returned before the running job completed")
+	}
+}
+
+func TestPoolSkipsExpiredQueuedJobs(t *testing.T) {
+	p := NewPool(1, 1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func() (any, error) {
+		close(started)
+		<-release
+		return nil, nil
+	})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Bool
+	queued := make(chan struct{})
+	go func() {
+		close(queued)
+		p.Do(ctx, func() (any, error) { ran.Store(true); return nil, nil })
+	}()
+	<-queued
+	time.Sleep(10 * time.Millisecond) // let the job enter the queue
+	cancel()                          // expire it while queued
+	close(release)
+	p.Close()
+	if ran.Load() {
+		t.Fatal("worker ran a job whose requester had already given up")
+	}
+}
+
+func TestPoolCloseRejectsAndDrains(t *testing.T) {
+	p := NewPool(2, 2)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Do(context.Background(), func() (any, error) {
+				time.Sleep(10 * time.Millisecond)
+				ran.Add(1)
+				return nil, nil
+			})
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	p.Close()
+	wg.Wait()
+	if _, err := p.Do(context.Background(), func() (any, error) { return nil, nil }); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Do after Close = %v, want ErrDraining", err)
+	}
+	if ran.Load() == 0 {
+		t.Fatal("Close drained without running any accepted job")
+	}
+	p.Close() // second Close must be safe
+}

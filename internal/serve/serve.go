@@ -1,0 +1,169 @@
+// Package serve is the bsmpd serving layer: an HTTP JSON surface over
+// the scheme registry and the closed-form Theorem 1 bounds, hardened for
+// adversarial traffic. The layering, outermost first:
+//
+//   - middleware: panic recovery (defense in depth behind the validation
+//     boundary — no request can take the daemon down) and expvar request
+//     accounting;
+//   - validation: bsmp.ValidateParams plus server-side size caps turn
+//     every malformed or oversized tuple into a structured 4xx before
+//     any machinery is constructed;
+//   - result cache: an LRU keyed on the full request tuple, with
+//     singleflight coalescing so a storm of identical queries costs one
+//     simulation;
+//   - worker pool: a bounded queue with per-request deadlines — load
+//     beyond Workers+QueueDepth is shed with 429, never buffered
+//     unboundedly;
+//   - graceful shutdown: /healthz flips to 503 draining, in-flight
+//     simulations finish, then the listener closes.
+//
+// Endpoints: POST /v1/run, GET /v1/bounds, GET /v1/schemes,
+// GET /healthz, GET /metrics (expvar-style JSON).
+package serve
+
+import (
+	"context"
+	"expvar"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Config sizes the daemon. The zero value of any field selects its
+// default.
+type Config struct {
+	// Addr is the listen address (default ":8080").
+	Addr string
+	// Workers caps concurrently running simulations (default
+	// GOMAXPROCS).
+	Workers int
+	// QueueDepth is the number of requests that may wait for a worker
+	// beyond those running; further ones get 429 (default 64; negative
+	// means no queue at all).
+	QueueDepth int
+	// CacheEntries sizes the result LRU (default 512; negative
+	// disables caching).
+	CacheEntries int
+	// RequestTimeout is the per-request deadline for /v1/run (default
+	// 30s). Requests that exceed it get 504; their simulation finishes
+	// in the background and still fills the cache.
+	RequestTimeout time.Duration
+	// MaxN, MaxM, MaxSteps cap request parameters so a single query
+	// cannot exhaust memory; violations get a structured 400 (defaults
+	// 1<<16, 1<<12, 1<<12).
+	MaxN, MaxM, MaxSteps int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 512
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxN == 0 {
+		c.MaxN = 1 << 16
+	}
+	if c.MaxM == 0 {
+		c.MaxM = 1 << 12
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 1 << 12
+	}
+	return c
+}
+
+// Server is the bsmpd daemon state.
+type Server struct {
+	cfg      Config
+	cache    *Cache
+	pool     *Pool
+	flight   flightGroup
+	vars     *expvar.Map
+	handler  http.Handler
+	httpSrv  *http.Server
+	draining atomic.Bool
+
+	// runScheme executes a validated run request; tests substitute it
+	// to inject blocking or panicking work behind the full middleware,
+	// cache, and pool stack.
+	runScheme func(req RunRequest) (*RunResponse, error)
+}
+
+// New builds a Server from cfg (zero fields defaulted).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: NewCache(cfg.CacheEntries),
+		pool:  NewPool(cfg.Workers, cfg.QueueDepth),
+		vars:  new(expvar.Map).Init(),
+	}
+	s.runScheme = s.execute
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/bounds", s.handleBounds)
+	mux.HandleFunc("/v1/schemes", s.handleSchemes)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	s.handler = s.withRecover(s.withCounters(mux))
+	return s
+}
+
+// Handler returns the fully wrapped HTTP handler (also used by the
+// httptest-based unit tests).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// ListenAndServe serves until the listener fails or Shutdown runs.
+func (s *Server) ListenAndServe() error {
+	s.httpSrv = &http.Server{
+		Addr:              s.cfg.Addr,
+		Handler:           s.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	err := s.httpSrv.ListenAndServe()
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains the daemon gracefully: /healthz flips to draining, the
+// HTTP server stops accepting and waits for in-flight handlers (each of
+// which waits for its simulation), then the pool's remaining queue is
+// drained. ctx bounds the whole sequence.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.vars.Add("draining", 1)
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.pool.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
+}
+
+// CacheStats exposes the result cache counters (smoke and unit tests).
+func (s *Server) CacheStats() (hits, misses uint64) { return s.cache.Stats() }

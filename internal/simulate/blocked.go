@@ -40,6 +40,9 @@ import (
 // and BlockedD3; this wrapper supplies the line geometry: node id = x,
 // operand stencil (self, left, right), columns sorted by ascending x.
 func BlockedD1(n, m, steps, leafWidth int, prog network.Program, opts ...hram.Option) (Result, error) {
+	if e := validateBlocked(1, n, m, steps); e != nil {
+		return Result{}, e
+	}
 	if leafWidth <= 0 {
 		leafWidth = m
 	}

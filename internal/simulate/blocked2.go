@@ -1,7 +1,6 @@
 package simulate
 
 import (
-	"bsmp/internal/analytic"
 	"bsmp/internal/cost"
 	"bsmp/internal/dag"
 	"bsmp/internal/hram"
@@ -31,7 +30,10 @@ import (
 // wrapper supplies the mesh geometry: node id = y*side+x, operand stencil
 // (self, W, E, S, N), columns in first-seen (T, X, Y) order.
 func BlockedD2(n, m, steps, leafSpan int, prog network.Program, opts ...hram.Option) (Result, error) {
-	side := analytic.IntSqrtExact(n)
+	if e := validateBlocked(2, n, m, steps); e != nil {
+		return Result{}, e
+	}
+	side, _ := exactSqrt(n)
 	if leafSpan <= 0 {
 		leafSpan = m
 	}

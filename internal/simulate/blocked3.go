@@ -1,7 +1,6 @@
 package simulate
 
 import (
-	"bsmp/internal/analytic"
 	"bsmp/internal/cost"
 	"bsmp/internal/dag"
 	"bsmp/internal/hram"
@@ -24,7 +23,10 @@ import (
 // operand stencil self then the six cube neighbors in Neighbors order
 // (W, E, S, N, D, U), columns in first-seen (T, X, Y, Z) order.
 func BlockedD3(n, m, steps, leafSpan int, prog network.Program, opts ...hram.Option) (Result, error) {
-	side := analytic.IntCbrtExact(n)
+	if e := validateBlocked(3, n, m, steps); e != nil {
+		return Result{}, e
+	}
+	side, _ := exactCbrt(n)
 	if leafSpan <= 0 {
 		leafSpan = m
 	}

@@ -124,8 +124,14 @@ func diamondKernel(s, m int, prog network.Program) (float64, error) {
 // granularity derived in the comments below. See DESIGN.md's fidelity
 // ladder.
 func MultiD1(n, p, m, steps int, prog network.Program, opts MultiOptions) (MultiResult, error) {
-	if p < 1 || n%p != 0 {
+	if p < 1 || n < p || n%p != 0 {
 		return MultiResult{}, fmt.Errorf("simulate: need p | n, got n=%d p=%d", n, p)
+	}
+	if m < 1 {
+		return MultiResult{}, perr("multi", "m", "memory density must be >= 1", m)
+	}
+	if steps < 1 {
+		return MultiResult{}, perr("multi", "steps", "guest step count must be >= 1", steps)
 	}
 	if p == 1 {
 		// Degenerate case: Theorem 3's machinery.

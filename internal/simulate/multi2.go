@@ -39,7 +39,7 @@ var multiGeomD2 = &multiGeom{
 	// Scale by dag volume (cal²·cal -> σ²·σ); the per-vertex cost is
 	// span-dominated and grows ~linearly, so scale that too.
 	scaleExp:      4,
-	checkShape:    func(n int) { analytic.IntSqrtExact(n) },
+	checkShape:    func(n int) *ParamError { return shapeError("multi", "n", 2, n) },
 	regionSideInt: func(n, p int) int { return int(math.Sqrt(float64(n) / float64(p))) },
 	regionSide:    func(nf, pf float64) float64 { return math.Sqrt(nf / pf) },
 	distRed:       func(pf float64) float64 { return math.Sqrt(pf) },

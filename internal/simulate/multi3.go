@@ -34,7 +34,7 @@ var multiGeomD3 = &multiGeom{
 		return BlockedD3(cal*cal*cal, m, cal, 0, prog)
 	},
 	scaleExp:      5,
-	checkShape:    func(n int) { analytic.IntCbrtExact(n) },
+	checkShape:    func(n int) *ParamError { return shapeError("multi", "n", 3, n) },
 	regionSideInt: func(n, p int) int { return int(math.Cbrt(float64(n) / float64(p))) },
 	regionSide:    func(nf, pf float64) float64 { return math.Cbrt(nf / pf) },
 	distRed:       func(pf float64) float64 { return math.Cbrt(pf) },

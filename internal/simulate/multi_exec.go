@@ -73,9 +73,10 @@ type multiGeom struct {
 
 	// --- cost geometry (Theorem 1's d-generic shape) ---
 
-	// checkShape validates the mesh side (perfect square/cube); nil = no
-	// constraint (d = 1).
-	checkShape func(n int)
+	// checkShape validates the mesh side (perfect square/cube),
+	// returning a typed ParamError on a bad shape; nil = no constraint
+	// (d = 1).
+	checkShape func(n int) *ParamError
 	// regionSideInt is the per-processor region side (n/p)^(1/d) as the
 	// span search bound.
 	regionSideInt func(n, p int) int
@@ -264,10 +265,18 @@ func multiSpanCost(g *multiGeom, n, p, m, steps, s int, noRearrange bool) (float
 // charge the chosen schedule with phase attribution, and advance the
 // guest functionally (exactly).
 func multiSpan(g *multiGeom, n, p, m, steps int, prog network.Program, opts MultiOptions) (MultiResult, error) {
-	if p < 1 || n%p != 0 {
+	if p < 1 || n < p || n%p != 0 {
 		return MultiResult{}, fmt.Errorf("simulate: need p | n, got n=%d p=%d", n, p)
 	}
-	g.checkShape(n)
+	if m < 1 {
+		return MultiResult{}, perr("multi", "m", "memory density must be >= 1", m)
+	}
+	if steps < 1 {
+		return MultiResult{}, perr("multi", "steps", "guest step count must be >= 1", steps)
+	}
+	if e := g.checkShape(n); e != nil {
+		return MultiResult{}, e
+	}
 	regionSide := g.regionSideInt(n, p)
 	if regionSide < 1 {
 		regionSide = 1

@@ -25,6 +25,12 @@ import (
 // processor performs n/p block accesses at average address Θ((n/p)·m),
 // i.e. average latency Θ((n/p)^(1/d)).
 func Naive(d, n, p, m, steps int, prog network.Program) (Result, error) {
+	if e := validateCommon("naive", d, n, p, m, steps); e != nil {
+		return Result{}, e
+	}
+	if e := validateNaiveShape(d, n, p); e != nil {
+		return Result{}, e
+	}
 	host := network.New(d, n, p, m+1)
 	perHost := n / p
 	b := make([]hram.Word, n)

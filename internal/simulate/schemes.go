@@ -33,8 +33,15 @@ type Scheme struct {
 	Multiproc bool
 	// Description is a one-line summary with the scheme's slowdown.
 	Description string
+	// Validate checks the scheme-specific parameter constraints beyond
+	// the common ones (positivity, p <= n, p | n, overflow); nil means
+	// no extra constraints. ValidateParams and Run both consult it, so
+	// no tuple reachable through the registry can panic an internal
+	// constructor.
+	Validate func(n, p, m, steps int) *ParamError
 	// Run executes the scheme on an n-node guest with density m for
-	// steps steps on p host processors.
+	// steps steps on p host processors. The registry wraps every entry
+	// so Run validates its parameters before dispatching.
 	Run func(n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error)
 }
 
@@ -50,17 +57,33 @@ func dagView(prog network.Program) (dag.Program, bool) {
 	return nil, false
 }
 
-func uniOnly(name string, p int) error {
-	if p != 1 {
-		return fmt.Errorf("simulate: scheme %q is uniprocessor, got p=%d (want 1)", name, p)
+// withValidation wraps a registry entry's Run so it checks the common
+// and scheme-specific constraints before dispatching — the panic-free
+// boundary holds even for callers that grab a Scheme and invoke Run
+// directly instead of going through RunScheme.
+func withValidation(s Scheme) Scheme {
+	inner := s.Run
+	s.Run = func(n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error) {
+		if e := validateCommon(s.Name, s.D, n, p, m, steps); e != nil {
+			return MultiResult{}, e
+		}
+		if s.Validate != nil {
+			if e := s.Validate(n, p, m, steps); e != nil {
+				return MultiResult{}, e
+			}
+		}
+		return inner(n, p, m, steps, prog, cfg)
 	}
-	return nil
+	return s
 }
 
 func naiveScheme(d int) Scheme {
 	return Scheme{
 		Name: "naive", D: d, Multiproc: true,
 		Description: "step-by-step mimicry (Prop. 1), slowdown Θ((n/p)^(1+1/d))",
+		Validate: func(n, p, m, steps int) *ParamError {
+			return validateNaiveShape(d, n, p)
+		},
 		Run: func(n, p, m, steps int, prog network.Program, _ SchemeConfig) (MultiResult, error) {
 			r, err := Naive(d, n, p, m, steps, prog)
 			return MultiResult{Result: r}, err
@@ -72,13 +95,16 @@ func unidcScheme(d int) Scheme {
 	return Scheme{
 		Name: "unidc", D: d, Multiproc: false,
 		Description: "uniprocessor divide-and-conquer for m = 1 (Thms. 2/5), slowdown Θ(n log n)",
-		Run: func(n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error) {
-			if err := uniOnly("unidc", p); err != nil {
-				return MultiResult{}, err
+		Validate: func(n, p, m, steps int) *ParamError {
+			if p != 1 {
+				return perr("unidc", "p", "uniprocessor scheme requires p = 1", p)
 			}
 			if m != 1 {
-				return MultiResult{}, fmt.Errorf("simulate: scheme unidc needs m=1, got m=%d", m)
+				return perr("unidc", "m", "needs m=1 (Theorems 2 and 5)", m)
 			}
+			return shapeError("unidc", "n", d, n)
+		},
+		Run: func(n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error) {
 			dp, ok := dagView(prog)
 			if !ok {
 				return MultiResult{}, fmt.Errorf("simulate: scheme unidc needs a program with a dag view, got %T", prog)
@@ -93,10 +119,8 @@ func blockedScheme(d int) Scheme {
 	return Scheme{
 		Name: "blocked", D: d, Multiproc: false,
 		Description: "blocked uniprocessor scheme for general m (Thm. 3), slowdown Θ(n·min(n, m·Log(n/m)))",
+		Validate:    uniprocOnly("blocked", d),
 		Run: func(n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error) {
-			if err := uniOnly("blocked", p); err != nil {
-				return MultiResult{}, err
-			}
 			var r Result
 			var err error
 			switch d {
@@ -116,6 +140,9 @@ func multiScheme(d int) Scheme {
 	return Scheme{
 		Name: "multi", D: d, Multiproc: true,
 		Description: "multiprocessor rearrangement + cooperating mode (Thm. 4 / Thm. 1), slowdown Θ((n/p)·A(n, m, p))",
+		Validate: func(n, p, m, steps int) *ParamError {
+			return shapeError("multi", "n", d, n)
+		},
 		Run: func(n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error) {
 			switch d {
 			case 1:
@@ -136,10 +163,10 @@ func multiScheme(d int) Scheme {
 // simulations by name and dimension instead of hard-wiring function
 // calls.
 var Schemes = []Scheme{
-	naiveScheme(1), naiveScheme(2),
-	unidcScheme(1), unidcScheme(2), unidcScheme(3),
-	blockedScheme(1), blockedScheme(2), blockedScheme(3),
-	multiScheme(1), multiScheme(2), multiScheme(3),
+	withValidation(naiveScheme(1)), withValidation(naiveScheme(2)),
+	withValidation(unidcScheme(1)), withValidation(unidcScheme(2)), withValidation(unidcScheme(3)),
+	withValidation(blockedScheme(1)), withValidation(blockedScheme(2)), withValidation(blockedScheme(3)),
+	withValidation(multiScheme(1)), withValidation(multiScheme(2)), withValidation(multiScheme(3)),
 }
 
 // SchemeByName returns the registered scheme for (name, d).

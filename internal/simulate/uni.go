@@ -122,16 +122,25 @@ func VerifyDag(r Result, d, n int, prog dag.Program) error {
 
 // guestDag builds the guest's computation dag and its full domain.
 func guestDag(d, n, steps int) (dag.Graph, lattice.Domain, error) {
+	if n < 1 || steps < 1 {
+		return nil, nil, perr("unidc", "n", fmt.Sprintf("needs n >= 1 and steps >= 1, got n=%d steps=%d", n, steps), n)
+	}
 	switch d {
 	case 1:
 		g := dag.NewLineGraph(n, steps)
 		return g, g.Domain(), nil
 	case 2:
-		side := analytic.IntSqrtExact(n)
+		side, ok := exactSqrt(n)
+		if !ok {
+			return nil, nil, shapeError("unidc", "n", 2, n)
+		}
 		g := dag.NewMeshGraph(side, steps)
 		return g, g.Domain(), nil
 	case 3:
-		side := analytic.IntCbrtExact(n)
+		side, ok := exactCbrt(n)
+		if !ok {
+			return nil, nil, shapeError("unidc", "n", 3, n)
+		}
 		g := dag.NewCubeGraph(side, steps)
 		return g, g.Domain(), nil
 	default:

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Daemon smoke test: build bsmpd, start it, and check the serving
+# contract end to end —
+#   - a valid query answers 200 with a simulation result;
+#   - the identical repeat is served from the result cache (response
+#     carries "cached":true and /metrics shows the expvar hit counter);
+#   - an invalid tuple answers a structured 400 naming the offending
+#     field, and the daemon stays healthy;
+#   - SIGTERM drains and exits cleanly.
+# Run from the repository root: scripts/smoke.sh [port]
+set -euo pipefail
+
+PORT="${1:-18080}"
+BASE="http://127.0.0.1:$PORT"
+BIN="$(mktemp -d)/bsmpd"
+
+fail() { echo "smoke: FAIL: $*" >&2; exit 1; }
+
+go build -o "$BIN" ./cmd/bsmpd
+"$BIN" -addr "127.0.0.1:$PORT" &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "$BASE/healthz" | grep -q '"status":"ok"' || fail "daemon never became healthy"
+
+VALID='{"scheme": "multi", "d": 1, "n": 256, "p": 8, "m": 16, "steps": 64}'
+R1=$(curl -fsS -X POST --data "$VALID" "$BASE/v1/run") || fail "valid run request errored"
+echo "$R1" | grep -q '"cached":false' || fail "first run unexpectedly cached: $R1"
+echo "$R1" | grep -q '"time":' || fail "run response missing time: $R1"
+
+R2=$(curl -fsS -X POST --data "$VALID" "$BASE/v1/run") || fail "repeated run request errored"
+echo "$R2" | grep -q '"cached":true' || fail "identical repeat not served from cache: $R2"
+
+METRICS=$(curl -fsS "$BASE/metrics")
+echo "$METRICS" | grep -q '"cache_hits": 1' || fail "expvar cache_hits != 1: $METRICS"
+
+INVALID='{"scheme": "naive", "d": 2, "n": 10, "p": 1, "m": 4, "steps": 4}'
+ERRBODY="$(mktemp)"
+STATUS=$(curl -s -o "$ERRBODY" -w '%{http_code}' -X POST --data "$INVALID" "$BASE/v1/run")
+[ "$STATUS" = 400 ] || fail "invalid tuple got status $STATUS, want 400"
+grep -q '"kind":"param"' "$ERRBODY" || fail "400 body not a structured param error: $(cat "$ERRBODY")"
+grep -q '"field":"n"' "$ERRBODY" || fail "400 body does not name field n: $(cat "$ERRBODY")"
+
+curl -fsS "$BASE/v1/bounds?d=1&n=4096&p=16&m=4" | grep -q '"slowdown"' || fail "bounds endpoint broken"
+curl -fsS "$BASE/healthz" >/dev/null || fail "daemon unhealthy after invalid request"
+
+kill -TERM "$PID"
+wait "$PID" || fail "daemon exited non-zero after SIGTERM"
+trap - EXIT
+echo "smoke: OK"
