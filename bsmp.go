@@ -35,6 +35,8 @@
 package bsmp
 
 import (
+	"context"
+
 	"bsmp/internal/analytic"
 	"bsmp/internal/cost"
 	"bsmp/internal/dag"
@@ -101,10 +103,24 @@ func GuestTime(d, n, m, steps int, prog Program) Time {
 	return simulate.GuestTime(d, n, m, steps, prog)
 }
 
+// GuestTimeContext is GuestTime under a context: the run polls
+// cancellation cooperatively and reports progress to any attached
+// Progress. A never-cancelled run measures the same time.
+func GuestTimeContext(ctx context.Context, d, n, m, steps int, prog Program) (Time, error) {
+	return simulate.GuestTimeContext(ctx, d, n, m, steps, prog)
+}
+
 // Naive runs the naive simulation of Proposition 1 (and its parallel
 // version): slowdown Θ((n/p)^(1+1/d)).
 func Naive(d, n, p, m, steps int, prog Program) (Result, error) {
 	return simulate.Naive(d, n, p, m, steps, prog)
+}
+
+// NaiveContext is Naive under a context: cancellation is polled
+// cooperatively between charged operations, so a never-cancelled run's
+// virtual times are bit-identical to Naive's.
+func NaiveContext(ctx context.Context, d, n, p, m, steps int, prog Program) (Result, error) {
+	return simulate.NaiveContext(ctx, d, n, p, m, steps, prog)
 }
 
 // UniDC runs the uniprocessor divide-and-conquer simulation of Theorem 2
@@ -113,10 +129,20 @@ func UniDC(d, n, steps, leafSize int, prog DagProgram) (Result, error) {
 	return simulate.UniDC(d, n, steps, leafSize, prog)
 }
 
+// UniDCContext is UniDC under a context.
+func UniDCContext(ctx context.Context, d, n, steps, leafSize int, prog DagProgram) (Result, error) {
+	return simulate.UniDCContext(ctx, d, n, steps, leafSize, prog)
+}
+
 // UniNaive runs the unsophisticated uniprocessor baseline over the same
 // dag: slowdown Θ(n^(1+1/d)).
 func UniNaive(d, n, steps int, prog DagProgram) (Result, error) {
 	return simulate.UniNaiveDag(d, n, steps, prog)
+}
+
+// UniNaiveContext is UniNaive under a context.
+func UniNaiveContext(ctx context.Context, d, n, steps int, prog DagProgram) (Result, error) {
+	return simulate.UniNaiveDagContext(ctx, d, n, steps, prog)
 }
 
 // MachineOption configures the underlying H-RAMs (e.g. PipelinedBlocks).
@@ -139,10 +165,21 @@ func BlockedD1(n, m, steps, leafWidth int, prog Program, opts ...MachineOption) 
 	return simulate.BlockedD1(n, m, steps, leafWidth, prog, opts...)
 }
 
+// BlockedD1Context is BlockedD1 under a context: cancellation is polled
+// at every recursion boundary and (amortized) per executed leaf vertex.
+func BlockedD1Context(ctx context.Context, n, m, steps, leafWidth int, prog Program, opts ...MachineOption) (Result, error) {
+	return simulate.BlockedD1Context(ctx, n, m, steps, leafWidth, prog, opts...)
+}
+
 // BlockedD2 is the d = 2 analogue of BlockedD1: the blocked simulation
 // over octahedral domains (n = side² must be a perfect square).
 func BlockedD2(n, m, steps, leafSpan int, prog Program, opts ...MachineOption) (Result, error) {
 	return simulate.BlockedD2(n, m, steps, leafSpan, prog, opts...)
+}
+
+// BlockedD2Context is BlockedD2 under a context.
+func BlockedD2Context(ctx context.Context, n, m, steps, leafSpan int, prog Program, opts ...MachineOption) (Result, error) {
+	return simulate.BlockedD2Context(ctx, n, m, steps, leafSpan, prog, opts...)
 }
 
 // BlockedD3 completes the d = 3 extension for general m over the Box6
@@ -151,10 +188,22 @@ func BlockedD3(n, m, steps, leafSpan int, prog Program, opts ...MachineOption) (
 	return simulate.BlockedD3(n, m, steps, leafSpan, prog, opts...)
 }
 
+// BlockedD3Context is BlockedD3 under a context.
+func BlockedD3Context(ctx context.Context, n, m, steps, leafSpan int, prog Program, opts ...MachineOption) (Result, error) {
+	return simulate.BlockedD3Context(ctx, n, m, steps, leafSpan, prog, opts...)
+}
+
 // MultiD1 runs Theorem 4's multiprocessor simulation: slowdown
 // Θ((n/p)·A(n, m, p)).
 func MultiD1(n, p, m, steps int, prog Program, opts MultiOptions) (MultiResult, error) {
 	return simulate.MultiD1(n, p, m, steps, prog, opts)
+}
+
+// MultiD1Context is MultiD1 under a context: cancellation is polled at
+// every phase boundary and (amortized) through the kernel calibrations
+// and the verification replay.
+func MultiD1Context(ctx context.Context, n, p, m, steps int, prog Program, opts MultiOptions) (MultiResult, error) {
+	return simulate.MultiD1Context(ctx, n, p, m, steps, prog, opts)
 }
 
 // MultiD1Cycles repeats the n-step Theorem 4 simulation to cover
@@ -163,10 +212,20 @@ func MultiD1Cycles(n, p, m, cycles int, prog Program, opts MultiOptions) (MultiR
 	return simulate.MultiD1Cycles(n, p, m, cycles, prog, opts)
 }
 
+// MultiD1CyclesContext is MultiD1Cycles under a context.
+func MultiD1CyclesContext(ctx context.Context, n, p, m, cycles int, prog Program, opts MultiOptions) (MultiResult, error) {
+	return simulate.MultiD1CyclesContext(ctx, n, p, m, cycles, prog, opts)
+}
+
 // MultiD2 runs the d = 2 case of Theorem 1 (model-grade orchestration;
 // see DESIGN.md).
 func MultiD2(n, p, m, steps int, prog Program, opts Multi2Options) (Multi2Result, error) {
 	return simulate.MultiD2(n, p, m, steps, prog, opts)
+}
+
+// MultiD2Context is MultiD2 under a context.
+func MultiD2Context(ctx context.Context, n, p, m, steps int, prog Program, opts Multi2Options) (Multi2Result, error) {
+	return simulate.MultiD2Context(ctx, n, p, m, steps, prog, opts)
 }
 
 // Multi3Options configures the d = 3 multiprocessor model.
@@ -179,6 +238,11 @@ type Multi3Result = simulate.Multi3Result
 // with kernels measured by BlockedD3; see DESIGN.md).
 func MultiD3(n, p, m, steps int, prog Program, opts Multi3Options) (Multi3Result, error) {
 	return simulate.MultiD3(n, p, m, steps, prog, opts)
+}
+
+// MultiD3Context is MultiD3 under a context.
+func MultiD3Context(ctx context.Context, n, p, m, steps int, prog Program, opts Multi3Options) (Multi3Result, error) {
+	return simulate.MultiD3Context(ctx, n, p, m, steps, prog, opts)
 }
 
 // VerifyDag checks a dag-level result against the reference execution.
@@ -208,6 +272,13 @@ func SchemeByName(name string, d int) (Scheme, error) { return simulate.SchemeBy
 // yields a *ParamError, never a panic.
 func RunScheme(name string, d, n, p, m, steps int, prog Program, cfg SchemeConfig) (MultiResult, error) {
 	return simulate.RunScheme(name, d, n, p, m, steps, prog, cfg)
+}
+
+// RunSchemeContext is RunScheme under a context: the selected scheme
+// polls cancellation cooperatively (returning the context's error) and
+// reports step progress to any Progress attached with WithProgress.
+func RunSchemeContext(ctx context.Context, name string, d, n, p, m, steps int, prog Program, cfg SchemeConfig) (MultiResult, error) {
+	return simulate.RunSchemeContext(ctx, name, d, n, p, m, steps, prog, cfg)
 }
 
 // ParamError is the typed rejection of a malformed parameter tuple: the
@@ -288,4 +359,42 @@ func RunAllExperiments(quick bool) ([]*ExperimentTable, error) {
 // profile.
 func RunAllExperimentsSequential(quick bool) ([]*ExperimentTable, error) {
 	return exp.AllSequential(exp.Scale{Quick: quick})
+}
+
+// RunAllExperimentsContext is RunAllExperiments under a context: once the
+// context is cancelled no new experiment starts, in-flight experiments
+// stop at their next checkpoint, and the tables of every experiment that
+// finished are returned (in battery order) alongside the context's error.
+func RunAllExperimentsContext(ctx context.Context, quick bool) ([]*ExperimentTable, error) {
+	return exp.AllContext(ctx, exp.Scale{Quick: quick})
+}
+
+// RunAllExperimentsSequentialContext is RunAllExperimentsContext on a
+// single worker.
+func RunAllExperimentsSequentialContext(ctx context.Context, quick bool) ([]*ExperimentTable, error) {
+	return exp.AllSequentialContext(ctx, exp.Scale{Quick: quick})
+}
+
+// Execution contexts & progress metering.
+
+// Progress is a set of monotone counters a simulation publishes while it
+// runs: guest dag vertices executed and phase/recursion boundaries
+// crossed. Attach one to a context with WithProgress and sample it from
+// another goroutine while the simulation is in flight.
+type Progress = simulate.Progress
+
+// WithProgress returns a context carrying p; every context-aware entry
+// point in this package publishes its progress to the attached Progress.
+func WithProgress(ctx context.Context, p *Progress) context.Context {
+	return simulate.WithProgress(ctx, p)
+}
+
+// ProgressFrom returns the Progress attached to ctx, or nil.
+func ProgressFrom(ctx context.Context) *Progress { return simulate.ProgressFrom(ctx) }
+
+// KernelCacheStats reports the bounded multiprocessor kernel cache:
+// resident entries, hits, misses, and capacity evictions since process
+// start.
+func KernelCacheStats() (entries int, hits, misses, evictions int64) {
+	return simulate.KernelCacheStats()
 }

@@ -6,11 +6,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"bsmp"
@@ -23,6 +27,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the tables as JSON")
 	seq := flag.Bool("seq", false, "run experiments sequentially (one worker)")
 	schemes := flag.Bool("schemes", false, "list the registered simulation schemes and exit")
+	timeout := flag.Duration("timeout", 0, "overall wall-clock budget; on expiry print the experiments that finished (0 = no limit)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -44,13 +49,25 @@ func main() {
 		log.Fatal(err)
 	}
 
-	start := time.Now()
-	run := bsmp.RunAllExperiments
-	if *seq {
-		run = bsmp.RunAllExperimentsSequential
+	// SIGINT/SIGTERM (and -timeout) cancel the battery: running
+	// experiments stop at their next checkpoint and the tables of every
+	// experiment that finished are still printed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
-	tabs, err := run(*quick)
-	if err != nil {
+
+	start := time.Now()
+	run := bsmp.RunAllExperimentsContext
+	if *seq {
+		run = bsmp.RunAllExperimentsSequentialContext
+	}
+	tabs, err := run(ctx, *quick)
+	interrupted := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	if err != nil && !interrupted {
 		log.Fatal(err)
 	}
 	if err := stopProf(); err != nil {
@@ -59,8 +76,11 @@ func main() {
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(tabs); err != nil {
-			log.Fatal(err)
+		if encErr := enc.Encode(tabs); encErr != nil {
+			log.Fatal(encErr)
+		}
+		if interrupted {
+			log.Fatalf("interrupted (%v): %d experiments finished, the rest were cancelled", err, len(tabs))
 		}
 		return
 	}
@@ -74,5 +94,8 @@ func main() {
 	}
 	if !*md {
 		fmt.Printf("ran %d experiments in %v\n", len(tabs), time.Since(start).Round(time.Millisecond))
+	}
+	if interrupted {
+		log.Fatalf("interrupted (%v): %d experiments finished, the rest were cancelled", err, len(tabs))
 	}
 }

@@ -12,12 +12,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"bsmp"
 	"bsmp/internal/profiling"
@@ -33,6 +38,7 @@ func main() {
 	steps := flag.Int("steps", 64, "guest steps to simulate when measuring")
 	sweep := flag.Bool("sweep", false, "dyadic m sweep with an ASCII curve of A(n,m,p)")
 	csv := flag.Bool("csv", false, "emit CSV instead of the aligned table")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for -measure runs; on expiry report the rows that finished (0 = no limit)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -74,13 +80,27 @@ func main() {
 	}
 	fmt.Println(hdr)
 
-	for _, m := range mvals {
+	// SIGINT/SIGTERM (and -timeout) cancel the measurement loop: the
+	// in-flight simulation stops at its next checkpoint and the rows
+	// already printed stand as the partial report.
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	for i, m := range mvals {
 		a := bsmp.A(*d, *n, m, *p)
 		bound := bsmp.Slowdown(*d, *n, m, *p)
 		row := fmt.Sprintf("%8d %8s %8.0f %14.1f %14.1f",
 			m, rangeName(*d, *n, m, *p), bsmp.OptimalS(*n, m, *p), a, bound)
 		if *measure {
-			slow, err := measured(*scheme, *d, *n, *p, m, *steps)
+			slow, err := measured(ctx, *scheme, *d, *n, *p, m, *steps)
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				log.Fatalf("interrupted (%v): %d of %d measured rows finished", err, i, len(mvals))
+			}
 			if err != nil {
 				log.Fatalf("m=%d: %v", m, err)
 			}
@@ -160,9 +180,9 @@ func rangeName(d, n, m, p int) string {
 // Tp/Tn. The d = 1 run is additionally verified against the pure
 // reference execution (the cheap case; every scheme is verified across
 // dimensions by the test suite and experiment E-REG).
-func measured(scheme string, d, n, p, m, steps int) (float64, error) {
+func measured(ctx context.Context, scheme string, d, n, p, m, steps int) (float64, error) {
 	prog := guestProg(d, n)
-	r, err := bsmp.RunScheme(scheme, d, n, p, m, steps, prog, bsmp.SchemeConfig{})
+	r, err := bsmp.RunSchemeContext(ctx, scheme, d, n, p, m, steps, prog, bsmp.SchemeConfig{})
 	if err != nil {
 		return 0, err
 	}
@@ -171,7 +191,10 @@ func measured(scheme string, d, n, p, m, steps int) (float64, error) {
 			return 0, err
 		}
 	}
-	tn := bsmp.GuestTime(d, n, m, steps, prog)
+	tn, err := bsmp.GuestTimeContext(ctx, d, n, m, steps, prog)
+	if err != nil {
+		return 0, err
+	}
 	return float64(r.Time) / float64(tn), nil
 }
 

@@ -1,8 +1,11 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestTableFormatting(t *testing.T) {
@@ -46,13 +49,13 @@ func TestFitHelpers(t *testing.T) {
 
 func TestQuickExperimentsRun(t *testing.T) {
 	s := Scale{Quick: true}
-	for name, f := range map[string]func(Scale) (*Table, error){
+	for name, f := range map[string]func(context.Context, Scale) (*Table, error){
 		"P1": P1, "T2": T2, "T3": T3, "T4": T4, "T5": T5,
 		"T1D2": T1D2, "D3": D3, "MM": MM, "SStar": SStar, "Ablations": Ablations,
 		"Pipe": Pipe, "MPrime": MPrime, "Coop": Coop, "Levels": Levels, "ISA": ISA,
 		"T3D2": T3D2, "D3Multi": D3Multi,
 	} {
-		tab, err := f(s)
+		tab, err := f(context.Background(), s)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -62,6 +65,52 @@ func TestQuickExperimentsRun(t *testing.T) {
 		if tab.ID == "" || tab.PaperClaim == "" {
 			t.Errorf("%s: missing metadata", name)
 		}
+	}
+}
+
+func TestAllContextPartialFlush(t *testing.T) {
+	// Pre-cancelled: no experiment starts; the battery returns an empty
+	// set plus the context's error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tabs, err := AllContext(ctx, Scale{Quick: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled AllContext err = %v, want context.Canceled", err)
+	}
+	if len(tabs) != 0 {
+		t.Fatalf("pre-cancelled AllContext returned %d tables, want 0", len(tabs))
+	}
+
+	// Mid-battery cancel: the tables of every experiment that finished
+	// are flushed in deterministic battery order — a subsequence of the
+	// full battery's output.
+	full, err := AllSequential(Scale{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := make(map[string]int, len(full))
+	for i, tb := range full {
+		order[tb.ID] = i
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 40*time.Millisecond)
+	defer cancel2()
+	tabs2, err2 := AllSequentialContext(ctx2, Scale{Quick: true})
+	if err2 == nil {
+		t.Skip("quick battery finished inside the deadline; cancellation not exercised")
+	}
+	if !errors.Is(err2, context.DeadlineExceeded) {
+		t.Fatalf("AllSequentialContext err = %v, want context.DeadlineExceeded", err2)
+	}
+	last := -1
+	for _, tb := range tabs2 {
+		i, ok := order[tb.ID]
+		if !ok {
+			t.Fatalf("partial flush contains unknown table %s", tb.ID)
+		}
+		if i <= last {
+			t.Fatalf("partial flush out of battery order at %s", tb.ID)
+		}
+		last = i
 	}
 }
 

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -39,7 +40,7 @@ func prog2d(side int) network.Program {
 }
 
 // P1 reproduces Proposition 1: naive-simulation slowdown (n/p)^(1+1/d).
-func P1(s Scale) (*Table, error) {
+func P1(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		ID:         "E-P1",
 		Title:      "Naive simulation slowdown",
@@ -49,7 +50,7 @@ func P1(s Scale) (*Table, error) {
 	var ns1 = s.pick([]int{16, 32, 64}, []int{32, 64, 128, 256})
 	var xs, ys []float64
 	for _, n := range ns1 {
-		res, err := simulate.Naive(1, n, 1, 1, 8, prog1d())
+		res, err := simulate.NaiveContext(ctx, 1, n, 1, 1, 8, prog1d())
 		if err != nil {
 			return nil, err
 		}
@@ -64,7 +65,7 @@ func P1(s Scale) (*Table, error) {
 	xs, ys = nil, nil
 	for _, n := range s.pick([]int{16, 64}, []int{64, 256, 1024}) {
 		side := int(math.Sqrt(float64(n)))
-		res, err := simulate.Naive(2, n, 1, 1, 4, prog2d(side))
+		res, err := simulate.NaiveContext(ctx, 2, n, 1, 1, 4, prog2d(side))
 		if err != nil {
 			return nil, err
 		}
@@ -81,7 +82,7 @@ func P1(s Scale) (*Table, error) {
 
 // T2 reproduces Theorem 2: T1/Tn = O(n log n) for d = 1, m = 1, via the
 // real separator executor, against the naive baseline.
-func T2(s Scale) (*Table, error) {
+func T2(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		ID:         "E-T2",
 		Title:      "Uniprocessor divide-and-conquer, d=1, m=1",
@@ -91,14 +92,14 @@ func T2(s Scale) (*Table, error) {
 	prog := guest.Rule90{Seed: 1}
 	var xs, dc, nv []float64
 	for _, n := range s.pick([]int{16, 32, 64}, []int{32, 64, 128, 256}) {
-		r, err := simulate.UniDC(1, n, n, 8, prog)
+		r, err := simulate.UniDCContext(ctx, 1, n, n, 8, prog)
 		if err != nil {
 			return nil, err
 		}
 		if err := simulate.VerifyDag(r, 1, n, prog); err != nil {
 			return nil, err
 		}
-		rn, err := simulate.UniNaiveDag(1, n, n, prog)
+		rn, err := simulate.UniNaiveDagContext(ctx, 1, n, n, prog)
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +121,7 @@ func T2(s Scale) (*Table, error) {
 }
 
 // T3 reproduces Theorem 3: blocked uniprocessor simulation across m.
-func T3(s Scale) (*Table, error) {
+func T3(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		ID:         "E-T3",
 		Title:      "Blocked uniprocessor simulation, d=1, general m",
@@ -135,7 +136,7 @@ func T3(s Scale) (*Table, error) {
 	}
 	var ratios []float64
 	for _, m := range ms {
-		res, err := simulate.BlockedD1(n, m, steps, 0, prog1d())
+		res, err := simulate.BlockedD1Context(ctx, n, m, steps, 0, prog1d())
 		if err != nil {
 			return nil, err
 		}
@@ -158,7 +159,7 @@ func T3(s Scale) (*Table, error) {
 // T3D2 exercises the d = 2 analogue of the blocked scheme: Theorem 3's
 // technique over octahedral domains, with the same executable-domain
 // collapse at large m.
-func T3D2(s Scale) (*Table, error) {
+func T3D2(ctx context.Context, s Scale) (*Table, error) {
 	side, steps := 16, 8
 	ms := s.pick([]int{1, 4}, []int{1, 4, 16, 64})
 	if s.Quick {
@@ -174,14 +175,14 @@ func T3D2(s Scale) (*Table, error) {
 	}
 	prog := prog2d(side)
 	for _, m := range ms {
-		def, err := simulate.BlockedD2(n, m, steps, 0, prog)
+		def, err := simulate.BlockedD2Context(ctx, n, m, steps, 0, prog)
 		if err != nil {
 			return nil, err
 		}
 		if err := def.Verify(2, n, m, prog); err != nil {
 			return nil, err
 		}
-		forced, err := simulate.BlockedD2(n, m, steps, 4, prog)
+		forced, err := simulate.BlockedD2Context(ctx, n, m, steps, 4, prog)
 		if err != nil {
 			return nil, err
 		}
@@ -199,7 +200,7 @@ func T3D2(s Scale) (*Table, error) {
 
 // T4 reproduces Theorem 4 / Theorem 1 (d = 1): the four ranges of the
 // locality slowdown A(n, m, p).
-func T4(s Scale) (*Table, error) {
+func T4(ctx context.Context, s Scale) (*Table, error) {
 	n, p, steps := 256, 8, 64
 	ms := s.pick([]int{16, 256}, []int{1, 4, 16, 64, 256, 1024})
 	if s.Quick {
@@ -216,7 +217,7 @@ func T4(s Scale) (*Table, error) {
 	b12, b23, b34 := analytic.Boundaries(1, n, p)
 	var ratios []float64
 	for _, m := range ms {
-		res, err := simulate.MultiD1(n, p, m, steps, prog1d(), simulate.MultiOptions{})
+		res, err := simulate.MultiD1Context(ctx, n, p, m, steps, prog1d(), simulate.MultiOptions{})
 		if err != nil {
 			return nil, err
 		}
@@ -239,7 +240,7 @@ func T4(s Scale) (*Table, error) {
 }
 
 // T5 reproduces Theorem 5: d = 2, m = 1 uniprocessor simulation.
-func T5(s Scale) (*Table, error) {
+func T5(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		ID:         "E-T5",
 		Title:      "Uniprocessor divide-and-conquer, d=2, m=1",
@@ -250,14 +251,14 @@ func T5(s Scale) (*Table, error) {
 	var xs, dc, nv []float64
 	for _, side := range s.pick([]int{4, 8}, []int{8, 16, 32}) {
 		n := side * side
-		r, err := simulate.UniDC(2, n, side, 8, prog)
+		r, err := simulate.UniDCContext(ctx, 2, n, side, 8, prog)
 		if err != nil {
 			return nil, err
 		}
 		if err := simulate.VerifyDag(r, 2, n, prog); err != nil {
 			return nil, err
 		}
-		rn, err := simulate.UniNaiveDag(2, n, side, prog)
+		rn, err := simulate.UniNaiveDagContext(ctx, 2, n, side, prog)
 		if err != nil {
 			return nil, err
 		}
@@ -277,7 +278,7 @@ func T5(s Scale) (*Table, error) {
 }
 
 // T1D2 reproduces Theorem 1's d = 2 case via the 2-D multiprocessor model.
-func T1D2(s Scale) (*Table, error) {
+func T1D2(ctx context.Context, s Scale) (*Table, error) {
 	n, p, steps := 1024, 16, 16
 	ms := s.pick([]int{4, 32}, []int{1, 4, 8, 32, 64})
 	if s.Quick {
@@ -292,7 +293,7 @@ func T1D2(s Scale) (*Table, error) {
 		Header: []string{"m", "range", "span", "A_meas", "A_bound", "ratio"},
 	}
 	for _, m := range ms {
-		res, err := simulate.MultiD2(n, p, m, steps, prog2d(side), simulate.Multi2Options{})
+		res, err := simulate.MultiD2Context(ctx, n, p, m, steps, prog2d(side), simulate.Multi2Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -316,7 +317,7 @@ func T1D2(s Scale) (*Table, error) {
 // instruction by instruction on an f(x) = x H-RAM, and its per-vertex cost
 // reproduces the same constant-plus-Θ(n) structure the model-level
 // simulator charges.
-func ISA(s Scale) (*Table, error) {
+func ISA(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		ID:    "E-ISA",
 		Title: "Instruction-level naive simulation (Cook-Reckhow RAM on an H-RAM)",
@@ -326,6 +327,9 @@ func ISA(s Scale) (*Table, error) {
 	}
 	r := guest.Rule90{Seed: 17}
 	for _, n := range s.pick([]int{16, 32}, []int{32, 64, 128, 256}) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		l := ram.NewCASimLayout(n, n)
 		var meter cost.Meter
 		vm := ram.New(l.Size, hram.Standard(1, 1), &meter)
@@ -358,7 +362,7 @@ func ISA(s Scale) (*Table, error) {
 // slowdown extends to d = 3. It runs the real separator executor over the
 // four-dimensional Box6 domains (the topological separator the paper
 // conjectured) and compares with the naive order.
-func D3(s Scale) (*Table, error) {
+func D3(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		ID:    "E-D3",
 		Title: "Extension: uniprocessor divide-and-conquer, d=3, m=1",
@@ -370,14 +374,14 @@ func D3(s Scale) (*Table, error) {
 	var xs, dc, nv []float64
 	for _, side := range s.pick([]int{3, 4}, []int{4, 8, 12, 16}) {
 		n := side * side * side
-		r, err := simulate.UniDC(3, n, side, 8, prog)
+		r, err := simulate.UniDCContext(ctx, 3, n, side, 8, prog)
 		if err != nil {
 			return nil, err
 		}
 		if err := simulate.VerifyDag(r, 3, n, prog); err != nil {
 			return nil, err
 		}
-		rn, err := simulate.UniNaiveDag(3, n, side, prog)
+		rn, err := simulate.UniNaiveDagContext(ctx, 3, n, side, prog)
 		if err != nil {
 			return nil, err
 		}
@@ -402,7 +406,7 @@ func D3(s Scale) (*Table, error) {
 
 // D3Multi evaluates the conjectured Theorem 1 at d = 3 with the
 // multiprocessor cost model over the Box6 separator.
-func D3Multi(s Scale) (*Table, error) {
+func D3Multi(ctx context.Context, s Scale) (*Table, error) {
 	side, p, steps := 16, 64, 8
 	ms := s.pick([]int{1, 8}, []int{1, 4, 16, 64})
 	if s.Quick {
@@ -418,7 +422,7 @@ func D3Multi(s Scale) (*Table, error) {
 	}
 	prog := guest.AsNetwork{G: guest.MixCA{Seed: 9}, CubeSide: side}
 	for _, m := range ms {
-		res, err := simulate.MultiD3(n, p, m, steps, prog, simulate.Multi3Options{})
+		res, err := simulate.MultiD3Context(ctx, n, p, m, steps, prog, simulate.Multi3Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -438,7 +442,7 @@ func D3Multi(s Scale) (*Table, error) {
 }
 
 // MM reproduces the Section 1 matrix-multiplication example.
-func MM(s Scale) (*Table, error) {
+func MM(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		ID:    "E-MM",
 		Title: "Superlinear speedup: sqrt(n) x sqrt(n) matrix multiplication",
@@ -448,6 +452,9 @@ func MM(s Scale) (*Table, error) {
 	}
 	var xs, speed []float64
 	for _, sq := range s.pick([]int{8, 16}, []int{16, 32, 64, 128}) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		n := sq * sq
 		a, b := guest.MatmulInput(sq, 5)
 		want := guest.ReferenceMatmul(sq, a, b)
@@ -475,7 +482,7 @@ func MM(s Scale) (*Table, error) {
 
 // SStar reproduces the strip-width analysis of Theorem 4: A(s) is
 // minimized near the paper's s*.
-func SStar(s Scale) (*Table, error) {
+func SStar(ctx context.Context, s Scale) (*Table, error) {
 	n, p, m, steps := 256, 8, 16, 64
 	if s.Quick {
 		n, steps = 64, 16
@@ -490,7 +497,7 @@ func SStar(s Scale) (*Table, error) {
 	sStar := analytic.OptimalS(n, m, p)
 	best, bestS := math.Inf(1), 0
 	for sw := 1; sw <= n/p; sw *= 2 {
-		res, err := simulate.MultiD1(n, p, m, steps, prog1d(), simulate.MultiOptions{StripWidth: sw})
+		res, err := simulate.MultiD1Context(ctx, n, p, m, steps, prog1d(), simulate.MultiOptions{StripWidth: sw})
 		if err != nil {
 			return nil, err
 		}
@@ -511,7 +518,7 @@ func withinPow2(a, b float64) bool {
 }
 
 // Ablations reproduces the design-choice ablations of DESIGN.md § 6.
-func Ablations(s Scale) (*Table, error) {
+func Ablations(ctx context.Context, s Scale) (*Table, error) {
 	n, p, m, steps := 256, 8, 16, 64
 	if s.Quick {
 		n, steps = 64, 16
@@ -523,11 +530,11 @@ func Ablations(s Scale) (*Table, error) {
 			"(Section 4.2's 'non-intuitive orchestrations')",
 		Header: []string{"variant", "T", "vs full"},
 	}
-	full, err := simulate.MultiD1(n, p, m, steps, prog1d(), simulate.MultiOptions{})
+	full, err := simulate.MultiD1Context(ctx, n, p, m, steps, prog1d(), simulate.MultiOptions{})
 	if err != nil {
 		return nil, err
 	}
-	naive, err := simulate.Naive(1, n, p, m, steps, prog1d())
+	naive, err := simulate.NaiveContext(ctx, 1, n, p, m, steps, prog1d())
 	if err != nil {
 		return nil, err
 	}
@@ -541,7 +548,7 @@ func Ablations(s Scale) (*Table, error) {
 	}
 	t.Rows = append(t.Rows, []string{"full scheme", g3(float64(full.Time)), "1.00"})
 	for _, r := range rows {
-		res, err := simulate.MultiD1(n, p, m, steps, prog1d(), r.opts)
+		res, err := simulate.MultiD1Context(ctx, n, p, m, steps, prog1d(), r.opts)
 		if err != nil {
 			return nil, err
 		}
@@ -555,7 +562,7 @@ func Ablations(s Scale) (*Table, error) {
 // Pipe reproduces the conclusions' pipelined-memory alternative: with
 // block transfers costing latency + length, the locality slowdown's
 // growth in m largely disappears.
-func Pipe(s Scale) (*Table, error) {
+func Pipe(ctx context.Context, s Scale) (*Table, error) {
 	n, steps := 256, 64
 	ms := s.pick([]int{4, 16}, []int{4, 16, 64, 256})
 	if s.Quick {
@@ -570,11 +577,11 @@ func Pipe(s Scale) (*Table, error) {
 	}
 	var stdT, pipeT []float64
 	for _, m := range ms {
-		std, err := simulate.BlockedD1(n, m, steps, 0, prog1d())
+		std, err := simulate.BlockedD1Context(ctx, n, m, steps, 0, prog1d())
 		if err != nil {
 			return nil, err
 		}
-		pipe, err := simulate.BlockedD1(n, m, steps, 0, prog1d(), hram.WithPipelinedBlocks())
+		pipe, err := simulate.BlockedD1Context(ctx, n, m, steps, 0, prog1d(), hram.WithPipelinedBlocks())
 		if err != nil {
 			return nil, err
 		}
@@ -596,7 +603,7 @@ func Pipe(s Scale) (*Table, error) {
 
 // MPrime reproduces the conclusions' m' < m observation: a guest touching
 // fewer memory cells per node gains locality.
-func MPrime(s Scale) (*Table, error) {
+func MPrime(ctx context.Context, s Scale) (*Table, error) {
 	n, m, steps := 256, 64, 64
 	mps := s.pick([]int{4, 64}, []int{4, 16, 64})
 	if s.Quick {
@@ -611,7 +618,7 @@ func MPrime(s Scale) (*Table, error) {
 		Header: []string{"m'", "slowdown", "vs m'=m"},
 	}
 	base := guest.MixCA{Seed: 13}
-	fullRes, err := simulate.BlockedD1(n, m, steps, 0, guest.RestrictMem{P: base, Words: m})
+	fullRes, err := simulate.BlockedD1Context(ctx, n, m, steps, 0, guest.RestrictMem{P: base, Words: m})
 	if err != nil {
 		return nil, err
 	}
@@ -619,7 +626,7 @@ func MPrime(s Scale) (*Table, error) {
 	full := float64(fullRes.Time) / float64(tnFull)
 	for _, mp := range mps {
 		prog := guest.RestrictMem{P: base, Words: mp}
-		res, err := simulate.BlockedD1(n, m, steps, 0, prog)
+		res, err := simulate.BlockedD1Context(ctx, n, m, steps, 0, prog)
 		if err != nil {
 			return nil, err
 		}
@@ -637,7 +644,7 @@ func MPrime(s Scale) (*Table, error) {
 // Levels exposes Proposition 2/3's internal structure: the per-recursion-
 // depth relocation profile of a real separator execution, whose per-level
 // transfer time is flat — the decomposition that yields τ(k) = O(k·log k).
-func Levels(s Scale) (*Table, error) {
+func Levels(ctx context.Context, s Scale) (*Table, error) {
 	n := 256
 	if s.Quick {
 		n = 32
@@ -681,7 +688,7 @@ func Levels(s Scale) (*Table, error) {
 // Coop validates the cooperating execution mode from first principles:
 // two real processors splitting a shared block versus one processor
 // pulling the remote half through memory.
-func Coop(s Scale) (*Table, error) {
+func Coop(ctx context.Context, s Scale) (*Table, error) {
 	n, p, sw, steps := 1024, 8, 16, 16
 	ms := s.pick([]int{1, 16}, []int{1, 4, 16, 64, 256})
 	if s.Quick {
@@ -696,7 +703,7 @@ func Coop(s Scale) (*Table, error) {
 		Header: []string{"m", "T_coop", "T_solo", "solo/coop"},
 	}
 	for _, m := range ms {
-		res, err := simulate.CoopBlock(n, p, m, sw, steps, prog1d())
+		res, err := simulate.CoopBlockContext(ctx, n, p, m, sw, steps, prog1d())
 		if err != nil {
 			return nil, err
 		}
@@ -717,7 +724,7 @@ func Coop(s Scale) (*Table, error) {
 // executable-grade and reporting, for the multiprocessor rows, the
 // per-phase attribution of the makespan (rearrangement, Regime 1
 // relocation, Regime 2 kernel execution, Regime 2 boundary exchange).
-func Registry(s Scale) (*Table, error) {
+func Registry(ctx context.Context, s Scale) (*Table, error) {
 	steps1, steps2, steps3 := 16, 8, 4
 	if !s.Quick {
 		steps1, steps2, steps3 = 32, 16, 8
@@ -767,7 +774,7 @@ func Registry(s Scale) (*Table, error) {
 		case sc.D == 3:
 			prog = guest.AsNetwork{G: guest.MixCA{Seed: 9}, CubeSide: side}
 		}
-		res, err := simulate.RunScheme(sc.Name, sc.D, n, p, m, steps, prog, simulate.SchemeConfig{})
+		res, err := simulate.RunSchemeContext(ctx, sc.Name, sc.D, n, p, m, steps, prog, simulate.SchemeConfig{})
 		if err != nil {
 			return nil, fmt.Errorf("scheme %s d=%d: %w", sc.Name, sc.D, err)
 		}
@@ -809,7 +816,7 @@ func Registry(s Scale) (*Table, error) {
 }
 
 // allFns is the E-* experiment battery, in publication order.
-var allFns = []func(Scale) (*Table, error){
+var allFns = []func(context.Context, Scale) (*Table, error){
 	P1, ISA, T2, T3, T3D2, T4, T5, T1D2, D3, D3Multi, MM, SStar, Ablations, Levels, Coop, Pipe, MPrime, Registry,
 }
 
@@ -817,21 +824,38 @@ var allFns = []func(Scale) (*Table, error){
 // and returns the tables in the same order the sequential battery always
 // produced. Experiments are independent — each builds its own guests,
 // graphs, and meters; the only shared state is the simulate package's
-// kernel caches, which are sync.Maps. An experiment failure does not stop
-// the others; all failures are reported together via errors.Join, in
-// battery order, so the error text is deterministic.
+// bounded kernel cache. An experiment failure does not stop the others;
+// all failures are reported together via errors.Join, in battery order,
+// so the error text is deterministic.
 func All(s Scale) ([]*Table, error) {
-	return all(s, runtime.GOMAXPROCS(0))
+	return AllContext(context.Background(), s)
+}
+
+// AllContext is All under a context. On cancellation, workers stop
+// picking up new experiments, in-flight experiments abort at their next
+// cooperative checkpoint, and the battery flushes partial results: the
+// returned slice holds every experiment that completed successfully, in
+// battery order (gaps elided), alongside the context's error. Figures
+// are appended only to a complete, uncancelled battery, so the partial
+// flush is a deterministic function of which experiments finished.
+func AllContext(ctx context.Context, s Scale) ([]*Table, error) {
+	return all(ctx, s, runtime.GOMAXPROCS(0))
 }
 
 // AllSequential runs the battery on a single worker: the seed's behavior,
 // kept for benchmark comparison (BenchmarkExpAll) and for profiling runs
 // where interleaved experiments would muddy the profile.
 func AllSequential(s Scale) ([]*Table, error) {
-	return all(s, 1)
+	return all(context.Background(), s, 1)
 }
 
-func all(s Scale, workers int) ([]*Table, error) {
+// AllSequentialContext is AllSequential under a context, with the same
+// partial-flush contract as AllContext.
+func AllSequentialContext(ctx context.Context, s Scale) ([]*Table, error) {
+	return all(ctx, s, 1)
+}
+
+func all(ctx context.Context, s Scale, workers int) ([]*Table, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -847,7 +871,11 @@ func all(s Scale, workers int) ([]*Table, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				out[i], errs[i] = allFns[i](s)
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				out[i], errs[i] = allFns[i](ctx, s)
 			}
 		}()
 	}
@@ -856,6 +884,16 @@ func all(s Scale, workers int) ([]*Table, error) {
 	}
 	close(jobs)
 	wg.Wait()
+	if ctx.Err() != nil {
+		// Partial flush: completed tables in battery order, gaps elided.
+		var done []*Table
+		for i, t := range out {
+			if errs[i] == nil && t != nil {
+				done = append(done, t)
+			}
+		}
+		return done, ctx.Err()
+	}
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}

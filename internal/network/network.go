@@ -262,6 +262,77 @@ func RunGuest(ma *Machine, prog Program, steps int) ([]hram.Word, cost.Time) {
 	return b, ma.Elapsed() - start
 }
 
+// StepHook is polled by the hooked guest executors once per completed
+// synchronous step, with the number of node-steps (vertices) just
+// executed. Returning a non-nil error aborts the run with that error.
+// Hooks run between steps and never touch the cost meters, so a run
+// whose hook always returns nil is bit-identical to the unhooked one.
+type StepHook func(vertices int) error
+
+// RunGuestHook is RunGuest with an optional per-step hook (nil runs
+// RunGuest itself). simulate uses the hook for cooperative cancellation
+// and progress metering.
+//
+// The hooked loop below mirrors RunGuest's step loop verbatim and must
+// stay in lockstep with it. The duplication is deliberate: folding the
+// hook branch into RunGuest's loop costs ~10% on the replay-bound
+// multiprocessor benchmarks even when the hook is nil — the extra exit
+// path degrades register allocation for the inner vertex loop — so the
+// nil case delegates to the pristine loop instead.
+// TestHookedExecutorsMatchUnhooked pins the equivalence.
+func RunGuestHook(ma *Machine, prog Program, steps int, hook StepHook) ([]hram.Word, cost.Time, error) {
+	if hook == nil {
+		b, t := RunGuest(ma, prog, steps)
+		return b, t, nil
+	}
+	if ma.P != ma.N {
+		panic(fmt.Sprintf("network: RunGuestHook needs P == N, got P=%d N=%d", ma.P, ma.N))
+	}
+	start := ma.Elapsed()
+	memSize := ma.NodeMemory()
+	b := make([]hram.Word, ma.P)
+	raw := make([]hram.Word, memSize)
+	for i := 0; i < ma.P; i++ {
+		// Initial loading is free (Poke): inputs are assumed in place,
+		// as in the paper's model where (v, 0) holds the initial value.
+		for a := range raw {
+			raw[a] = 0
+		}
+		b[i] = prog.Init(i, raw)
+		for a, w := range raw {
+			ma.Nodes[i].Poke(a, w)
+		}
+	}
+	prevB := make([]hram.Word, ma.P)
+	var nbuf []int
+	ops := make([]hram.Word, 0, 5)
+	for t := 1; t <= steps; t++ {
+		if err := hook(ma.P); err != nil {
+			return nil, 0, err
+		}
+		copy(prevB, b)
+		for v := 0; v < ma.P; v++ {
+			addr := prog.Address(v, t, memSize)
+			cell := ma.Nodes[v].Read(addr)
+			ops = ops[:0]
+			ops = append(ops, prevB[v])
+			nbuf = ma.Neighbors(v, nbuf[:0])
+			for _, u := range nbuf {
+				ops = append(ops, prevB[u])
+			}
+			out, cellOut := prog.Step(v, t, cell, ops)
+			ma.Nodes[v].Op()
+			ma.Nodes[v].Write(addr, cellOut)
+			// Neighbor exchange: receiving 2d values over distance
+			// Spacing() in parallel costs one link traversal.
+			ma.Bank.Proc(v).Charge(cost.Message, ma.Spacing())
+			b[v] = out
+		}
+		ma.Bank.Barrier()
+	}
+	return b, ma.Elapsed() - start, nil
+}
+
 // RunGuestParallel is RunGuest with the per-step node loop spread across
 // workers OS threads (0 = GOMAXPROCS). The model semantics are identical
 // — each node charges only its own meter and writes only its own memory
@@ -365,6 +436,52 @@ func RunGuestPure(d, n, m, steps int, prog Program) ([]hram.Word, [][]hram.Word)
 		}
 	}
 	return b, mems
+}
+
+// RunGuestPureHook is RunGuestPure with an optional per-step hook (nil
+// runs RunGuestPure itself). The functional replay is the CPU-dominant
+// part of the multiprocessor schemes, so this is where their
+// cancellation latency is bounded.
+//
+// As with RunGuestHook, the hooked loop duplicates RunGuestPure's loop
+// verbatim rather than branching inside it: the replay is this package's
+// hottest loop, and carrying the hook's error-exit path in it costs ~10%
+// even when nil. TestHookedExecutorsMatchUnhooked pins the equivalence.
+func RunGuestPureHook(d, n, m, steps int, prog Program, hook StepHook) ([]hram.Word, [][]hram.Word, error) {
+	if hook == nil {
+		b, mems := RunGuestPure(d, n, m, steps, prog)
+		return b, mems, nil
+	}
+	ref := New(d, n, n, m)
+	memSize := ref.NodeMemory()
+	mems := make([][]hram.Word, n)
+	b := make([]hram.Word, n)
+	for i := 0; i < n; i++ {
+		mems[i] = make([]hram.Word, memSize)
+		b[i] = prog.Init(i, mems[i])
+	}
+	prevB := make([]hram.Word, n)
+	var nbuf []int
+	ops := make([]hram.Word, 0, 5)
+	for t := 1; t <= steps; t++ {
+		if err := hook(n); err != nil {
+			return nil, nil, err
+		}
+		copy(prevB, b)
+		for v := 0; v < n; v++ {
+			addr := prog.Address(v, t, memSize)
+			ops = ops[:0]
+			ops = append(ops, prevB[v])
+			nbuf = ref.Neighbors(v, nbuf[:0])
+			for _, u := range nbuf {
+				ops = append(ops, prevB[u])
+			}
+			out, cellOut := prog.Step(v, t, mems[v][addr], ops)
+			mems[v][addr] = cellOut
+			b[v] = out
+		}
+	}
+	return b, mems, nil
 }
 
 func abs(a int) int {

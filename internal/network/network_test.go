@@ -273,3 +273,56 @@ func TestRunGuestParallel2D(t *testing.T) {
 		}
 	}
 }
+
+// The hooked executors duplicate the unhooked step loops for performance
+// (see RunGuestHook's doc comment); this pins the two copies together:
+// with a live always-nil hook, outputs, memories, virtual times, and
+// per-node clocks are bit-identical, and the hook observes every step.
+func TestHookedExecutorsMatchUnhooked(t *testing.T) {
+	const d, n, m, steps = 1, 32, 4, 16
+
+	base := New(d, n, n, m)
+	outB, timeB := RunGuest(base, caProg{}, steps)
+	hooked := New(d, n, n, m)
+	calls := 0
+	outH, timeH, err := RunGuestHook(hooked, caProg{}, steps, func(vertices int) error {
+		calls++
+		if vertices != n {
+			t.Fatalf("hook vertices = %d, want %d", vertices, n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != steps {
+		t.Fatalf("hook ran %d times, want %d", calls, steps)
+	}
+	if timeH != timeB {
+		t.Fatalf("hooked time %v != unhooked %v", timeH, timeB)
+	}
+	for i := range outB {
+		if outB[i] != outH[i] {
+			t.Fatalf("node %d broadcast mismatch", i)
+		}
+		if base.Bank.Proc(i).Now() != hooked.Bank.Proc(i).Now() {
+			t.Fatalf("node %d clock mismatch", i)
+		}
+	}
+
+	outP, memsP := RunGuestPure(d, n, m, steps, caProg{})
+	outPH, memsPH, err := RunGuestPureHook(d, n, m, steps, caProg{}, func(int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range outP {
+		if outP[i] != outPH[i] {
+			t.Fatalf("pure node %d broadcast mismatch", i)
+		}
+		for a := range memsP[i] {
+			if memsP[i][a] != memsPH[i][a] {
+				t.Fatalf("pure node %d mem[%d] mismatch", i, a)
+			}
+		}
+	}
+}

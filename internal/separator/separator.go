@@ -42,6 +42,14 @@ type Executor struct {
 	Prog dag.Program
 	// LeafSize bounds direct execution; DefaultLeafSize if zero.
 	LeafSize int
+	// Check, when non-nil, is polled at every phase boundary (once per
+	// partition child, with vertices = 0) and after every executed leaf
+	// (with vertices = the leaf's vertex count). Returning a non-nil
+	// error aborts the execution with that error. The hook is invoked
+	// between charged operations and must not touch the machine, so it
+	// cannot perturb measured virtual times. simulate.UniDCContext uses
+	// it for cooperative cancellation and progress metering.
+	Check func(vertices int) error
 
 	m *hram.Machine
 	// loc is the dense address table: one int32 slot per dag vertex
@@ -253,6 +261,11 @@ func (e *Executor) exec(dom lattice.Domain, space int, depth int) error {
 		e.ovStack = append(e.ovStack, nil)
 	}
 	for _, kid := range kids {
+		if e.Check != nil {
+			if err := e.Check(0); err != nil {
+				return err
+			}
+		}
 		skid := spaceNeededMemo(e.G, kid, e.LeafSize, e.spaceMemo)
 		ginKid := dag.Preboundary(e.G, kid)
 
@@ -360,5 +373,8 @@ func (e *Executor) execLeaf(dom lattice.Domain) error {
 		e.loc.Set(p, addr)
 		return true
 	})
+	if fail == nil && e.Check != nil {
+		fail = e.Check(dom.Size())
+	}
 	return fail
 }

@@ -161,9 +161,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
+	// Tie the request to the server's lifetime: a hard shutdown cancels
+	// every in-flight simulation through the same context chain.
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
 	v, err, shared := s.flight.Do(ctx, key, func() (any, error) {
-		return s.pool.Do(ctx, func() (any, error) {
-			resp, err := s.runScheme(req)
+		return s.pool.Do(ctx, func(jctx context.Context) (any, error) {
+			resp, err := s.runScheme(jctx, req)
 			if err == nil {
 				s.vars.Add("runs", 1)
 				s.cache.Add(key, resp)
@@ -268,8 +272,11 @@ func buildGuest(req RunRequest) bsmp.Program {
 var ledgerCategories = []cost.Category{cost.Compute, cost.Access, cost.Transfer, cost.Message, cost.Sync}
 
 // execute runs a validated request through the scheme registry — the
-// production runScheme implementation.
-func (s *Server) execute(req RunRequest) (*RunResponse, error) {
+// production runScheme implementation. The simulation runs under ctx
+// with a registered Progress, so cancelling ctx (client disconnect,
+// deadline, hard shutdown) stops it at its next checkpoint and /metrics
+// sees its live step counters while it runs.
+func (s *Server) execute(ctx context.Context, req RunRequest) (*RunResponse, error) {
 	cfg := bsmp.SchemeConfig{
 		Leaf: req.Config.Leaf,
 		Multi: bsmp.MultiOptions{
@@ -279,8 +286,21 @@ func (s *Server) execute(req RunRequest) (*RunResponse, error) {
 			NoCooperate:  req.Config.NoCooperate,
 		},
 	}
-	res, err := bsmp.RunScheme(req.Scheme, req.D, req.N, req.P, req.M, req.Steps, buildGuest(req), cfg)
+	prog := new(bsmp.Progress)
+	ctx = bsmp.WithProgress(ctx, prog)
+	s.inflightMu.Lock()
+	s.inflight[prog] = struct{}{}
+	s.inflightMu.Unlock()
+	defer func() {
+		s.inflightMu.Lock()
+		delete(s.inflight, prog)
+		s.inflightMu.Unlock()
+	}()
+	res, err := bsmp.RunSchemeContext(ctx, req.Scheme, req.D, req.N, req.P, req.M, req.Steps, buildGuest(req), cfg)
 	if err != nil {
+		if ctx.Err() != nil {
+			s.vars.Add("runs_cancelled", 1)
+		}
 		return nil, err
 	}
 	ledger := make(map[string]float64, len(ledgerCategories))

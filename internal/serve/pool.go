@@ -38,7 +38,7 @@ type Pool struct {
 
 type poolJob struct {
 	ctx  context.Context
-	fn   func() (any, error)
+	fn   func(ctx context.Context) (any, error)
 	done chan poolResult
 }
 
@@ -73,26 +73,29 @@ func (p *Pool) worker() {
 			j.done <- poolResult{err: err}
 			continue
 		}
-		val, err := runJob(j.fn)
+		val, err := runJob(j.ctx, j.fn)
 		j.done <- poolResult{val: val, err: err}
 	}
 }
 
-func runJob(fn func() (any, error)) (val any, err error) {
+func runJob(ctx context.Context, fn func(ctx context.Context) (any, error)) (val any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r}
 		}
 	}()
-	return fn()
+	return fn(ctx)
 }
 
 // Do submits fn and waits for its result or ctx expiry. A full queue
-// fails fast with ErrQueueFull; a closed pool with ErrDraining. When ctx
-// expires after the job started, Do returns ctx.Err() while the worker
-// finishes in the background (simulations are not interruptible
-// mid-run) — the buffered done channel lets the worker move on.
-func (p *Pool) Do(ctx context.Context, fn func() (any, error)) (any, error) {
+// fails fast with ErrQueueFull; a closed pool with ErrDraining. The
+// worker invokes fn with the request's ctx, so a context-aware job
+// observes the caller's cancellation and stops at its next checkpoint —
+// releasing the worker slot promptly instead of burning CPU for a
+// requester that already gave up. When ctx expires, Do returns ctx.Err()
+// immediately; the buffered done channel lets the worker move on as soon
+// as the (now-cancelled) job unwinds.
+func (p *Pool) Do(ctx context.Context, fn func(ctx context.Context) (any, error)) (any, error) {
 	j := poolJob{ctx: ctx, fn: fn, done: make(chan poolResult, 1)}
 	p.mu.Lock()
 	if p.closed {

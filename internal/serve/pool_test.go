@@ -12,7 +12,7 @@ import (
 func TestPoolRunsJobs(t *testing.T) {
 	p := NewPool(2, 4)
 	defer p.Close()
-	v, err := p.Do(context.Background(), func() (any, error) { return 7, nil })
+	v, err := p.Do(context.Background(), func(context.Context) (any, error) { return 7, nil })
 	if err != nil || v.(int) != 7 {
 		t.Fatalf("Do = %v, %v; want 7, nil", v, err)
 	}
@@ -28,7 +28,7 @@ func TestPoolQueueFull(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		p.Do(context.Background(), func() (any, error) {
+		p.Do(context.Background(), func(context.Context) (any, error) {
 			close(started)
 			<-release
 			return nil, nil
@@ -40,11 +40,11 @@ func TestPoolQueueFull(t *testing.T) {
 	// the job keeps the slot.
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
-	if _, err := p.Do(ctx, func() (any, error) { return nil, nil }); !errors.Is(err, context.DeadlineExceeded) {
+	if _, err := p.Do(ctx, func(context.Context) (any, error) { return nil, nil }); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("queued Do = %v, want DeadlineExceeded", err)
 	}
 	// Worker busy + queue slot held: the next submission sheds.
-	if _, err := p.Do(context.Background(), func() (any, error) { return nil, nil }); !errors.Is(err, ErrQueueFull) {
+	if _, err := p.Do(context.Background(), func(context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("burst Do = %v, want ErrQueueFull", err)
 	}
 	close(release)
@@ -52,6 +52,8 @@ func TestPoolQueueFull(t *testing.T) {
 	p.Close()
 }
 
+// A job that ignores its context (non-cooperative) still runs to
+// completion after the caller's deadline fires; only Close waits for it.
 func TestPoolDeadlineWhileRunning(t *testing.T) {
 	p := NewPool(1, 1)
 	release := make(chan struct{})
@@ -63,7 +65,7 @@ func TestPoolDeadlineWhileRunning(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		_, err := p.Do(ctx, func() (any, error) {
+		_, err := p.Do(ctx, func(context.Context) (any, error) {
 			close(started)
 			<-release
 			finished.Store(true)
@@ -85,11 +87,50 @@ func TestPoolDeadlineWhileRunning(t *testing.T) {
 	}
 }
 
+// A cooperative job observes the request context the worker hands it:
+// cancelling the request stops the job and frees the worker slot
+// immediately, so the next submission runs without waiting for the
+// abandoned job's natural completion.
+func TestPoolCancelReleasesSlot(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	jobStopped := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := p.Do(ctx, func(jctx context.Context) (any, error) {
+			close(started)
+			<-jctx.Done() // a cooperative simulation: stops when cancelled
+			close(jobStopped)
+			return nil, jctx.Err()
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled Do = %v, want Canceled", err)
+		}
+	}()
+	<-started
+	cancel()
+	<-done
+	select {
+	case <-jobStopped:
+	case <-time.After(2 * time.Second):
+		t.Fatal("job did not observe cancellation via the worker-provided context")
+	}
+	// The slot must be free: a fresh job on the single worker completes.
+	v, err := p.Do(context.Background(), func(context.Context) (any, error) { return 42, nil })
+	if err != nil || v.(int) != 42 {
+		t.Fatalf("Do after cancel = %v, %v; want 42, nil", v, err)
+	}
+}
+
 func TestPoolSkipsExpiredQueuedJobs(t *testing.T) {
 	p := NewPool(1, 1)
 	release := make(chan struct{})
 	started := make(chan struct{})
-	go p.Do(context.Background(), func() (any, error) {
+	go p.Do(context.Background(), func(context.Context) (any, error) {
 		close(started)
 		<-release
 		return nil, nil
@@ -101,7 +142,7 @@ func TestPoolSkipsExpiredQueuedJobs(t *testing.T) {
 	queued := make(chan struct{})
 	go func() {
 		close(queued)
-		p.Do(ctx, func() (any, error) { ran.Store(true); return nil, nil })
+		p.Do(ctx, func(context.Context) (any, error) { ran.Store(true); return nil, nil })
 	}()
 	<-queued
 	time.Sleep(10 * time.Millisecond) // let the job enter the queue
@@ -121,7 +162,7 @@ func TestPoolCloseRejectsAndDrains(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			p.Do(context.Background(), func() (any, error) {
+			p.Do(context.Background(), func(context.Context) (any, error) {
 				time.Sleep(10 * time.Millisecond)
 				ran.Add(1)
 				return nil, nil
@@ -131,7 +172,7 @@ func TestPoolCloseRejectsAndDrains(t *testing.T) {
 	time.Sleep(5 * time.Millisecond)
 	p.Close()
 	wg.Wait()
-	if _, err := p.Do(context.Background(), func() (any, error) { return nil, nil }); !errors.Is(err, ErrDraining) {
+	if _, err := p.Do(context.Background(), func(context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrDraining) {
 		t.Fatalf("Do after Close = %v, want ErrDraining", err)
 	}
 	if ran.Load() == 0 {

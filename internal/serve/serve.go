@@ -26,8 +26,11 @@ import (
 	"expvar"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"bsmp"
 )
 
 // Config sizes the daemon. The zero value of any field selects its
@@ -94,22 +97,37 @@ type Server struct {
 	httpSrv  *http.Server
 	draining atomic.Bool
 
-	// runScheme executes a validated run request; tests substitute it
-	// to inject blocking or panicking work behind the full middleware,
-	// cache, and pool stack.
-	runScheme func(req RunRequest) (*RunResponse, error)
+	// baseCtx is the server's lifetime context: every request context is
+	// tied to it, so cancelling baseCancel hard-stops every in-flight
+	// simulation at its next cooperative checkpoint. Shutdown pulls this
+	// lever when its drain budget expires.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	// inflight registers the Progress of every simulation currently
+	// executing; /metrics sums it into live gauges.
+	inflightMu sync.Mutex
+	inflight   map[*bsmp.Progress]struct{}
+
+	// runScheme executes a validated run request under ctx; tests
+	// substitute it to inject blocking or panicking work behind the full
+	// middleware, cache, and pool stack.
+	runScheme func(ctx context.Context, req RunRequest) (*RunResponse, error)
 }
 
 // New builds a Server from cfg (zero fields defaulted).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		cache: NewCache(cfg.CacheEntries),
-		pool:  NewPool(cfg.Workers, cfg.QueueDepth),
-		vars:  new(expvar.Map).Init(),
+		cfg:      cfg,
+		cache:    NewCache(cfg.CacheEntries),
+		pool:     NewPool(cfg.Workers, cfg.QueueDepth),
+		vars:     new(expvar.Map).Init(),
+		inflight: make(map[*bsmp.Progress]struct{}),
 	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.runScheme = s.execute
+	s.registerGauges()
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.handleRun)
@@ -142,7 +160,10 @@ func (s *Server) ListenAndServe() error {
 // Shutdown drains the daemon gracefully: /healthz flips to draining, the
 // HTTP server stops accepting and waits for in-flight handlers (each of
 // which waits for its simulation), then the pool's remaining queue is
-// drained. ctx bounds the whole sequence.
+// drained. ctx bounds the graceful phase; when it expires, Shutdown
+// hard-cancels the server's base context so every in-flight simulation
+// stops at its next cooperative checkpoint, then waits for the pool to
+// unwind.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.vars.Add("draining", 1)
@@ -158,11 +179,62 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 	case <-ctx.Done():
+		// Drain budget exhausted: stop in-flight simulations instead of
+		// abandoning them mid-CPU-burn. Every request context descends
+		// from baseCtx, so the pool drains promptly.
+		s.baseCancel()
+		<-done
 		if err == nil {
 			err = ctx.Err()
 		}
 	}
+	s.baseCancel()
 	return err
+}
+
+// registerGauges installs the live expvar gauges: in-flight run progress
+// and the multiprocessor kernel-cache counters. expvar.Func re-evaluates
+// on every /metrics render, so the values are current, not snapshots.
+func (s *Server) registerGauges() {
+	s.vars.Set("inflight_runs", expvar.Func(func() any {
+		s.inflightMu.Lock()
+		defer s.inflightMu.Unlock()
+		return len(s.inflight)
+	}))
+	s.vars.Set("inflight_vertices", expvar.Func(func() any {
+		s.inflightMu.Lock()
+		defer s.inflightMu.Unlock()
+		var v int64
+		for p := range s.inflight {
+			v += p.Vertices.Load()
+		}
+		return v
+	}))
+	s.vars.Set("inflight_phases", expvar.Func(func() any {
+		s.inflightMu.Lock()
+		defer s.inflightMu.Unlock()
+		var v int64
+		for p := range s.inflight {
+			v += p.Phases.Load()
+		}
+		return v
+	}))
+	s.vars.Set("kernel_cache_entries", expvar.Func(func() any {
+		e, _, _, _ := bsmp.KernelCacheStats()
+		return e
+	}))
+	s.vars.Set("kernel_cache_hits", expvar.Func(func() any {
+		_, h, _, _ := bsmp.KernelCacheStats()
+		return h
+	}))
+	s.vars.Set("kernel_cache_misses", expvar.Func(func() any {
+		_, _, m, _ := bsmp.KernelCacheStats()
+		return m
+	}))
+	s.vars.Set("kernel_cache_evictions", expvar.Func(func() any {
+		_, _, _, e := bsmp.KernelCacheStats()
+		return e
+	}))
 }
 
 // CacheStats exposes the result cache counters (smoke and unit tests).

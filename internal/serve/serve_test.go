@@ -196,7 +196,7 @@ func TestRunCoalescesConcurrentDuplicates(t *testing.T) {
 	s := New(Config{Workers: 4, QueueDepth: 16})
 	var calls atomic.Int64
 	release := make(chan struct{})
-	s.runScheme = func(req RunRequest) (*RunResponse, error) {
+	s.runScheme = func(_ context.Context, req RunRequest) (*RunResponse, error) {
 		calls.Add(1)
 		<-release
 		return &RunResponse{Scheme: req.Scheme, Time: 1}, nil
@@ -245,7 +245,7 @@ func TestRunQueueFull429(t *testing.T) {
 	s := New(Config{Workers: 1, QueueDepth: -1})
 	release := make(chan struct{})
 	started := make(chan struct{}, 16)
-	s.runScheme = func(req RunRequest) (*RunResponse, error) {
+	s.runScheme = func(_ context.Context, req RunRequest) (*RunResponse, error) {
 		started <- struct{}{}
 		<-release
 		return &RunResponse{Time: 1}, nil
@@ -294,7 +294,7 @@ func TestRunQueueFull429(t *testing.T) {
 func TestRunDeadline504(t *testing.T) {
 	s := New(Config{RequestTimeout: 30 * time.Millisecond})
 	release := make(chan struct{})
-	s.runScheme = func(req RunRequest) (*RunResponse, error) {
+	s.runScheme = func(_ context.Context, req RunRequest) (*RunResponse, error) {
 		<-release
 		return &RunResponse{Time: 1}, nil
 	}
@@ -313,7 +313,7 @@ func TestGracefulDrain(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan struct{})
 	var once sync.Once
-	s.runScheme = func(req RunRequest) (*RunResponse, error) {
+	s.runScheme = func(_ context.Context, req RunRequest) (*RunResponse, error) {
 		once.Do(func() { close(started) })
 		<-release
 		return &RunResponse{Time: 1}, nil
@@ -360,7 +360,7 @@ func TestGracefulDrain(t *testing.T) {
 
 func TestRecoverMiddleware(t *testing.T) {
 	s := New(Config{})
-	s.runScheme = func(req RunRequest) (*RunResponse, error) { panic("boom") }
+	s.runScheme = func(_ context.Context, req RunRequest) (*RunResponse, error) { panic("boom") }
 	w := postRun(t, s.Handler(), validRun)
 	if w.Code != http.StatusInternalServerError {
 		t.Fatalf("status = %d, want 500", w.Code)

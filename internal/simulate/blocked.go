@@ -1,6 +1,8 @@
 package simulate
 
 import (
+	"context"
+
 	"bsmp/internal/cost"
 	"bsmp/internal/dag"
 	"bsmp/internal/hram"
@@ -40,6 +42,15 @@ import (
 // and BlockedD3; this wrapper supplies the line geometry: node id = x,
 // operand stencil (self, left, right), columns sorted by ascending x.
 func BlockedD1(n, m, steps, leafWidth int, prog network.Program, opts ...hram.Option) (Result, error) {
+	return BlockedD1Context(context.Background(), n, m, steps, leafWidth, prog, opts...)
+}
+
+// BlockedD1Context is BlockedD1 under a context: cancellation is checked
+// at every recursion boundary and (amortized) every checkInterval leaf
+// vertices, and step progress is reported to any attached Progress. The
+// checks are host-side only, so a never-cancelled run's virtual times
+// are bit-identical to BlockedD1's.
+func BlockedD1Context(ctx context.Context, n, m, steps, leafWidth int, prog network.Program, opts ...hram.Option) (Result, error) {
 	if e := validateBlocked(1, n, m, steps); e != nil {
 		return Result{}, e
 	}
@@ -70,7 +81,7 @@ func BlockedD1(n, m, steps, leafWidth int, prog network.Program, opts ...hram.Op
 		},
 		sortCols: true,
 	}
-	b := newBlockedExec(g, prog, m, iw, steps, leafWidth, geom)
+	b := newBlockedExec(ctx, g, prog, m, iw, steps, leafWidth, geom)
 	root := g.Domain()
 	space := b.spaceNeeded(root)
 	var meter cost.Meter

@@ -1,6 +1,8 @@
 package simulate
 
 import (
+	"context"
+
 	"bsmp/internal/cost"
 	"bsmp/internal/dag"
 	"bsmp/internal/hram"
@@ -30,6 +32,12 @@ import (
 // wrapper supplies the mesh geometry: node id = y*side+x, operand stencil
 // (self, W, E, S, N), columns in first-seen (T, X, Y) order.
 func BlockedD2(n, m, steps, leafSpan int, prog network.Program, opts ...hram.Option) (Result, error) {
+	return BlockedD2Context(context.Background(), n, m, steps, leafSpan, prog, opts...)
+}
+
+// BlockedD2Context is BlockedD2 under a context; see BlockedD1Context
+// for the cancellation and progress contract.
+func BlockedD2Context(ctx context.Context, n, m, steps, leafSpan int, prog network.Program, opts ...hram.Option) (Result, error) {
 	if e := validateBlocked(2, n, m, steps); e != nil {
 		return Result{}, e
 	}
@@ -68,7 +76,7 @@ func BlockedD2(n, m, steps, leafSpan int, prog network.Program, opts ...hram.Opt
 			return buf
 		},
 	}
-	b := newBlockedExec(g, prog, m, iw, steps, leafSpan, geom)
+	b := newBlockedExec(ctx, g, prog, m, iw, steps, leafSpan, geom)
 	root := g.Domain()
 	space := b.spaceNeeded(root)
 	var meter cost.Meter

@@ -1,6 +1,8 @@
 package simulate
 
 import (
+	"context"
+
 	"bsmp/internal/cost"
 	"bsmp/internal/dag"
 	"bsmp/internal/hram"
@@ -23,6 +25,12 @@ import (
 // operand stencil self then the six cube neighbors in Neighbors order
 // (W, E, S, N, D, U), columns in first-seen (T, X, Y, Z) order.
 func BlockedD3(n, m, steps, leafSpan int, prog network.Program, opts ...hram.Option) (Result, error) {
+	return BlockedD3Context(context.Background(), n, m, steps, leafSpan, prog, opts...)
+}
+
+// BlockedD3Context is BlockedD3 under a context; see BlockedD1Context
+// for the cancellation and progress contract.
+func BlockedD3Context(ctx context.Context, n, m, steps, leafSpan int, prog network.Program, opts ...hram.Option) (Result, error) {
 	if e := validateBlocked(3, n, m, steps); e != nil {
 		return Result{}, e
 	}
@@ -68,7 +76,7 @@ func BlockedD3(n, m, steps, leafSpan int, prog network.Program, opts ...hram.Opt
 			return buf
 		},
 	}
-	b := newBlockedExec(g, prog, m, iw, steps, leafSpan, geom)
+	b := newBlockedExec(ctx, g, prog, m, iw, steps, leafSpan, geom)
 	root := g.Domain()
 	space := b.spaceNeeded(root)
 	var meter cost.Meter

@@ -1,6 +1,7 @@
 package simulate
 
 import (
+	"context"
 	"fmt"
 
 	"bsmp/internal/dag"
@@ -74,6 +75,7 @@ type blockedExec struct {
 	leafSpan int
 	mach     *hram.Machine
 	geom     blockedGeom
+	ec       *execCtx // cancellation + progress; host-side only
 
 	bcast   *lattice.AddrTable // broadcast-word addresses per dag vertex
 	mem     *lattice.AddrTable // column-image addresses per (node, entry time)
@@ -103,12 +105,13 @@ func memKey(pos lattice.Point, t int) lattice.Point {
 // newBlockedExec allocates the dense tables for graph g. The index box is
 // g's bounds with one extra time layer, so the final images
 // Mem(v, steps+1) are addressable.
-func newBlockedExec(g dag.Graph, prog network.Program, m, iw, steps, leafSpan int, geom blockedGeom) *blockedExec {
+func newBlockedExec(ctx context.Context, g dag.Graph, prog network.Program, m, iw, steps, leafSpan int, geom blockedGeom) *blockedExec {
 	bounds := g.Bounds()
 	bounds.T1++
 	ix := lattice.NewIndexer(bounds)
 	return &blockedExec{
 		g: g, prog: prog, m: m, iw: iw, steps: steps, leafSpan: leafSpan, geom: geom,
+		ec:      newExecCtx(ctx),
 		bcast:   lattice.NewAddrTable(ix),
 		mem:     lattice.NewAddrTable(ix),
 		live:    lattice.NewPointSet(ix),
@@ -226,6 +229,9 @@ func (b *blockedExec) exec(dom lattice.Domain, space, depth int) error {
 	}
 
 	for _, kid := range dom.Children() {
+		if err := b.ec.checkpoint(); err != nil {
+			return err
+		}
 		kidSpans := b.columns(kid)
 		kidGin := dag.Preboundary(b.g, kid)
 		skid := b.spaceNeeded(kid)
@@ -398,6 +404,12 @@ func (b *blockedExec) execLeaf(dom lattice.Domain) error {
 		next++
 		return true
 	})
+	// One amortized cancellation/progress check per executed leaf keeps
+	// the per-vertex loop free of checking overhead; leaves are D(m)-sized,
+	// so cancellation latency stays bounded by one small leaf kernel.
+	if fail == nil {
+		fail = b.ec.step(dom.Size())
+	}
 	if fail != nil {
 		return b.drainLeaf(spans, fail)
 	}

@@ -1,0 +1,178 @@
+package simulate
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"bsmp/internal/guest"
+)
+
+// Cancelling a context mid-recursion stops BlockedD2 at its next
+// cooperative checkpoint: the call returns context.Canceled within a
+// small wall-clock bound instead of finishing the remaining (large)
+// simulation.
+func TestBlockedD2CancelMidRecursion(t *testing.T) {
+	prog := guest.AsNetwork{G: guest.MixCA{Seed: 3}, Side: 64}
+	var p Progress
+	ctx, cancel := context.WithCancel(WithProgress(context.Background(), &p))
+	defer cancel()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := BlockedD2Context(ctx, 4096, 4, 128, 0, prog)
+		done <- err
+	}()
+	// Wait until the run has demonstrably entered the recursion (the
+	// progress meter only advances from inside the executor), then pull
+	// the plug.
+	deadline := time.Now().Add(10 * time.Second)
+	for p.Vertices.Load() == 0 && p.Phases.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("simulation never reported progress")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("BlockedD2Context after cancel = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("BlockedD2Context did not return promptly after cancellation")
+	}
+}
+
+// An already-cancelled context stops every engine at its first
+// checkpoint; none of them runs the simulation to completion.
+func TestPreCancelledContextStopsEveryEngine(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	line := guest.AsNetwork{G: guest.MixCA{Seed: 3}}
+	grid := guest.AsNetwork{G: guest.MixCA{Seed: 3}, Side: 8}
+	runs := map[string]func() error{
+		"NaiveContext": func() error {
+			_, err := NaiveContext(ctx, 1, 64, 4, 4, 64, line)
+			return err
+		},
+		"UniDCContext": func() error {
+			_, err := UniDCContext(ctx, 1, 64, 64, 8, guest.Rule90{})
+			return err
+		},
+		"UniNaiveDagContext": func() error {
+			_, err := UniNaiveDagContext(ctx, 1, 64, 64, guest.Rule90{})
+			return err
+		},
+		"BlockedD1Context": func() error {
+			_, err := BlockedD1Context(ctx, 64, 4, 64, 0, line)
+			return err
+		},
+		"BlockedD2Context": func() error {
+			_, err := BlockedD2Context(ctx, 64, 4, 8, 0, grid)
+			return err
+		},
+		"MultiD1Context": func() error {
+			_, err := MultiD1Context(ctx, 64, 4, 4, 64, line, MultiOptions{})
+			return err
+		},
+		"CoopBlockContext": func() error {
+			_, err := CoopBlockContext(ctx, 64, 4, 16, 8, 64, line)
+			return err
+		},
+		"GuestTimeContext": func() error {
+			_, err := GuestTimeContext(ctx, 1, 64, 4, 64, line)
+			return err
+		},
+		"RunSchemeContext": func() error {
+			_, err := RunSchemeContext(ctx, "blocked", 1, 64, 1, 4, 64, line, SchemeConfig{})
+			return err
+		},
+	}
+	for name, run := range runs {
+		if err := run(); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s with pre-cancelled ctx = %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+// A live but never-cancelled context must not perturb the cost model:
+// the virtual times are bit-identical to the context-free run, while the
+// attached Progress observes real forward motion. This exercises the
+// done != nil path of the execution context (context.Background takes
+// the done == nil fast path).
+func TestGoldenTimesBitIdenticalUnderLiveContext(t *testing.T) {
+	prog := guest.AsNetwork{G: guest.MixCA{Seed: 3}}
+	base, err := BlockedD1(64, 4, 16, 0, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Progress
+	ctx, cancel := context.WithCancel(WithProgress(context.Background(), &p))
+	defer cancel()
+	got, err := BlockedD1Context(ctx, 64, 4, 16, 0, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Time != base.Time {
+		t.Errorf("Time under live ctx = %v, want bit-identical %v", got.Time, base.Time)
+	}
+	if got.Space != base.Space {
+		t.Errorf("Space under live ctx = %d, want %d", got.Space, base.Space)
+	}
+	if p.Vertices.Load() == 0 {
+		t.Error("Progress.Vertices never advanced during the run")
+	}
+	if p.Phases.Load() == 0 {
+		t.Error("Progress.Phases never advanced during the run")
+	}
+
+	mbase, err := MultiD1(64, 4, 4, 64, prog, MultiOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgot, err := MultiD1Context(ctx, 64, 4, 4, 64, prog, MultiOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgot.Time != mbase.Time || mgot.PrepTime != mbase.PrepTime {
+		t.Errorf("MultiD1 under live ctx = (%v, %v), want (%v, %v)",
+			mgot.Time, mgot.PrepTime, mbase.Time, mbase.PrepTime)
+	}
+}
+
+// The kernel cache honors its capacity bound with FIFO eviction and
+// accurate hit/miss/eviction counters.
+func TestKernelCacheBounded(t *testing.T) {
+	c := &boundedKernelCache{entries: make(map[kernelKey]float64)}
+	const extra = 10
+	for i := 0; i < kernelCacheCap+extra; i++ {
+		c.store(kernelKey{d: 1, s: i, m: 1}, float64(i))
+	}
+	entries, _, _, evictions := c.stats()
+	if entries != kernelCacheCap {
+		t.Errorf("entries = %d, want cap %d", entries, kernelCacheCap)
+	}
+	if evictions != extra {
+		t.Errorf("evictions = %d, want %d", evictions, extra)
+	}
+	// FIFO: the first `extra` keys are gone, the newest survive.
+	if _, ok := c.load(kernelKey{d: 1, s: 0, m: 1}); ok {
+		t.Error("oldest entry survived past capacity")
+	}
+	if v, ok := c.load(kernelKey{d: 1, s: kernelCacheCap + extra - 1, m: 1}); !ok || v != float64(kernelCacheCap+extra-1) {
+		t.Errorf("newest entry = %v, %t; want value and true", v, ok)
+	}
+	_, hits, misses, _ := c.stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("hits, misses = %d, %d; want 1, 1", hits, misses)
+	}
+	// Re-storing an existing key updates in place without eviction.
+	c.store(kernelKey{d: 1, s: kernelCacheCap + extra - 1, m: 1}, 99)
+	entries2, _, _, evictions2 := c.stats()
+	if entries2 != kernelCacheCap || evictions2 != extra {
+		t.Errorf("after update-in-place: entries %d evictions %d, want %d %d",
+			entries2, evictions2, kernelCacheCap, extra)
+	}
+}

@@ -1,6 +1,7 @@
 package simulate
 
 import (
+	"context"
 	"fmt"
 
 	"bsmp/internal/cost"
@@ -43,6 +44,14 @@ type CoopResult struct {
 // other. The slice is treated as isolated (reflecting ends), which keeps
 // the comparison self-contained; s must be even and >= 2.
 func CoopBlock(n, p, m, s, steps int, prog network.Program) (CoopResult, error) {
+	return CoopBlockContext(context.Background(), n, p, m, s, steps, prog)
+}
+
+// CoopBlockContext is CoopBlock under a context: both the cooperative
+// and the solo run poll cancellation once per simulated step, and report
+// step progress to any attached Progress. Checks are host-side only, so
+// a never-cancelled run's virtual times are bit-identical to CoopBlock's.
+func CoopBlockContext(ctx context.Context, n, p, m, s, steps int, prog network.Program) (CoopResult, error) {
 	if s < 2 || s%2 != 0 {
 		return CoopResult{}, fmt.Errorf("simulate: CoopBlock needs even s >= 2, got %d", s)
 	}
@@ -90,9 +99,13 @@ func CoopBlock(n, p, m, s, steps int, prog network.Program) (CoopResult, error) 
 		mach[side].Poke(bAddr(local), b[x])
 	}
 
+	ec := newExecCtx(ctx)
 	prevB := make([]hram.Word, s)
 	ops := make([]hram.Word, 0, 3)
 	for t := 1; t <= steps; t++ {
+		if err := ec.step(s); err != nil {
+			return CoopResult{}, err
+		}
 		copy(prevB, b)
 		// Boundary exchange: each side sends its edge value to the other
 		// (one word over the host spacing), written into the remote slot.
@@ -158,6 +171,9 @@ func CoopBlock(n, p, m, s, steps int, prog network.Program) (CoopResult, error) 
 		}
 	}
 	for t := 1; t <= steps; t++ {
+		if err := ec.step(s); err != nil {
+			return CoopResult{}, err
+		}
 		copy(prevB, b)
 		for x := 0; x < s; x++ {
 			addr := x*m + prog.Address(x, t, m)

@@ -1,6 +1,7 @@
 package simulate
 
 import (
+	"context"
 	"testing"
 
 	"bsmp/internal/guest"
@@ -15,11 +16,11 @@ import (
 func TestSpanKernelFixedGuestD2(t *testing.T) {
 	a := guest.AsNetwork{G: guest.MixCA{Seed: 1}, Side: 8}
 	b := guest.AsNetwork{G: guest.MixCA{Seed: 77}, Side: 8}
-	ka, err := multiGeomD2.kernel(4, 4, a)
+	ka, err := multiGeomD2.kernel(context.Background(), 4, 4, a)
 	if err != nil {
 		t.Fatal(err)
 	}
-	kb, err := multiGeomD2.kernel(4, 4, b)
+	kb, err := multiGeomD2.kernel(context.Background(), 4, 4, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,11 +43,11 @@ func TestSpanKernelFixedGuestD2(t *testing.T) {
 func TestSpanKernelFixedGuestD3(t *testing.T) {
 	a := guest.AsNetwork{G: guest.MixCA{Seed: 1}, CubeSide: 4}
 	b := guest.AsNetwork{G: guest.MixCA{Seed: 77}, CubeSide: 4}
-	ka, err := multiGeomD3.kernel(2, 4, a)
+	ka, err := multiGeomD3.kernel(context.Background(), 2, 4, a)
 	if err != nil {
 		t.Fatal(err)
 	}
-	kb, err := multiGeomD3.kernel(2, 4, b)
+	kb, err := multiGeomD3.kernel(context.Background(), 2, 4, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,11 +70,11 @@ func TestSpanKernelFixedGuestD3(t *testing.T) {
 func TestKernelCacheKeySeparatesDimensions(t *testing.T) {
 	// Same (s, m) measured through different geometries must not collide:
 	// the d field and the calibration fingerprint both discriminate.
-	k2, err := multiGeomD2.kernel(4, 2, nil)
+	k2, err := multiGeomD2.kernel(context.Background(), 4, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	k3, err := multiGeomD3.kernel(4, 2, nil)
+	k3, err := multiGeomD3.kernel(context.Background(), 4, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

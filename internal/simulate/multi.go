@@ -1,6 +1,7 @@
 package simulate
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -86,10 +87,10 @@ var multiGeomD1 = &multiGeom{
 		// the caller's program (TestDiamondKernelProgramDependence).
 		return prog
 	},
-	calRun: func(cal, m int, prog network.Program) (Result, error) {
+	calRun: func(ctx context.Context, cal, m int, prog network.Program) (Result, error) {
 		// An s × s computation holds about two diamonds' worth of
 		// vertices; the kernel is half its measured time.
-		return BlockedD1(cal, m, cal, 0, prog)
+		return BlockedD1Context(ctx, cal, m, cal, 0, prog)
 	},
 	distRed:    func(pf float64) float64 { return pf },
 	faceSize:   func(sf float64) float64 { return sf },
@@ -98,8 +99,8 @@ var multiGeomD1 = &multiGeom{
 
 // diamondKernel measures the time to execute one diamond D(s) with memory
 // density m — the d = 1 entry of the engine's unified kernel cache.
-func diamondKernel(s, m int, prog network.Program) (float64, error) {
-	return multiGeomD1.kernel(s, m, prog)
+func diamondKernel(ctx context.Context, s, m int, prog network.Program) (float64, error) {
+	return multiGeomD1.kernel(ctx, s, m, prog)
 }
 
 // MultiD1 runs Theorem 4's simulation of M1(n, n, m) on M1(n, p, m):
@@ -124,6 +125,15 @@ func diamondKernel(s, m int, prog network.Program) (float64, error) {
 // granularity derived in the comments below. See DESIGN.md's fidelity
 // ladder.
 func MultiD1(n, p, m, steps int, prog network.Program, opts MultiOptions) (MultiResult, error) {
+	return MultiD1Context(context.Background(), n, p, m, steps, prog, opts)
+}
+
+// MultiD1Context is MultiD1 under a context: the kernel calibration run,
+// the span search, and the functional guest replay all poll cancellation
+// cooperatively, and replay progress is reported to any attached
+// Progress. Checks are host-side only, so a never-cancelled run's
+// virtual times are bit-identical to MultiD1's.
+func MultiD1Context(ctx context.Context, n, p, m, steps int, prog network.Program, opts MultiOptions) (MultiResult, error) {
 	if p < 1 || n < p || n%p != 0 {
 		return MultiResult{}, fmt.Errorf("simulate: need p | n, got n=%d p=%d", n, p)
 	}
@@ -135,7 +145,7 @@ func MultiD1(n, p, m, steps int, prog network.Program, opts MultiOptions) (Multi
 	}
 	if p == 1 {
 		// Degenerate case: Theorem 3's machinery.
-		r, err := BlockedD1(n, m, steps, 0, prog)
+		r, err := BlockedD1Context(ctx, n, m, steps, 0, prog)
 		return MultiResult{Result: r, StripWidth: n}, err
 	}
 	s := opts.StripWidth
@@ -157,7 +167,7 @@ func MultiD1(n, p, m, steps int, prog network.Program, opts MultiOptions) (Multi
 	// constants; to keep the phases commensurate — as they would be if
 	// one machine executed all of them — they are scaled by the kernel's
 	// measured-over-theoretical constant κ.
-	kernel, err := diamondKernel(s, m, prog)
+	kernel, err := diamondKernel(ctx, s, m, prog)
 	if err != nil {
 		return MultiResult{}, err
 	}
@@ -234,7 +244,11 @@ func MultiD1(n, p, m, steps int, prog network.Program, opts MultiOptions) (Multi
 
 	// Functional execution (exact): the schedule above is a topological
 	// execution of the same dag, so the state evolution is the guest's.
-	outs, mems := network.RunGuestPure(1, n, m, steps, prog)
+	ec := newExecCtx(ctx)
+	outs, mems, err := network.RunGuestPureHook(1, n, m, steps, prog, ec.hook())
+	if err != nil {
+		return MultiResult{}, err
+	}
 
 	return MultiResult{
 		Result: Result{
@@ -261,15 +275,25 @@ func MultiD1(n, p, m, steps int, prog network.Program, opts MultiOptions) (Multi
 // cost gives a contribution to the slowdown that vanishes as the number
 // of simulated steps increases" (Section 4.2).
 func MultiD1Cycles(n, p, m, cycles int, prog network.Program, opts MultiOptions) (MultiResult, error) {
+	return MultiD1CyclesContext(context.Background(), n, p, m, cycles, prog, opts)
+}
+
+// MultiD1CyclesContext is MultiD1Cycles under a context; see
+// MultiD1Context for the cancellation and progress contract.
+func MultiD1CyclesContext(ctx context.Context, n, p, m, cycles int, prog network.Program, opts MultiOptions) (MultiResult, error) {
 	if cycles < 1 {
 		return MultiResult{}, fmt.Errorf("simulate: cycles %d < 1", cycles)
 	}
-	one, err := MultiD1(n, p, m, n, prog, opts)
+	one, err := MultiD1Context(ctx, n, p, m, n, prog, opts)
 	if err != nil {
 		return MultiResult{}, err
 	}
 	total := one.PrepTime + cost.Time(cycles)*one.Time
-	outs, mems := network.RunGuestPure(1, n, m, cycles*n, prog)
+	ec := newExecCtx(ctx)
+	outs, mems, err := network.RunGuestPureHook(1, n, m, cycles*n, prog, ec.hook())
+	if err != nil {
+		return MultiResult{}, err
+	}
 	res := one
 	res.Outputs = outs
 	res.Memories = mems

@@ -1,6 +1,7 @@
 package simulate
 
 import (
+	"context"
 	"math"
 
 	"bsmp/internal/analytic"
@@ -33,8 +34,8 @@ var multiGeomD2 = &multiGeom{
 	calProg: func(cal int, _ network.Program) network.Program {
 		return guest.AsNetwork{G: guest.MixCA{Seed: 42}, Side: cal}
 	},
-	calRun: func(cal, m int, prog network.Program) (Result, error) {
-		return BlockedD2(cal*cal, m, cal, 0, prog)
+	calRun: func(ctx context.Context, cal, m int, prog network.Program) (Result, error) {
+		return BlockedD2Context(ctx, cal*cal, m, cal, 0, prog)
 	},
 	// Scale by dag volume (cal²·cal -> σ²·σ); the per-vertex cost is
 	// span-dominated and grows ~linearly, so scale that too.
@@ -75,5 +76,11 @@ var multiGeomD2 = &multiGeom{
 // SpanOverride to ablate. Functionally the guest advances exactly.
 // n and p must be perfect squares with p | n.
 func MultiD2(n, p, m, steps int, prog network.Program, opts Multi2Options) (Multi2Result, error) {
-	return multiSpan(multiGeomD2, n, p, m, steps, prog, opts)
+	return MultiD2Context(context.Background(), n, p, m, steps, prog, opts)
+}
+
+// MultiD2Context is MultiD2 under a context; see MultiD1Context for the
+// cancellation and progress contract.
+func MultiD2Context(ctx context.Context, n, p, m, steps int, prog network.Program, opts Multi2Options) (Multi2Result, error) {
+	return multiSpan(ctx, multiGeomD2, n, p, m, steps, prog, opts)
 }

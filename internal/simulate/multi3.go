@@ -1,6 +1,7 @@
 package simulate
 
 import (
+	"context"
 	"math"
 
 	"bsmp/internal/analytic"
@@ -30,8 +31,8 @@ var multiGeomD3 = &multiGeom{
 	calProg: func(cal int, _ network.Program) network.Program {
 		return guest.AsNetwork{G: guest.MixCA{Seed: 42}, CubeSide: cal}
 	},
-	calRun: func(cal, m int, prog network.Program) (Result, error) {
-		return BlockedD3(cal*cal*cal, m, cal, 0, prog)
+	calRun: func(ctx context.Context, cal, m int, prog network.Program) (Result, error) {
+		return BlockedD3Context(ctx, cal*cal*cal, m, cal, 0, prog)
 	},
 	scaleExp:      5,
 	checkShape:    func(n int) *ParamError { return shapeError("multi", "n", 3, n) },
@@ -67,5 +68,11 @@ var multiGeomD3 = &multiGeom{
 // four-range structure of A(3, n, m, p) measurable. n and p must be
 // perfect cubes with p | n.
 func MultiD3(n, p, m, steps int, prog network.Program, opts Multi3Options) (Multi3Result, error) {
-	return multiSpan(multiGeomD3, n, p, m, steps, prog, opts)
+	return MultiD3Context(context.Background(), n, p, m, steps, prog, opts)
+}
+
+// MultiD3Context is MultiD3 under a context; see MultiD1Context for the
+// cancellation and progress contract.
+func MultiD3Context(ctx context.Context, n, p, m, steps int, prog network.Program, opts Multi3Options) (Multi3Result, error) {
+	return multiSpan(ctx, multiGeomD3, n, p, m, steps, prog, opts)
 }

@@ -1,9 +1,11 @@
 package simulate
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"bsmp/internal/cost"
 	"bsmp/internal/network"
@@ -65,7 +67,9 @@ type multiGeom struct {
 	// calRun invokes the dimension's blocked executor on a span-cal,
 	// cal-step guest; the kernel is half the measured time (the
 	// calibration volume holds about two domains' worth of vertices).
-	calRun func(cal, m int, prog network.Program) (Result, error)
+	// The context threads cancellation into the blocked recursion, so a
+	// long calibration run is preemptible like any other simulation.
+	calRun func(ctx context.Context, cal, m int, prog network.Program) (Result, error)
 	// scaleExp is the volume/span scaling exponent applied when
 	// calSpan(s) < s: dag volume s^(d+1) times the ~linear per-vertex
 	// span growth.
@@ -115,9 +119,74 @@ type kernelKey struct {
 	prog    string
 }
 
-// kernelCache memoizes measured kernels. sync.Map: experiments calibrate
-// from concurrently running goroutines (exp.All).
-var kernelCache sync.Map // kernelKey -> float64
+// kernelCacheCap bounds the number of memoized kernels. Long-lived
+// daemons see an unbounded stream of (d, s, m, program) tuples — the
+// d = 1 scheme keys on the caller's program — so the memo must not grow
+// without bound. Kernels are deterministic re-measurements of small
+// calibration guests: evicting one costs only recalibration time and can
+// never change a result, so simple FIFO eviction suffices.
+const kernelCacheCap = 1024
+
+// boundedKernelCache memoizes measured kernels under a capacity bound,
+// with hit/miss/eviction counters sampled by KernelCacheStats (exposed
+// on bsmpd's /metrics). A mutex-guarded map replaces the former
+// unbounded sync.Map; experiments still calibrate from concurrently
+// running goroutines (exp.All), and the critical sections are a map
+// probe or insert.
+type boundedKernelCache struct {
+	mu      sync.Mutex
+	entries map[kernelKey]float64
+	order   []kernelKey // insertion order, the FIFO eviction queue
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+var kernelCache = &boundedKernelCache{entries: make(map[kernelKey]float64)}
+
+func (c *boundedKernelCache) load(k kernelKey) (float64, bool) {
+	c.mu.Lock()
+	v, ok := c.entries[k]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+func (c *boundedKernelCache) store(k kernelKey, v float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[k]; ok {
+		c.entries[k] = v
+		return
+	}
+	for len(c.entries) >= kernelCacheCap {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+		c.evictions.Add(1)
+	}
+	c.entries[k] = v
+	c.order = append(c.order, k)
+}
+
+func (c *boundedKernelCache) stats() (entries int, hits, misses, evictions int64) {
+	c.mu.Lock()
+	entries = len(c.entries)
+	c.mu.Unlock()
+	return entries, c.hits.Load(), c.misses.Load(), c.evictions.Load()
+}
+
+// KernelCacheStats reports the kernel cache's current entry count and
+// its lifetime hit/miss/eviction counters, for the daemon's /metrics
+// expvar gauges.
+func KernelCacheStats() (entries int, hits, misses, evictions int64) {
+	return kernelCache.stats()
+}
 
 // progFingerprint renders a program's identity for kernel-cache keying.
 // Programs here are small comparable config structs (guest.AsNetwork
@@ -130,18 +199,18 @@ func progFingerprint(prog network.Program) string {
 // kernel measures (or recalls) the per-domain execution kernel for span s
 // and density m: a real blocked-executor run of the dimension's span-cal,
 // cal-step calibration guest, halved, and volume-scaled when cal < s.
-func (g *multiGeom) kernel(s, m int, prog network.Program) (float64, error) {
+func (g *multiGeom) kernel(ctx context.Context, s, m int, prog network.Program) (float64, error) {
 	cal := g.calSpan(s)
 	calProg := g.calProg(cal, prog)
 	key := kernelKey{g.d, s, m, progFingerprint(calProg)}
-	if v, ok := kernelCache.Load(key); ok {
-		return v.(float64), nil
+	if v, ok := kernelCache.load(key); ok {
+		return v, nil
 	}
 	if s < 2 {
-		kernelCache.Store(key, g.kernelFloor)
+		kernelCache.store(key, g.kernelFloor)
 		return g.kernelFloor, nil
 	}
-	res, err := g.calRun(cal, m, calProg)
+	res, err := g.calRun(ctx, cal, m, calProg)
 	if err != nil {
 		return 0, err
 	}
@@ -149,7 +218,7 @@ func (g *multiGeom) kernel(s, m int, prog network.Program) (float64, error) {
 	if cal != s {
 		k *= math.Pow(float64(s)/float64(cal), g.scaleExp)
 	}
-	kernelCache.Store(key, k)
+	kernelCache.store(key, k)
 	return k, nil
 }
 
@@ -222,12 +291,12 @@ func playSchedule(p int, sch multiSchedule) (*cost.Bank, cost.Time) {
 // (relocation, execution, exchange) breakdown. The formulas are the
 // d-generic Theorem 1 shape; see the per-dimension doc comments for their
 // derivations.
-func multiSpanCost(g *multiGeom, n, p, m, steps, s int, noRearrange bool) (float64, int, [3]float64, error) {
+func multiSpanCost(ctx context.Context, g *multiGeom, n, p, m, steps, s int, noRearrange bool) (float64, int, [3]float64, error) {
 	nf, pf, mf, sf := float64(n), float64(p), float64(m), float64(s)
 	vol := nf * float64(steps+1)
 	regionSide := g.regionSide(nf, pf)
 
-	kernel, err := g.kernel(s, m, nil)
+	kernel, err := g.kernel(ctx, s, m, nil)
 	if err != nil {
 		return 0, 0, [3]float64{}, err
 	}
@@ -264,7 +333,7 @@ func multiSpanCost(g *multiGeom, n, p, m, steps, s int, noRearrange bool) (float
 // minimize multiSpanCost over power-of-two spans (or the override),
 // charge the chosen schedule with phase attribution, and advance the
 // guest functionally (exactly).
-func multiSpan(g *multiGeom, n, p, m, steps int, prog network.Program, opts MultiOptions) (MultiResult, error) {
+func multiSpan(ctx context.Context, g *multiGeom, n, p, m, steps int, prog network.Program, opts MultiOptions) (MultiResult, error) {
 	if p < 1 || n < p || n%p != 0 {
 		return MultiResult{}, fmt.Errorf("simulate: need p | n, got n=%d p=%d", n, p)
 	}
@@ -298,8 +367,12 @@ func multiSpan(g *multiGeom, n, p, m, steps int, prog network.Program, opts Mult
 	bestSpan := spans[0]
 	bestLevels := 0
 	var bestBreak [3]float64
+	ec := newExecCtx(ctx)
 	for _, s := range spans {
-		total, levels, brk, err := multiSpanCost(g, n, p, m, steps, s, opts.NoRearrange)
+		if err := ec.checkpoint(); err != nil {
+			return MultiResult{}, err
+		}
+		total, levels, brk, err := multiSpanCost(ctx, g, n, p, m, steps, s, opts.NoRearrange)
 		if err != nil {
 			return MultiResult{}, err
 		}
@@ -318,7 +391,10 @@ func multiSpan(g *multiGeom, n, p, m, steps int, prog network.Program, opts Mult
 		exchCat: cost.Message,
 	})
 
-	outs, mems := network.RunGuestPure(g.d, n, m, steps, prog)
+	outs, mems, err := network.RunGuestPureHook(g.d, n, m, steps, prog, ec.hook())
+	if err != nil {
+		return MultiResult{}, err
+	}
 	return MultiResult{
 		Result: Result{
 			Outputs:  outs,

@@ -1,6 +1,8 @@
 package simulate
 
 import (
+	"context"
+
 	"bsmp/internal/analytic"
 	"bsmp/internal/hram"
 	"bsmp/internal/network"
@@ -25,6 +27,14 @@ import (
 // processor performs n/p block accesses at average address Θ((n/p)·m),
 // i.e. average latency Θ((n/p)^(1/d)).
 func Naive(d, n, p, m, steps int, prog network.Program) (Result, error) {
+	return NaiveContext(context.Background(), d, n, p, m, steps, prog)
+}
+
+// NaiveContext is Naive under a context: cancellation is checked once
+// per simulated guest step (n vertices of work), and step progress is
+// reported to any attached Progress. Checks are host-side only, so a
+// never-cancelled run's virtual times are bit-identical to Naive's.
+func NaiveContext(ctx context.Context, d, n, p, m, steps int, prog network.Program) (Result, error) {
 	if e := validateCommon("naive", d, n, p, m, steps); e != nil {
 		return Result{}, e
 	}
@@ -76,8 +86,12 @@ func Naive(d, n, p, m, steps int, prog network.Program) (Result, error) {
 	var nbuf []int
 	ops := make([]hram.Word, 0, 5)
 
+	ec := newExecCtx(ctx)
 	start := host.Elapsed()
 	for t := 1; t <= steps; t++ {
+		if err := ec.step(n); err != nil {
+			return Result{}, err
+		}
 		copy(prevB, b)
 		// Boundary exchange: for every guest edge crossing host regions,
 		// the owning hosts send each other the broadcast values.

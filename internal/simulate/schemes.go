@@ -1,6 +1,7 @@
 package simulate
 
 import (
+	"context"
 	"fmt"
 
 	"bsmp/internal/dag"
@@ -40,9 +41,11 @@ type Scheme struct {
 	// constructor.
 	Validate func(n, p, m, steps int) *ParamError
 	// Run executes the scheme on an n-node guest with density m for
-	// steps steps on p host processors. The registry wraps every entry
-	// so Run validates its parameters before dispatching.
-	Run func(n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error)
+	// steps steps on p host processors, under ctx: every scheme polls
+	// cancellation cooperatively and reports progress to any attached
+	// Progress (see WithProgress). The registry wraps every entry so Run
+	// validates its parameters before dispatching.
+	Run func(ctx context.Context, n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error)
 }
 
 // dagView extracts the dag.Program behind a network program. No type can
@@ -63,7 +66,7 @@ func dagView(prog network.Program) (dag.Program, bool) {
 // directly instead of going through RunScheme.
 func withValidation(s Scheme) Scheme {
 	inner := s.Run
-	s.Run = func(n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error) {
+	s.Run = func(ctx context.Context, n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error) {
 		if e := validateCommon(s.Name, s.D, n, p, m, steps); e != nil {
 			return MultiResult{}, e
 		}
@@ -72,7 +75,7 @@ func withValidation(s Scheme) Scheme {
 				return MultiResult{}, e
 			}
 		}
-		return inner(n, p, m, steps, prog, cfg)
+		return inner(ctx, n, p, m, steps, prog, cfg)
 	}
 	return s
 }
@@ -84,8 +87,8 @@ func naiveScheme(d int) Scheme {
 		Validate: func(n, p, m, steps int) *ParamError {
 			return validateNaiveShape(d, n, p)
 		},
-		Run: func(n, p, m, steps int, prog network.Program, _ SchemeConfig) (MultiResult, error) {
-			r, err := Naive(d, n, p, m, steps, prog)
+		Run: func(ctx context.Context, n, p, m, steps int, prog network.Program, _ SchemeConfig) (MultiResult, error) {
+			r, err := NaiveContext(ctx, d, n, p, m, steps, prog)
 			return MultiResult{Result: r}, err
 		},
 	}
@@ -104,12 +107,12 @@ func unidcScheme(d int) Scheme {
 			}
 			return shapeError("unidc", "n", d, n)
 		},
-		Run: func(n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error) {
+		Run: func(ctx context.Context, n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error) {
 			dp, ok := dagView(prog)
 			if !ok {
 				return MultiResult{}, fmt.Errorf("simulate: scheme unidc needs a program with a dag view, got %T", prog)
 			}
-			r, err := UniDC(d, n, steps, cfg.Leaf, dp)
+			r, err := UniDCContext(ctx, d, n, steps, cfg.Leaf, dp)
 			return MultiResult{Result: r}, err
 		},
 	}
@@ -120,16 +123,16 @@ func blockedScheme(d int) Scheme {
 		Name: "blocked", D: d, Multiproc: false,
 		Description: "blocked uniprocessor scheme for general m (Thm. 3), slowdown Θ(n·min(n, m·Log(n/m)))",
 		Validate:    uniprocOnly("blocked", d),
-		Run: func(n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error) {
+		Run: func(ctx context.Context, n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error) {
 			var r Result
 			var err error
 			switch d {
 			case 1:
-				r, err = BlockedD1(n, m, steps, cfg.Leaf, prog)
+				r, err = BlockedD1Context(ctx, n, m, steps, cfg.Leaf, prog)
 			case 2:
-				r, err = BlockedD2(n, m, steps, cfg.Leaf, prog)
+				r, err = BlockedD2Context(ctx, n, m, steps, cfg.Leaf, prog)
 			default:
-				r, err = BlockedD3(n, m, steps, cfg.Leaf, prog)
+				r, err = BlockedD3Context(ctx, n, m, steps, cfg.Leaf, prog)
 			}
 			return MultiResult{Result: r}, err
 		},
@@ -143,14 +146,14 @@ func multiScheme(d int) Scheme {
 		Validate: func(n, p, m, steps int) *ParamError {
 			return shapeError("multi", "n", d, n)
 		},
-		Run: func(n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error) {
+		Run: func(ctx context.Context, n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error) {
 			switch d {
 			case 1:
-				return MultiD1(n, p, m, steps, prog, cfg.Multi)
+				return MultiD1Context(ctx, n, p, m, steps, prog, cfg.Multi)
 			case 2:
-				return MultiD2(n, p, m, steps, prog, cfg.Multi)
+				return MultiD2Context(ctx, n, p, m, steps, prog, cfg.Multi)
 			default:
-				return MultiD3(n, p, m, steps, prog, cfg.Multi)
+				return MultiD3Context(ctx, n, p, m, steps, prog, cfg.Multi)
 			}
 		},
 	}
@@ -179,11 +182,20 @@ func SchemeByName(name string, d int) (Scheme, error) {
 	return Scheme{}, fmt.Errorf("simulate: no scheme %q for d=%d", name, d)
 }
 
-// RunScheme looks up (name, d) in the registry and runs it.
+// RunScheme looks up (name, d) in the registry and runs it under
+// context.Background().
 func RunScheme(name string, d, n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error) {
+	return RunSchemeContext(context.Background(), name, d, n, p, m, steps, prog, cfg)
+}
+
+// RunSchemeContext looks up (name, d) in the registry and runs it under
+// ctx: the selected scheme polls cancellation cooperatively at its
+// recursion/phase/step boundaries and reports progress to any Progress
+// attached with WithProgress.
+func RunSchemeContext(ctx context.Context, name string, d, n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error) {
 	s, err := SchemeByName(name, d)
 	if err != nil {
 		return MultiResult{}, err
 	}
-	return s.Run(n, p, m, steps, prog, cfg)
+	return s.Run(ctx, n, p, m, steps, prog, cfg)
 }

@@ -27,6 +27,7 @@
 package simulate
 
 import (
+	"context"
 	"fmt"
 
 	"bsmp/internal/cost"
@@ -81,7 +82,19 @@ func (r Result) Verify(d, n, m int, prog network.Program) error {
 // Md(n, n, m) itself running prog for steps steps — the denominator of
 // every slowdown ratio.
 func GuestTime(d, n, m, steps int, prog network.Program) cost.Time {
+	t, _ := GuestTimeContext(context.Background(), d, n, m, steps, prog)
+	return t
+}
+
+// GuestTimeContext is GuestTime under a context: the guest run polls
+// cancellation once per synchronous step and reports progress to any
+// attached Progress. A never-cancelled run measures the same time.
+func GuestTimeContext(ctx context.Context, d, n, m, steps int, prog network.Program) (cost.Time, error) {
 	ma := network.New(d, n, n, m)
-	_, elapsed := network.RunGuest(ma, prog, steps)
-	return elapsed
+	ec := newExecCtx(ctx)
+	_, elapsed, err := network.RunGuestHook(ma, prog, steps, ec.hook())
+	if err != nil {
+		return 0, err
+	}
+	return elapsed, nil
 }

@@ -1,6 +1,8 @@
 package simulate
 
 import (
+	"context"
+
 	"bsmp/internal/analytic"
 	"bsmp/internal/cost"
 	"bsmp/internal/dag"
@@ -21,6 +23,15 @@ import (
 // VerifyDag. The expected slowdown over the guest's Θ(T) time is
 // Θ(n·Log n) — the n for lost parallelism times Log n for lost locality.
 func UniDC(d, n, steps, leafSize int, prog dag.Program) (Result, error) {
+	return UniDCContext(context.Background(), d, n, steps, leafSize, prog)
+}
+
+// UniDCContext is UniDC under a context: the separator executor polls
+// cancellation at every partition boundary and (amortized) per executed
+// leaf via its Check hook, and reports step progress to any attached
+// Progress. The hook runs between charged operations, so a
+// never-cancelled run's virtual times are bit-identical to UniDC's.
+func UniDCContext(ctx context.Context, d, n, steps, leafSize int, prog dag.Program) (Result, error) {
 	g, root, err := guestDag(d, n, steps)
 	if err != nil {
 		return Result{}, err
@@ -28,7 +39,7 @@ func UniDC(d, n, steps, leafSize int, prog dag.Program) (Result, error) {
 	space := separator.SpaceNeeded(g, root, leafSize)
 	var meter cost.Meter
 	mach := hram.New(space, hram.Standard(d, 1), &meter)
-	ex := &separator.Executor{G: g, Prog: prog, LeafSize: leafSize}
+	ex := &separator.Executor{G: g, Prog: prog, LeafSize: leafSize, Check: checkHook(ctx)}
 	res, err := ex.Execute(mach, root)
 	if err != nil {
 		return Result{}, err
@@ -48,10 +59,18 @@ func UniDC(d, n, steps, leafSize int, prog dag.Program) (Result, error) {
 // Proposition 1: every operand access pays the full Θ(n^(1/d)) average
 // latency. Expected slowdown Θ(n^(1+1/d)) — the curve UniDC must beat.
 func UniNaiveDag(d, n, steps int, prog dag.Program) (Result, error) {
+	return UniNaiveDagContext(context.Background(), d, n, steps, prog)
+}
+
+// UniNaiveDagContext is UniNaiveDag under a context: cancellation is
+// checked once per dag layer (n vertices of work) and progress reported
+// to any attached Progress.
+func UniNaiveDagContext(ctx context.Context, d, n, steps int, prog dag.Program) (Result, error) {
 	g, _, err := guestDag(d, n, steps)
 	if err != nil {
 		return Result{}, err
 	}
+	ec := newExecCtx(ctx)
 	var meter cost.Meter
 	// Two layers resident: previous and current, each n words.
 	mach := hram.New(2*n, hram.Standard(d, 1), &meter)
@@ -77,6 +96,9 @@ func UniNaiveDag(d, n, steps int, prog dag.Program) (Result, error) {
 		mach.Write(cur+idx(p), prog.Input(p))
 	})
 	for t := 1; t < steps; t++ {
+		if err := ec.step(n); err != nil {
+			return Result{}, err
+		}
 		cur, prev = prev, cur
 		forEachNode(d, n, func(p lattice.Point) {
 			p.T = t
@@ -118,6 +140,19 @@ func VerifyDag(r Result, d, n int, prog dag.Program) error {
 		}
 	}
 	return nil
+}
+
+// checkHook adapts an execution context to the separator executor's
+// Check hook: vertices = 0 marks a phase boundary (unconditional poll),
+// a positive count is amortized vertex progress.
+func checkHook(ctx context.Context) func(int) error {
+	ec := newExecCtx(ctx)
+	return func(vertices int) error {
+		if vertices == 0 {
+			return ec.checkpoint()
+		}
+		return ec.step(vertices)
+	}
 }
 
 // guestDag builds the guest's computation dag and its full domain.

@@ -1,6 +1,7 @@
 package simulate
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -128,7 +129,7 @@ func TestSchemeRunValidatesDirectly(t *testing.T) {
 		t.Fatal(err)
 	}
 	var pe *ParamError
-	if _, err := s.Run(10, 1, 4, 4, prog, SchemeConfig{}); !errors.As(err, &pe) {
+	if _, err := s.Run(context.Background(), 10, 1, 4, 4, prog, SchemeConfig{}); !errors.As(err, &pe) {
 		t.Fatalf("direct Run(non-square n): err = %v, want *ParamError", err)
 	}
 }

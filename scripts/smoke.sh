@@ -6,6 +6,9 @@
 #     carries "cached":true and /metrics shows the expvar hit counter);
 #   - an invalid tuple answers a structured 400 naming the offending
 #     field, and the daemon stays healthy;
+#   - a request that outlives its deadline answers 504 AND its worker
+#     stops: runs_cancelled increments, the inflight_runs gauge returns
+#     to zero (checked on a second daemon with a tiny -timeout);
 #   - SIGTERM drains and exits cleanly.
 # Run from the repository root: scripts/smoke.sh [port]
 set -euo pipefail
@@ -47,6 +50,38 @@ grep -q '"field":"n"' "$ERRBODY" || fail "400 body does not name field n: $(cat 
 
 curl -fsS "$BASE/v1/bounds?d=1&n=4096&p=16&m=4" | grep -q '"slowdown"' || fail "bounds endpoint broken"
 curl -fsS "$BASE/healthz" >/dev/null || fail "daemon unhealthy after invalid request"
+
+# Deadline cancellation: a second daemon with a tiny request budget. The
+# expired request must answer 504 AND actually stop its worker — the
+# cancelled-runs counter increments and the in-flight gauge drops back
+# to zero, instead of the simulation burning CPU to completion.
+PORT2=$((PORT + 1))
+BASE2="http://127.0.0.1:$PORT2"
+"$BIN" -addr "127.0.0.1:$PORT2" -timeout 150ms &
+PID2=$!
+trap 'kill "$PID" "$PID2" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE2/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+HEAVY='{"scheme": "blocked", "d": 2, "n": 4096, "p": 1, "m": 4, "steps": 128}'
+DBODY="$(mktemp)"
+DSTATUS=$(curl -s -o "$DBODY" -w '%{http_code}' -X POST --data "$HEAVY" "$BASE2/v1/run")
+[ "$DSTATUS" = 504 ] || fail "deadline-expired run got status $DSTATUS, want 504: $(cat "$DBODY")"
+grep -q '"kind":"deadline"' "$DBODY" || fail "504 body not a deadline error: $(cat "$DBODY")"
+CANCELLED=""
+M2=""
+for _ in $(seq 1 50); do
+  M2=$(curl -fsS "$BASE2/metrics")
+  if echo "$M2" | grep -q '"runs_cancelled": [1-9]' && echo "$M2" | grep -q '"inflight_runs": 0'; then
+    CANCELLED=yes
+    break
+  fi
+  sleep 0.1
+done
+[ -n "$CANCELLED" ] || fail "cancelled run not reflected in metrics: $M2"
+kill -TERM "$PID2"
+wait "$PID2" || fail "deadline daemon exited non-zero after SIGTERM"
 
 kill -TERM "$PID"
 wait "$PID" || fail "daemon exited non-zero after SIGTERM"
