@@ -45,6 +45,7 @@ import (
 	"bsmp/internal/hram"
 	"bsmp/internal/lattice"
 	"bsmp/internal/network"
+	"bsmp/internal/obs"
 	"bsmp/internal/simulate"
 )
 
@@ -391,6 +392,32 @@ func WithProgress(ctx context.Context, p *Progress) context.Context {
 
 // ProgressFrom returns the Progress attached to ctx, or nil.
 func ProgressFrom(ctx context.Context) *Progress { return simulate.ProgressFrom(ctx) }
+
+// Span tracing.
+
+// Tracer records a per-run tree of timed spans: every context-aware
+// entry point emits spans at its phase/recursion boundaries when a
+// Tracer is attached with WithTracer. Spans carry wall-clock durations
+// and virtual-time deltas sampled from the cost meters — attaching a
+// tracer never perturbs virtual time (the golden times stay
+// bit-identical). A Tracer belongs to one run: sharing one across
+// concurrent simulations is memory-safe but garbles span nesting.
+type Tracer = obs.Tracer
+
+// Span is one node of a Tracer's span tree.
+type Span = obs.Span
+
+// NewTracer returns an empty tracer with the default span cap.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// WithTracer returns a context carrying t; simulations started under
+// the returned context record their span timeline into t.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return obs.WithTracer(ctx, t)
+}
+
+// TracerFrom returns the Tracer attached to ctx, or nil.
+func TracerFrom(ctx context.Context) *Tracer { return obs.FromContext(ctx) }
 
 // KernelCacheStats reports the bounded multiprocessor kernel cache:
 // resident entries, hits, misses, and capacity evictions since process

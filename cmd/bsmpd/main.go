@@ -1,22 +1,28 @@
 // Command bsmpd serves the scheme registry and the closed-form Theorem 1
 // bounds over HTTP JSON. Endpoints:
 //
-//	POST /v1/run      run a simulation (cached, pooled, validated)
-//	GET  /v1/bounds   closed-form Theorem 1 quantities
-//	GET  /v1/schemes  scheme registry listing
-//	GET  /healthz     liveness (503 while draining)
-//	GET  /metrics     expvar-style counters
+//	POST /v1/run       run a simulation (cached, pooled, validated;
+//	                   ?trace=1 returns the span timeline inline)
+//	GET  /v1/bounds    closed-form Theorem 1 quantities
+//	GET  /v1/schemes   scheme registry listing
+//	GET  /healthz      liveness (503 while draining)
+//	GET  /metrics      expvar-style counters and histogram snapshots
+//	GET  /metrics.prom the same metrics in Prometheus text format
 //
 // Invalid parameter tuples get structured 400s with the typed ParamError;
 // load beyond the worker pool's queue gets 429; SIGINT/SIGTERM triggers a
-// graceful drain. See README.md "Running the daemon".
+// graceful drain. Lifecycle and per-request access records are JSON
+// (log/slog) on stderr; -debug-addr exposes net/http/pprof on a separate
+// listener. See README.md "Running the daemon".
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,7 +42,35 @@ func main() {
 	flag.IntVar(&cfg.MaxM, "max-m", 1<<12, "largest accepted memory density m")
 	flag.IntVar(&cfg.MaxSteps, "max-steps", 1<<12, "largest accepted step count")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	debugAddr := flag.String("debug-addr", "", "listen address for net/http/pprof (empty = disabled)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "bsmpd: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	cfg.Logger = logger
+
+	// The profiling surface stays off the service listener: it is
+	// operator-only, so it binds its own (typically loopback) address and
+	// never reaches the request middleware or the public port.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("debug listener", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				logger.Error("debug listener failed", "err", err.Error())
+			}
+		}()
+	}
 
 	s := serve.New(cfg)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -44,22 +78,25 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- s.ListenAndServe() }()
+	logger.Info("listening", "addr", cfg.Addr)
 	fmt.Printf("bsmpd listening on %s\n", cfg.Addr)
 
 	select {
 	case err := <-errc:
 		if err != nil {
-			log.Fatalf("bsmpd: %v", err)
+			logger.Error("serve failed", "err", err.Error())
+			os.Exit(1)
 		}
 		return
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("bsmpd: draining (budget %s)", *drain)
+	logger.Info("draining", "budget", drain.String())
 	sctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := s.Shutdown(sctx); err != nil {
-		log.Fatalf("bsmpd: shutdown: %v", err)
+		logger.Error("shutdown failed", "err", err.Error())
+		os.Exit(1)
 	}
-	log.Printf("bsmpd: drained cleanly")
+	logger.Info("drained cleanly")
 }

@@ -30,6 +30,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "overall wall-clock budget; on expiry print the experiments that finished (0 = no limit)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	tracePath := flag.String("trace", "", "write the battery's span timeline to this file (Chrome trace_event JSON; implies -seq)")
 	flag.Parse()
 
 	if *schemes {
@@ -60,6 +61,16 @@ func main() {
 		defer cancel()
 	}
 
+	// A tracer belongs to one goroutine's run tree, so -trace forces the
+	// sequential battery — concurrent experiments sharing a tracer would
+	// interleave their span stacks.
+	var tracer *bsmp.Tracer
+	if *tracePath != "" {
+		tracer = bsmp.NewTracer()
+		ctx = bsmp.WithTracer(ctx, tracer)
+		*seq = true
+	}
+
 	start := time.Now()
 	run := bsmp.RunAllExperimentsContext
 	if *seq {
@@ -72,6 +83,11 @@ func main() {
 	}
 	if err := stopProf(); err != nil {
 		log.Fatal(err)
+	}
+	if tracer != nil {
+		if err := profiling.WriteFile(*tracePath, tracer.WriteChromeTrace); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)

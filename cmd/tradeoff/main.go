@@ -41,6 +41,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for -measure runs; on expiry report the rows that finished (0 = no limit)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	tracePath := flag.String("trace", "", "write the -measure runs' span timeline to this file (Chrome trace_event JSON)")
 	flag.Parse()
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
@@ -89,6 +90,22 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	// -trace records every measured run's span timeline into one file;
+	// the rows run sequentially under the same context, so the spans of
+	// successive rows stack cleanly in one tracer.
+	if *tracePath != "" {
+		if !*measure {
+			log.Fatal("-trace requires -measure (analytic rows execute nothing)")
+		}
+		tracer := bsmp.NewTracer()
+		ctx = bsmp.WithTracer(ctx, tracer)
+		defer func() {
+			if err := profiling.WriteFile(*tracePath, tracer.WriteChromeTrace); err != nil {
+				log.Fatal(err)
+			}
+		}()
 	}
 
 	for i, m := range mvals {

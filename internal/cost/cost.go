@@ -139,6 +139,19 @@ func (l *Ledger) Sum() Time {
 	return s
 }
 
+// Sub returns the per-category difference l - prev: the charges
+// accumulated since prev was snapshotted. Observability code uses it to
+// annotate a span with the ledger delta of the interval it covers; it
+// reads both ledgers and touches neither.
+func (l *Ledger) Sub(prev *Ledger) Ledger {
+	var out Ledger
+	for i := range l.totals {
+		out.totals[i] = l.totals[i] - prev.totals[i]
+		out.counts[i] = l.counts[i] - prev.counts[i]
+	}
+	return out
+}
+
 // Reset zeroes all totals and counts.
 func (l *Ledger) Reset() {
 	l.totals = [numCategories]Time{}

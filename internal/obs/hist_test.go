@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0.01, 0.1, 1)
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// Bounds are inclusive upper bounds: 0.01 lands in the first bucket.
+	want := []int64{2, 1, 1, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket[%d] = %d, want %d (%+v)", i, s.Counts[i], w, s)
+		}
+	}
+	if s.Count != 6 {
+		t.Errorf("count = %d, want 6", s.Count)
+	}
+	if math.Abs(s.Sum-102.565) > 1e-9 {
+		t.Errorf("sum = %v, want 102.565", s.Sum)
+	}
+}
+
+func TestHistogramNaNAndNil(t *testing.T) {
+	h := NewHistogram(1)
+	h.Observe(math.NaN())
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Errorf("NaN counted: %+v", s)
+	}
+	var nilH *Histogram
+	nilH.Observe(1) // must not panic
+}
+
+func TestHistogramUnsortedBoundsAndEmpty(t *testing.T) {
+	h := NewHistogram(1, 0.1)
+	h.Observe(0.5)
+	if s := h.Snapshot(); s.Counts[1] != 1 {
+		t.Errorf("unsorted bounds not normalized: %+v", s)
+	}
+	e := NewHistogram()
+	e.Observe(42)
+	if s := e.Snapshot(); len(s.Counts) != 1 || s.Counts[0] != 1 {
+		t.Errorf("empty-bounds histogram: %+v", s)
+	}
+}
+
+func TestHistogramSnapshotMarshals(t *testing.T) {
+	h := NewHistogram(1, 2)
+	h.Observe(1.5)
+	b, err := json.Marshal(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"bounds", "counts", "count", "sum"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("snapshot JSON missing %q: %s", k, b)
+		}
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(10, 100)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 8000 {
+		t.Errorf("count = %d, want 8000", s.Count)
+	}
+	wantSum := float64(1000 * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7))
+	if s.Sum != wantSum {
+		t.Errorf("sum = %v, want %v", s.Sum, wantSum)
+	}
+}

@@ -1,0 +1,231 @@
+// Package obs is the zero-dependency observability substrate: per-run
+// span tracing for the simulation engines and fixed-bucket histograms
+// for the serving layer.
+//
+// The tracing side mirrors the cost package's discipline: recording a
+// span never touches a cost.Meter or a clock, so attaching a Tracer to a
+// run cannot perturb virtual times — spans carry wall time plus
+// virtual-time deltas *sampled* (read-only) from the meters at span
+// boundaries. The nil *Tracer is a first-class value: every method is a
+// no-op on nil, so the engines call the tracing hooks unconditionally
+// and an untraced run pays only a nil check per recursion/phase
+// boundary.
+//
+// A Tracer records one goroutine's span stack. Concurrent runs must use
+// one Tracer each (the serving layer allocates per request); sharing a
+// Tracer across goroutines is memory-safe but garbles parent/child
+// nesting.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one recorded interval of a traced run. Exported fields are the
+// serialization surface of the /v1/run?trace=1 timeline and -trace
+// files.
+type Span struct {
+	// Name is the span taxonomy label, e.g. "scheme:multi", "calibrate",
+	// "schedule", "phase:regime1", "block", "replay".
+	Name string `json:"name"`
+	// StartNS/DurNS are wall-clock nanoseconds relative to the tracer's
+	// epoch (its construction time).
+	StartNS int64 `json:"start_ns"`
+	DurNS   int64 `json:"dur_ns"`
+	// Attrs carries numeric annotations: geometry (n, p, m, depth, size)
+	// and the virtual-time deltas sampled from the run's cost meters
+	// ("vtime", plus per-category deltas for schedule phases).
+	Attrs map[string]float64 `json:"attrs,omitempty"`
+	// Children are the nested spans, in start order.
+	Children []*Span `json:"children,omitempty"`
+
+	t      *Tracer
+	parent *Span
+	wall   time.Time
+}
+
+// defaultMaxSpans bounds a tracer's recorded spans. Blocked recursions
+// emit one span per domain, so a large traced run could otherwise grow
+// without bound; beyond the cap new spans are counted as dropped and
+// recording continues on the enclosing open span.
+const defaultMaxSpans = 1 << 14
+
+// Tracer records a tree of nested spans for one run.
+type Tracer struct {
+	mu      sync.Mutex
+	epoch   time.Time
+	roots   []*Span
+	cur     *Span
+	spans   int
+	max     int
+	dropped atomic.Int64
+}
+
+// NewTracer returns a tracer with the default span cap.
+func NewTracer() *Tracer { return NewTracerCap(defaultMaxSpans) }
+
+// NewTracerCap returns a tracer recording at most maxSpans spans;
+// maxSpans < 1 selects the default cap.
+func NewTracerCap(maxSpans int) *Tracer {
+	if maxSpans < 1 {
+		maxSpans = defaultMaxSpans
+	}
+	return &Tracer{epoch: time.Now(), max: maxSpans}
+}
+
+type tracerKeyType struct{}
+
+// WithTracer returns a context carrying t; context-aware simulation
+// entry points record their span timeline into t.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKeyType{}, t)
+}
+
+// FromContext returns the Tracer attached by WithTracer, or nil.
+func FromContext(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKeyType{}).(*Tracer)
+	return t
+}
+
+// Start opens a span named name nested under the currently open span (a
+// root span if none is open) and returns it. On a nil tracer, or once
+// the span cap is reached, it returns nil — a nil *Span accepts SetAttr
+// and End as no-ops, so call sites need no branches.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.spans >= t.max {
+		t.dropped.Add(1)
+		return nil
+	}
+	t.spans++
+	now := time.Now()
+	s := &Span{
+		Name:    name,
+		StartNS: now.Sub(t.epoch).Nanoseconds(),
+		t:       t,
+		parent:  t.cur,
+		wall:    now,
+	}
+	if t.cur != nil {
+		t.cur.Children = append(t.cur.Children, s)
+	} else {
+		t.roots = append(t.roots, s)
+	}
+	t.cur = s
+	return s
+}
+
+// SetAttr records a numeric attribute on the span. No-op on nil.
+func (s *Span) SetAttr(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]float64, 4)
+	}
+	s.Attrs[key] = v
+	s.t.mu.Unlock()
+}
+
+// End closes the span, fixing its duration and reopening its parent.
+// No-op on nil. A span abandoned by an error unwind simply keeps
+// duration 0; the exporters tolerate it.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	s.DurNS = time.Since(s.wall).Nanoseconds()
+	if s.t.cur == s {
+		s.t.cur = s.parent
+	}
+	s.t.mu.Unlock()
+}
+
+// Roots returns the recorded root spans. Call it after the traced run
+// has completed; the returned tree is shared, not copied.
+func (t *Tracer) Roots() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.roots
+}
+
+// Len reports the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spans
+}
+
+// Dropped reports how many spans the cap discarded.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// WriteJSON writes the span tree as indented JSON (an array of root
+// spans with nested children).
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Roots())
+}
+
+// chromeEvent is one Chrome trace_event entry ("X" complete events),
+// loadable in about://tracing and Perfetto.
+type chromeEvent struct {
+	Name string             `json:"name"`
+	Ph   string             `json:"ph"`
+	Ts   float64            `json:"ts"`  // microseconds
+	Dur  float64            `json:"dur"` // microseconds
+	Pid  int                `json:"pid"`
+	Tid  int                `json:"tid"`
+	Args map[string]float64 `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the span tree in Chrome trace_event format
+// (a JSON array of complete events).
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	var events []chromeEvent
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.StartNS) / 1e3,
+			Dur:  float64(s.DurNS) / 1e3,
+			Pid:  1,
+			Tid:  1,
+			Args: s.Attrs,
+		})
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots() {
+		walk(r)
+	}
+	if events == nil {
+		events = []chromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("root")
+	a := tr.Start("a")
+	a.SetAttr("vtime", 3)
+	a.End()
+	b := tr.Start("b")
+	c := tr.Start("c")
+	c.End()
+	b.End()
+	root.End()
+
+	roots := tr.Roots()
+	if len(roots) != 1 || roots[0].Name != "root" {
+		t.Fatalf("roots = %+v, want one root", roots)
+	}
+	kids := roots[0].Children
+	if len(kids) != 2 || kids[0].Name != "a" || kids[1].Name != "b" {
+		t.Fatalf("children = %+v, want [a b]", kids)
+	}
+	if got := kids[0].Attrs["vtime"]; got != 3 {
+		t.Errorf("a.vtime = %v, want 3", got)
+	}
+	if len(kids[1].Children) != 1 || kids[1].Children[0].Name != "c" {
+		t.Errorf("b children = %+v, want [c]", kids[1].Children)
+	}
+	if tr.Len() != 4 {
+		t.Errorf("Len = %d, want 4", tr.Len())
+	}
+	if roots[0].DurNS < 0 {
+		t.Errorf("root duration %d < 0", roots[0].DurNS)
+	}
+}
+
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	if sp != nil {
+		t.Fatalf("nil tracer Start returned %v", sp)
+	}
+	sp.SetAttr("k", 1) // must not panic
+	sp.End()
+	if tr.Roots() != nil || tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Error("nil tracer accessors not zero")
+	}
+}
+
+func TestSpanCap(t *testing.T) {
+	tr := NewTracerCap(2)
+	a := tr.Start("a")
+	b := tr.Start("b")
+	dropped := tr.Start("overflow")
+	if dropped != nil {
+		t.Fatalf("span beyond cap recorded: %+v", dropped)
+	}
+	// Recording continues against the enclosing open span: attrs and End
+	// on the dropped span are no-ops, b stays current.
+	dropped.SetAttr("k", 1)
+	dropped.End()
+	b.End()
+	a.End()
+	if tr.Len() != 2 || tr.Dropped() != 1 {
+		t.Errorf("Len=%d Dropped=%d, want 2, 1", tr.Len(), tr.Dropped())
+	}
+}
+
+func TestContextAttachment(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("background context carries a tracer")
+	}
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("FromContext did not round-trip the tracer")
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("root")
+	child := tr.Start("child")
+	child.SetAttr("vtime", 1.5)
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got []Span
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("json round-trip: %v\n%s", err, buf.String())
+	}
+	if len(got) != 1 || got[0].Name != "root" || len(got[0].Children) != 1 {
+		t.Fatalf("decoded %+v, want root with one child", got)
+	}
+	if got[0].Children[0].Attrs["vtime"] != 1.5 {
+		t.Errorf("child vtime = %v, want 1.5", got[0].Children[0].Attrs["vtime"])
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("root")
+	tr.Start("child").End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome trace not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("%d events, want 2", len(events))
+	}
+	for _, e := range events {
+		if e["ph"] != "X" {
+			t.Errorf("event ph = %v, want X", e["ph"])
+		}
+		if _, ok := e["ts"].(float64); !ok {
+			t.Errorf("event ts missing: %v", e)
+		}
+	}
+	// An empty tracer still writes a valid (empty) array.
+	buf.Reset()
+	if err := NewTracer().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil || len(events) != 0 {
+		t.Errorf("empty trace = %q, want []", buf.String())
+	}
+}
+
+// Sharing a tracer across goroutines garbles nesting by design, but must
+// stay memory-safe (the -race CI job runs this).
+func TestTracerConcurrentSafety(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := tr.Start("s")
+				sp.SetAttr("i", float64(i))
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 800 {
+		t.Errorf("Len = %d, want 800", tr.Len())
+	}
+}

@@ -1,20 +1,25 @@
 // Package profiling wires the standard runtime/pprof collectors into the
 // command-line tools. Profiles are opt-in: with empty paths Start is a
 // no-op, so the binaries pay nothing unless -cpuprofile/-memprofile is
-// given.
+// given. WriteFile is the shared create-render-close plumbing, also used
+// by the -trace flag's Chrome-trace export.
 package profiling
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 )
 
 // Start begins CPU profiling to cpuPath (if non-empty) and arranges for a
 // heap profile to be written to memPath (if non-empty). The returned stop
-// function must be called exactly once, at process exit, to flush both;
-// it reports any error writing the heap profile.
+// function must be called at process exit to flush both; it reports any
+// error writing the heap profile. stop is idempotent — calls after the
+// first are no-ops returning the first call's error — so it is safe both
+// deferred and on explicit early-exit paths.
 func Start(cpuPath, memPath string) (stop func() error, err error) {
 	var cpuFile *os.File
 	if cpuPath != "" {
@@ -27,24 +32,39 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			return nil, fmt.Errorf("profiling: %w", err)
 		}
 	}
+	var once sync.Once
+	var stopErr error
 	return func() error {
-		if cpuFile != nil {
-			pprof.StopCPUProfile()
-			if err := cpuFile.Close(); err != nil {
-				return fmt.Errorf("profiling: %w", err)
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				if err := cpuFile.Close(); err != nil {
+					stopErr = fmt.Errorf("profiling: %w", err)
+					return
+				}
 			}
-		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				return fmt.Errorf("profiling: %w", err)
+			if memPath != "" {
+				runtime.GC() // materialize final live-heap statistics
+				stopErr = WriteFile(memPath, pprof.WriteHeapProfile)
 			}
-			defer f.Close()
-			runtime.GC() // materialize final live-heap statistics
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				return fmt.Errorf("profiling: %w", err)
-			}
-		}
-		return nil
+		})
+		return stopErr
 	}, nil
+}
+
+// WriteFile creates path, streams render into it, and closes it,
+// surfacing the first error of the three steps.
+func WriteFile(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return fmt.Errorf("profiling: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	return nil
 }

@@ -1,0 +1,133 @@
+package profiling
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStartNoop(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("no-op stop: %v", err)
+	}
+}
+
+func TestStartCPUOnly(t *testing.T) {
+	cpu := filepath.Join(t.TempDir(), "cpu.prof")
+	stop, err := Start(cpu, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Error("empty cpu profile")
+	}
+}
+
+func TestStartMemOnly(t *testing.T) {
+	mem := filepath.Join(t.TempDir(), "mem.prof")
+	stop, err := Start("", mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Error("empty heap profile")
+	}
+}
+
+func TestStartBoth(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.prof"), filepath.Join(dir, "mem.prof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("%s: err=%v", p, err)
+		}
+	}
+}
+
+func TestStartUnwritableCPUPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.prof"), ""); err == nil {
+		t.Fatal("Start succeeded with unwritable cpu path")
+	}
+}
+
+func TestStopUnwritableMemPath(t *testing.T) {
+	stop, err := Start("", filepath.Join(t.TempDir(), "no", "such", "dir", "mem.prof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err == nil {
+		t.Fatal("stop succeeded with unwritable mem path")
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	mem := filepath.Join(t.TempDir(), "no-dir", "mem.prof")
+	stop, err := Start("", mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := stop()
+	if first == nil {
+		t.Fatal("expected an error from the unwritable mem path")
+	}
+	// A second call must not re-run the flush; it reports the first
+	// call's result.
+	if second := stop(); !errors.Is(second, first) && second.Error() != first.Error() {
+		t.Errorf("second stop = %v, want first call's error %v", second, first)
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteFile(p, func(w io.Writer) error {
+		_, err := io.WriteString(w, "[]")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "[]" {
+		t.Errorf("content = %q", b)
+	}
+
+	if err := WriteFile(filepath.Join(t.TempDir(), "no", "dir", "x"), func(io.Writer) error { return nil }); err == nil {
+		t.Error("WriteFile succeeded with unwritable path")
+	}
+	if err := WriteFile(filepath.Join(t.TempDir(), "y"), func(io.Writer) error {
+		return fmt.Errorf("render boom")
+	}); err == nil || !strings.Contains(err.Error(), "render boom") {
+		t.Errorf("WriteFile render error = %v, want wrapped render boom", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"bsmp"
 	"bsmp/internal/cost"
@@ -27,6 +28,12 @@ type RunRequest struct {
 	// Seed perturbs the guest's initial condition.
 	Seed   uint64    `json:"seed,omitempty"`
 	Config RunConfig `json:"config,omitempty"`
+	// Trace requests the span timeline inline in the response. Set via
+	// the ?trace=1 query parameter, not the body: a traced response must
+	// come from a real execution, so the flag also bypasses the result
+	// cache (but still coalesces with identical concurrent traced
+	// queries).
+	Trace bool `json:"-"`
 }
 
 // RunConfig mirrors bsmp.SchemeConfig field by field for the JSON
@@ -78,6 +85,10 @@ type RunResponse struct {
 	// concurrent identical query's execution.
 	Cached    bool `json:"cached"`
 	Coalesced bool `json:"coalesced,omitempty"`
+
+	// Trace is the run's span timeline (?trace=1 only): nested spans
+	// with wall durations and virtual-time attributes.
+	Trace []*bsmp.Span `json:"trace,omitempty"`
 }
 
 // BoundsResponse is the closed-form Theorem 1 payload for /v1/bounds.
@@ -149,15 +160,25 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	req.Trace = r.URL.Query().Get("trace") == "1"
+
 	key := cacheKey(req)
-	if v, ok := s.cache.Get(key); ok {
-		s.vars.Add("cache_hits", 1)
-		resp := *v.(*RunResponse)
-		resp.Cached = true
-		writeJSON(w, http.StatusOK, resp)
-		return
+	if req.Trace {
+		// Traced runs bypass the cache in both directions — the timeline
+		// must come from a real execution — but share a distinct flight
+		// key so identical concurrent traced queries still coalesce.
+		key += "|trace"
+		s.vars.Add("traced_runs", 1)
+	} else {
+		if v, ok := s.cache.Get(key); ok {
+			s.vars.Add("cache_hits", 1)
+			resp := *v.(*RunResponse)
+			resp.Cached = true
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		s.vars.Add("cache_misses", 1)
 	}
-	s.vars.Add("cache_misses", 1)
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
@@ -170,7 +191,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			resp, err := s.runScheme(jctx, req)
 			if err == nil {
 				s.vars.Add("runs", 1)
-				s.cache.Add(key, resp)
+				if !req.Trace {
+					s.cache.Add(key, resp)
+				}
 			}
 			return resp, err
 		})
@@ -288,6 +311,14 @@ func (s *Server) execute(ctx context.Context, req RunRequest) (*RunResponse, err
 	}
 	prog := new(bsmp.Progress)
 	ctx = bsmp.WithProgress(ctx, prog)
+	var tr *bsmp.Tracer
+	if req.Trace {
+		tr = bsmp.NewTracer()
+		ctx = bsmp.WithTracer(ctx, tr)
+	}
+	id := RequestIDFrom(ctx)
+	s.log.Info("run start", "id", id, "scheme", req.Scheme, "d", req.D,
+		"n", req.N, "p", req.P, "m", req.M, "steps", req.Steps, "traced", req.Trace)
 	s.inflightMu.Lock()
 	s.inflight[prog] = struct{}{}
 	s.inflightMu.Unlock()
@@ -296,13 +327,22 @@ func (s *Server) execute(ctx context.Context, req RunRequest) (*RunResponse, err
 		delete(s.inflight, prog)
 		s.inflightMu.Unlock()
 	}()
+	start := time.Now()
 	res, err := bsmp.RunSchemeContext(ctx, req.Scheme, req.D, req.N, req.P, req.M, req.Steps, buildGuest(req), cfg)
+	elapsed := time.Since(start)
 	if err != nil {
 		if ctx.Err() != nil {
 			s.vars.Add("runs_cancelled", 1)
 		}
+		s.log.Warn("run failed", "id", id, "scheme", req.Scheme,
+			"dur_ms", float64(elapsed.Nanoseconds())/1e6, "err", err.Error())
 		return nil, err
 	}
+	s.latHist.Observe(elapsed.Seconds())
+	s.sizeHist.Observe(float64(req.N) * float64(req.Steps))
+	s.log.Info("run done", "id", id, "scheme", req.Scheme,
+		"dur_ms", float64(elapsed.Nanoseconds())/1e6,
+		"time", float64(res.Time), "prep_time", float64(res.PrepTime))
 	ledger := make(map[string]float64, len(ledgerCategories))
 	for _, cat := range ledgerCategories {
 		if t := res.Ledger.Total(cat); t != 0 {
@@ -313,7 +353,7 @@ func (s *Server) execute(ctx context.Context, req RunRequest) (*RunResponse, err
 	for _, ph := range res.Phases {
 		phases = append(phases, PhaseTime{Name: ph.Name, Time: ph.Time})
 	}
-	return &RunResponse{
+	resp := &RunResponse{
 		Scheme: req.Scheme, D: req.D, N: req.N, P: req.P, M: req.M, Steps: req.Steps,
 		Guest: req.Guest, Seed: req.Seed,
 		Time:       res.Time,
@@ -322,7 +362,11 @@ func (s *Server) execute(ctx context.Context, req RunRequest) (*RunResponse, err
 		StripWidth: res.StripWidth, Span: res.Span,
 		Regime1Levels: res.Regime1Levels, Domains: res.Domains,
 		Phases: phases, Ledger: ledger,
-	}, nil
+	}
+	if tr != nil {
+		resp.Trace = tr.Roots()
+	}
+	return resp, nil
 }
 
 // handleBounds serves GET /v1/bounds?d=&n=&p=&m= — the closed-form

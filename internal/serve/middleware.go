@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
 	"net/http"
+	"time"
 
 	"bsmp"
 )
@@ -62,13 +64,33 @@ func (s *Server) withRecover(next http.Handler) http.Handler {
 	})
 }
 
-// withCounters maintains the request-level expvar counters.
+// reqIDKeyType keys the per-request ID in the request context.
+type reqIDKeyType struct{}
+
+// RequestIDFrom returns the request ID the middleware assigned, or "".
+// The ID flows through the handler's context into the pool job, so run
+// lifecycle log lines correlate with the access line (coalesced
+// requests log the executing request's ID).
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKeyType{}).(string)
+	return id
+}
+
+// withCounters maintains the request-level expvar counters, assigns
+// each request an ID (echoed in the X-Request-Id header and threaded
+// through the context), and emits one structured access-log line per
+// request.
 func (s *Server) withCounters(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.vars.Add("requests", 1)
+		id := fmt.Sprintf("%s-%d", s.bootID, s.reqSeq.Add(1))
+		w.Header().Set("X-Request-Id", id)
+		r = r.WithContext(context.WithValue(r.Context(), reqIDKeyType{}, id))
+		start := time.Now()
 		cw := &countingWriter{ResponseWriter: w}
 		next.ServeHTTP(cw, r)
-		switch status := cw.status(); {
+		status := cw.status()
+		switch {
 		case status >= 500:
 			s.vars.Add("responses_5xx", 1)
 		case status >= 400:
@@ -76,14 +98,24 @@ func (s *Server) withCounters(next http.Handler) http.Handler {
 		default:
 			s.vars.Add("responses_2xx", 1)
 		}
+		s.log.Info("request",
+			"id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", status,
+			"bytes", cw.bytes,
+			"dur_ms", float64(time.Since(start).Nanoseconds())/1e6,
+			"remote", r.RemoteAddr)
 	})
 }
 
-// countingWriter records the response status for the counters.
+// countingWriter records the response status and body size for the
+// counters and the access log.
 type countingWriter struct {
 	http.ResponseWriter
 	wrote bool
 	code  int
+	bytes int64
 }
 
 func (c *countingWriter) WriteHeader(code int) {
@@ -99,7 +131,9 @@ func (c *countingWriter) Write(b []byte) (int, error) {
 		c.wrote = true
 		c.code = http.StatusOK
 	}
-	return c.ResponseWriter.Write(b)
+	n, err := c.ResponseWriter.Write(b)
+	c.bytes += int64(n)
+	return n, err
 }
 
 func (c *countingWriter) status() int {

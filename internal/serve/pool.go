@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // ErrQueueFull reports that the worker pool's bounded queue had no room
@@ -32,14 +33,20 @@ type Pool struct {
 	jobs chan poolJob
 	wg   sync.WaitGroup
 
-	mu     sync.Mutex
-	closed bool
+	mu          sync.Mutex
+	closed      bool
+	observeWait func(seconds float64)
 }
 
 type poolJob struct {
 	ctx  context.Context
 	fn   func(ctx context.Context) (any, error)
 	done chan poolResult
+	// submitted and observeWait feed the queue-wait histogram: the
+	// observer is copied into the job under the pool mutex at submission
+	// so SetQueueWaitObserver never races a worker.
+	submitted   time.Time
+	observeWait func(seconds float64)
 }
 
 type poolResult struct {
@@ -64,9 +71,23 @@ func NewPool(workers, depth int) *Pool {
 	return p
 }
 
+// SetQueueWaitObserver registers f to receive, for every dequeued job,
+// the seconds it spent waiting for a worker. The serving layer points
+// this at its queue-wait histogram.
+func (p *Pool) SetQueueWaitObserver(f func(seconds float64)) {
+	p.mu.Lock()
+	p.observeWait = f
+	p.mu.Unlock()
+}
+
 func (p *Pool) worker() {
 	defer p.wg.Done()
 	for j := range p.jobs {
+		// Queue wait is observed for every dequeued job — a requester
+		// that gave up while queued still waited.
+		if j.observeWait != nil {
+			j.observeWait(time.Since(j.submitted).Seconds())
+		}
 		// A job whose requester already gave up (deadline passed while
 		// queued) is skipped rather than computed for nobody.
 		if err := j.ctx.Err(); err != nil {
@@ -96,12 +117,13 @@ func runJob(ctx context.Context, fn func(ctx context.Context) (any, error)) (val
 // immediately; the buffered done channel lets the worker move on as soon
 // as the (now-cancelled) job unwinds.
 func (p *Pool) Do(ctx context.Context, fn func(ctx context.Context) (any, error)) (any, error) {
-	j := poolJob{ctx: ctx, fn: fn, done: make(chan poolResult, 1)}
+	j := poolJob{ctx: ctx, fn: fn, done: make(chan poolResult, 1), submitted: time.Now()}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return nil, ErrDraining
 	}
+	j.observeWait = p.observeWait
 	select {
 	case p.jobs <- j:
 		p.mu.Unlock()

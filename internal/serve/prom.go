@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"bsmp/internal/obs"
+)
+
+// handleMetricsProm serves GET /metrics.prom: the serving histograms in
+// Prometheus text exposition format, plus every numeric expvar from
+// /metrics as an untyped gauge. Rendered by hand — the repository takes
+// no client-library dependency for three histograms and a counter map.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	writePromHist(w, "bsmpd_run_latency_seconds",
+		"End-to-end execution latency of completed /v1/run simulations.", s.latHist)
+	writePromHist(w, "bsmpd_queue_wait_seconds",
+		"Time pool jobs spent queued before a worker picked them up.", s.waitHist)
+	writePromHist(w, "bsmpd_run_vertices",
+		"Guest size n*steps of completed simulations.", s.sizeHist)
+	s.vars.Do(func(kv expvar.KeyValue) {
+		// Non-scalar vars (the histogram snapshots above) don't parse and
+		// are skipped; they already have first-class renderings.
+		v, err := strconv.ParseFloat(kv.Value.String(), 64)
+		if err != nil {
+			return
+		}
+		name := "bsmpd_" + kv.Key
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(v))
+	})
+}
+
+// writePromHist renders one histogram: cumulative buckets, sum, count.
+func writePromHist(w io.Writer, name, help string, h *obs.Histogram) {
+	snap := h.Snapshot()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i, b := range snap.Bounds {
+		cum += snap.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(b), cum)
+	}
+	cum += snap.Counts[len(snap.Bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(snap.Sum))
+	fmt.Fprintf(w, "%s_count %d\n", name, snap.Count)
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -23,7 +23,11 @@ package serve
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"expvar"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -31,6 +35,7 @@ import (
 	"time"
 
 	"bsmp"
+	"bsmp/internal/obs"
 )
 
 // Config sizes the daemon. The zero value of any field selects its
@@ -56,6 +61,10 @@ type Config struct {
 	// cannot exhaust memory; violations get a structured 400 (defaults
 	// 1<<16, 1<<12, 1<<12).
 	MaxN, MaxM, MaxSteps int
+	// Logger receives the daemon's structured JSON records: one access
+	// line per request (with its generated request ID) and run
+	// start/done/failed lifecycle lines. Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +92,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxSteps == 0 {
 		c.MaxSteps = 1 << 12
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	}
 	return c
 }
 
@@ -96,6 +108,18 @@ type Server struct {
 	handler  http.Handler
 	httpSrv  *http.Server
 	draining atomic.Bool
+
+	// log is the structured logger; bootID + reqSeq generate the
+	// per-request IDs stamped on responses and every log record.
+	log    *slog.Logger
+	bootID string
+	reqSeq atomic.Uint64
+
+	// Serving-quality histograms, exposed on /metrics (JSON snapshots)
+	// and /metrics.prom (Prometheus text format).
+	latHist  *obs.Histogram // end-to-end run execution latency, seconds
+	waitHist *obs.Histogram // pool queue wait, seconds
+	sizeHist *obs.Histogram // executed run size, guest vertices n*steps
 
 	// baseCtx is the server's lifetime context: every request context is
 	// tied to it, so cancelling baseCancel hard-stops every in-flight
@@ -124,9 +148,15 @@ func New(cfg Config) *Server {
 		pool:     NewPool(cfg.Workers, cfg.QueueDepth),
 		vars:     new(expvar.Map).Init(),
 		inflight: make(map[*bsmp.Progress]struct{}),
+		log:      cfg.Logger,
+		bootID:   newBootID(),
+		latHist:  obs.NewHistogram(0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30),
+		waitHist: obs.NewHistogram(0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5),
+		sizeHist: obs.NewHistogram(1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.runScheme = s.execute
+	s.pool.SetQueueWaitObserver(s.waitHist.Observe)
 	s.registerGauges()
 
 	mux := http.NewServeMux()
@@ -135,6 +165,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("/v1/schemes", s.handleSchemes)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics.prom", s.handleMetricsProm)
 	s.handler = s.withRecover(s.withCounters(mux))
 	return s
 }
@@ -235,6 +266,22 @@ func (s *Server) registerGauges() {
 		_, _, _, e := bsmp.KernelCacheStats()
 		return e
 	}))
+	// Histogram snapshots render inline in the /metrics JSON; the
+	// Prometheus endpoint serves the same data in text format.
+	s.vars.Set("run_latency_seconds", expvar.Func(func() any { return s.latHist.Snapshot() }))
+	s.vars.Set("queue_wait_seconds", expvar.Func(func() any { return s.waitHist.Snapshot() }))
+	s.vars.Set("run_vertices", expvar.Func(func() any { return s.sizeHist.Snapshot() }))
+}
+
+// newBootID returns the random prefix of this process's request IDs, so
+// IDs from distinct daemon incarnations never collide in aggregated
+// logs.
+func newBootID() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000"
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // CacheStats exposes the result cache counters (smoke and unit tests).

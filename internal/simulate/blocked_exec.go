@@ -232,6 +232,18 @@ func (b *blockedExec) exec(dom lattice.Domain, space, depth int) error {
 		if err := b.ec.checkpoint(); err != nil {
 			return err
 		}
+		// Trace one span per recursion child — the same boundary the
+		// checkpoint above polls. Both the span and its virtual-time
+		// attribute only *read* the machine meter, so an attached tracer
+		// cannot perturb the charge sequence (golden times stay
+		// bit-identical); with no tracer, sp is nil and every hook below
+		// is a nil check. Error unwinds leave sp open, which the
+		// exporters tolerate — the run's trace is abandoned anyway.
+		sp := b.ec.tr.Start("block")
+		var vt0 float64
+		if sp != nil {
+			vt0 = b.mach.Meter().Now()
+		}
 		kidSpans := b.columns(kid)
 		kidGin := dag.Preboundary(b.g, kid)
 		skid := b.spaceNeeded(kid)
@@ -327,6 +339,12 @@ func (b *blockedExec) exec(dom lattice.Domain, space, depth int) error {
 		})
 		for _, v := range live {
 			b.live.Remove(v)
+		}
+		if sp != nil {
+			sp.SetAttr("depth", float64(depth))
+			sp.SetAttr("size", float64(kid.Size()))
+			sp.SetAttr("vtime", b.mach.Meter().Now()-vt0)
+			sp.End()
 		}
 	}
 	return nil

@@ -176,3 +176,67 @@ func TestKernelCacheBounded(t *testing.T) {
 			entries2, evictions2, kernelCacheCap, extra)
 	}
 }
+
+// While a run is live, a concurrently sampled Progress must be monotone
+// non-decreasing in both counters, and once the run returns the counters
+// settle at the totals of an identical reference run. The kernel cache
+// is warmed first so the reference and the sampled run skip the same
+// calibrations and count the same work.
+func TestProgressMonotoneWhileLive(t *testing.T) {
+	prog := guest.AsNetwork{G: guest.MixCA{Seed: 9}}
+	const n, p_, m, steps = 256, 8, 16, 64
+	if _, err := MultiD1(n, p_, m, steps, prog, MultiOptions{}); err != nil {
+		t.Fatal(err) // cache warm-up
+	}
+	var ref Progress
+	if _, err := MultiD1Context(WithProgress(context.Background(), &ref), n, p_, m, steps, prog, MultiOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var live Progress
+	done := make(chan error, 1)
+	go func() {
+		_, err := MultiD1Context(WithProgress(context.Background(), &live), n, p_, m, steps, prog, MultiOptions{})
+		done <- err
+	}()
+
+	deadline := time.After(30 * time.Second)
+	var lastV, lastP int64
+	samples := 0
+sampling:
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			break sampling
+		case <-deadline:
+			t.Fatal("run did not finish within 30s")
+		default:
+		}
+		v, ph := live.Vertices.Load(), live.Phases.Load()
+		if v < lastV {
+			t.Fatalf("Vertices regressed: %d after %d", v, lastV)
+		}
+		if ph < lastP {
+			t.Fatalf("Phases regressed: %d after %d", ph, lastP)
+		}
+		lastV, lastP = v, ph
+		samples++
+	}
+	if samples == 0 {
+		t.Fatal("sampled the progress meter zero times")
+	}
+
+	// Settled totals match the reference run exactly.
+	if got, want := live.Vertices.Load(), ref.Vertices.Load(); got != want {
+		t.Errorf("final Vertices = %d, want reference total %d", got, want)
+	}
+	if got, want := live.Phases.Load(), ref.Phases.Load(); got != want {
+		t.Errorf("final Phases = %d, want reference total %d", got, want)
+	}
+	if lastV > live.Vertices.Load() || lastP > live.Phases.Load() {
+		t.Error("final totals below the last live sample")
+	}
+}

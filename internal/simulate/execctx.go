@@ -3,6 +3,8 @@ package simulate
 import (
 	"context"
 	"sync/atomic"
+
+	"bsmp/internal/obs"
 )
 
 // Progress is the externally sampled step-progress meter a caller can
@@ -53,14 +55,15 @@ type execCtx struct {
 	ctx     context.Context
 	done    <-chan struct{} // ctx.Done(), nil for Background-like contexts
 	prog    *Progress
-	pending int // vertices counted since the last flush
+	tr      *obs.Tracer // span tracing; nil for untraced runs
+	pending int         // vertices counted since the last flush
 }
 
 // newExecCtx builds the execution context for ctx. For contexts that
 // can never be cancelled and carry no meter (context.Background()),
 // every step() reduces to an add-and-compare on a local int.
 func newExecCtx(ctx context.Context) *execCtx {
-	return &execCtx{ctx: ctx, done: ctx.Done(), prog: ProgressFrom(ctx)}
+	return &execCtx{ctx: ctx, done: ctx.Done(), prog: ProgressFrom(ctx), tr: obs.FromContext(ctx)}
 }
 
 // step counts n executed vertices and, once checkInterval have

@@ -148,6 +148,7 @@ func MultiD1Context(ctx context.Context, n, p, m, steps int, prog network.Progra
 		r, err := BlockedD1Context(ctx, n, m, steps, 0, prog)
 		return MultiResult{Result: r, StripWidth: n}, err
 	}
+	ec := newExecCtx(ctx)
 	s := opts.StripWidth
 	if s <= 0 {
 		s = analytic.RoundToPow2Divisor(analytic.OptimalS(n, m, p), n/p)
@@ -227,7 +228,7 @@ func MultiD1Context(ctx context.Context, n, p, m, steps int, prog network.Progra
 		stageExtra = kappa * multiGeomD1.faceSize(sf) * exchDist
 	}
 
-	bank, prep := playSchedule(p, multiSchedule{
+	bank, prep := playSchedule(ec.tr, p, multiSchedule{
 		// Phase 0: rearrangement. n·m words move distance Θ(n) with
 		// p-fold parallelism: per processor, (n·m/p) words at average
 		// distance n/2.
@@ -244,10 +245,14 @@ func MultiD1Context(ctx context.Context, n, p, m, steps int, prog network.Progra
 
 	// Functional execution (exact): the schedule above is a topological
 	// execution of the same dag, so the state evolution is the guest's.
-	ec := newExecCtx(ctx)
+	replay := ec.tr.Start("replay")
 	outs, mems, err := network.RunGuestPureHook(1, n, m, steps, prog, ec.hook())
 	if err != nil {
 		return MultiResult{}, err
+	}
+	if replay != nil {
+		replay.SetAttr("vertices", float64(n)*float64(steps))
+		replay.End()
 	}
 
 	return MultiResult{
@@ -290,9 +295,14 @@ func MultiD1CyclesContext(ctx context.Context, n, p, m, cycles int, prog network
 	}
 	total := one.PrepTime + cost.Time(cycles)*one.Time
 	ec := newExecCtx(ctx)
+	replay := ec.tr.Start("replay")
 	outs, mems, err := network.RunGuestPureHook(1, n, m, cycles*n, prog, ec.hook())
 	if err != nil {
 		return MultiResult{}, err
+	}
+	if replay != nil {
+		replay.SetAttr("vertices", float64(n)*float64(cycles*n))
+		replay.End()
 	}
 	res := one
 	res.Outputs = outs

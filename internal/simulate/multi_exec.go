@@ -9,6 +9,7 @@ import (
 
 	"bsmp/internal/cost"
 	"bsmp/internal/network"
+	"bsmp/internal/obs"
 )
 
 // This file is the multiprocessor orchestration engine shared by MultiD1,
@@ -210,13 +211,26 @@ func (g *multiGeom) kernel(ctx context.Context, s, m int, prog network.Program) 
 		kernelCache.store(key, g.kernelFloor)
 		return g.kernelFloor, nil
 	}
+	// Trace the actual measurement (cache hits return above without a
+	// span): calibration runs dominate a cold run's wall time, and the
+	// blocked executor the calibration drives nests its own "block"
+	// spans underneath.
+	sp := obs.FromContext(ctx).Start("calibrate")
 	res, err := g.calRun(ctx, cal, m, calProg)
 	if err != nil {
+		sp.End()
 		return 0, err
 	}
 	k := float64(res.Time) / 2
 	if cal != s {
 		k *= math.Pow(float64(s)/float64(cal), g.scaleExp)
+	}
+	if sp != nil {
+		sp.SetAttr("d", float64(g.d))
+		sp.SetAttr("span", float64(s))
+		sp.SetAttr("m", float64(m))
+		sp.SetAttr("kernel", k)
+		sp.End()
 	}
 	kernelCache.store(key, k)
 	return k, nil
@@ -251,37 +265,85 @@ type multiSchedule struct {
 // and returns the bank and the preprocessing finish time (0 without
 // prep). Charges are phase-major but per-processor order matches the
 // historical orchestrators exactly (see the contract note above).
-func playSchedule(p int, sch multiSchedule) (*cost.Bank, cost.Time) {
+//
+// When tr is non-nil, every schedule segment is additionally wrapped in
+// a "phase:<name>" span under one "schedule" parent, annotated with the
+// makespan advance ("vtime") and the per-category ledger deltas the
+// segment produced. Spans mirror the Mark calls one-for-one, so the
+// phase-span vtime deltas telescope to the final makespan
+// (= Time + PrepTime) exactly like the PhaseBreakdown. Tracing reads
+// bank snapshots and never charges anything, so the charge sequence —
+// and with it every golden virtual time — is identical with tr nil or
+// attached.
+func playSchedule(tr *obs.Tracer, p int, sch multiSchedule) (*cost.Bank, cost.Time) {
 	bank := cost.NewBank(p)
+	sched := tr.Start("schedule")
+	// phase runs one schedule segment under a span; with no tracer it
+	// is a plain call.
+	phase := func(name string, f func()) {
+		sp := tr.Start("phase:" + name)
+		if sp == nil {
+			f()
+			return
+		}
+		at0 := bank.MaxNow()
+		l0 := bank.Ledgers()
+		f()
+		sp.SetAttr("vtime", bank.MaxNow()-at0)
+		l1 := bank.Ledgers()
+		delta := l1.Sub(&l0)
+		for _, c := range cost.Categories() {
+			if t := delta.Total(c); t != 0 {
+				sp.SetAttr(c.String(), t)
+			}
+		}
+		sp.End()
+	}
+
 	bank.Mark(cost.PhaseRearrange)
 	var prep cost.Time
-	if sch.hasPrep {
-		for i := 0; i < p; i++ {
-			bank.Proc(i).Charge(cost.Transfer, sch.prep)
+	phase(cost.PhaseRearrange, func() {
+		if sch.hasPrep {
+			for i := 0; i < p; i++ {
+				bank.Proc(i).Charge(cost.Transfer, sch.prep)
+			}
+			prep = bank.Barrier()
 		}
-		prep = bank.Barrier()
-	}
+	})
 	bank.Mark(cost.PhaseRegime1)
-	for _, c := range sch.regime1 {
-		for i := 0; i < p; i++ {
-			bank.Proc(i).Charge(cost.Transfer, c)
+	phase(cost.PhaseRegime1, func() {
+		for _, c := range sch.regime1 {
+			for i := 0; i < p; i++ {
+				bank.Proc(i).Charge(cost.Transfer, c)
+			}
 		}
-	}
+	})
 	for r := 0; r < sch.domains; r++ {
 		bank.Mark(cost.PhaseRegime2Exec)
-		for i := 0; i < p; i++ {
-			bank.Proc(i).Charge(cost.Compute, sch.exec)
-		}
+		phase(cost.PhaseRegime2Exec, func() {
+			for i := 0; i < p; i++ {
+				bank.Proc(i).Charge(cost.Compute, sch.exec)
+			}
+		})
 		bank.Mark(cost.PhaseRegime2Exchange)
-		for i := 0; i < p; i++ {
-			bank.Proc(i).Charge(sch.exchCat, sch.exch)
-		}
-		if sch.roundBarrier {
-			bank.Barrier()
-		}
+		phase(cost.PhaseRegime2Exchange, func() {
+			for i := 0; i < p; i++ {
+				bank.Proc(i).Charge(sch.exchCat, sch.exch)
+			}
+			if sch.roundBarrier {
+				// The round barrier's stalls are attributed to the
+				// exchange phase, matching the Mark bookkeeping.
+				bank.Barrier()
+			}
+		})
 	}
 	if !sch.roundBarrier {
 		bank.Barrier()
+	}
+	if sched != nil {
+		sched.SetAttr("vtime", bank.MaxNow())
+		sched.SetAttr("domains", float64(sch.domains))
+		sched.End()
 	}
 	return bank, prep
 }
@@ -368,6 +430,9 @@ func multiSpan(ctx context.Context, g *multiGeom, n, p, m, steps int, prog netwo
 	bestLevels := 0
 	var bestBreak [3]float64
 	ec := newExecCtx(ctx)
+	// The span search is traced as one "plan" span; the kernel
+	// calibrations it triggers nest their "calibrate" spans underneath.
+	plan := ec.tr.Start("plan")
 	for _, s := range spans {
 		if err := ec.checkpoint(); err != nil {
 			return MultiResult{}, err
@@ -380,10 +445,15 @@ func multiSpan(ctx context.Context, g *multiGeom, n, p, m, steps int, prog netwo
 			best, bestSpan, bestLevels, bestBreak = total, s, levels, brk
 		}
 	}
+	if plan != nil {
+		plan.SetAttr("candidates", float64(len(spans)))
+		plan.SetAttr("span", float64(bestSpan))
+		plan.End()
+	}
 
 	// Charge the chosen schedule into a bank for ledger and phase
 	// attribution.
-	bank, _ := playSchedule(p, multiSchedule{
+	bank, _ := playSchedule(ec.tr, p, multiSchedule{
 		regime1: []float64{bestBreak[0]},
 		domains: 1,
 		exec:    bestBreak[1],
@@ -391,9 +461,14 @@ func multiSpan(ctx context.Context, g *multiGeom, n, p, m, steps int, prog netwo
 		exchCat: cost.Message,
 	})
 
+	replay := ec.tr.Start("replay")
 	outs, mems, err := network.RunGuestPureHook(g.d, n, m, steps, prog, ec.hook())
 	if err != nil {
 		return MultiResult{}, err
+	}
+	if replay != nil {
+		replay.SetAttr("vertices", float64(n)*float64(steps))
+		replay.End()
 	}
 	return MultiResult{
 		Result: Result{

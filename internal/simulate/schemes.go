@@ -7,6 +7,7 @@ import (
 	"bsmp/internal/dag"
 	"bsmp/internal/guest"
 	"bsmp/internal/network"
+	"bsmp/internal/obs"
 )
 
 // SchemeConfig carries the per-run knobs a registered scheme may consume.
@@ -190,12 +191,30 @@ func RunScheme(name string, d, n, p, m, steps int, prog network.Program, cfg Sch
 
 // RunSchemeContext looks up (name, d) in the registry and runs it under
 // ctx: the selected scheme polls cancellation cooperatively at its
-// recursion/phase/step boundaries and reports progress to any Progress
-// attached with WithProgress.
+// recursion/phase/step boundaries, reports progress to any Progress
+// attached with WithProgress, and records its span timeline into any
+// Tracer attached with obs.WithTracer — the run gets one
+// "scheme:<name>" root span whose "vtime" attribute is the run's full
+// virtual makespan (Time + PrepTime).
 func RunSchemeContext(ctx context.Context, name string, d, n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error) {
 	s, err := SchemeByName(name, d)
 	if err != nil {
 		return MultiResult{}, err
 	}
-	return s.Run(ctx, n, p, m, steps, prog, cfg)
+	sp := obs.FromContext(ctx).Start("scheme:" + name)
+	if sp != nil {
+		sp.SetAttr("d", float64(d))
+		sp.SetAttr("n", float64(n))
+		sp.SetAttr("p", float64(p))
+		sp.SetAttr("m", float64(m))
+		sp.SetAttr("steps", float64(steps))
+	}
+	res, err := s.Run(ctx, n, p, m, steps, prog, cfg)
+	if sp != nil {
+		if err == nil {
+			sp.SetAttr("vtime", float64(res.Time+res.PrepTime))
+		}
+		sp.End()
+	}
+	return res, err
 }

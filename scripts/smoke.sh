@@ -41,6 +41,27 @@ echo "$R2" | grep -q '"cached":true' || fail "identical repeat not served from c
 METRICS=$(curl -fsS "$BASE/metrics")
 echo "$METRICS" | grep -q '"cache_hits": 1' || fail "expvar cache_hits != 1: $METRICS"
 
+# Prometheus endpoint: every non-comment line must be `name{labels} value`
+# (promtool-free regex check), and the run above must have landed in the
+# latency histogram.
+PROM=$(curl -fsS "$BASE/metrics.prom")
+BADPROM=$(echo "$PROM" | grep -vE '^#' | grep -vE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.eE+-]+|\+Inf|NaN)$' || true)
+[ -z "$BADPROM" ] || fail "malformed /metrics.prom line(s): $BADPROM"
+echo "$PROM" | grep -q '^bsmpd_run_latency_seconds_bucket{le="+Inf"} ' || fail "latency histogram missing +Inf bucket"
+echo "$PROM" | grep -qE '^bsmpd_run_latency_seconds_count [1-9]' || fail "latency histogram empty after a run"
+echo "$PROM" | grep -q '^# TYPE bsmpd_queue_wait_seconds histogram' || fail "queue-wait histogram missing"
+
+# Traced run: ?trace=1 returns the span timeline inline and bypasses the
+# cache; tracecheck verifies children vtimes telescope to their parents
+# and a schedule span matches time + prep_time.
+TRACED=$(curl -fsS -X POST --data "$VALID" "$BASE/v1/run?trace=1") || fail "traced run request errored"
+echo "$TRACED" | grep -q '"cached":false' || fail "traced run served from cache: $TRACED"
+echo "$TRACED" | grep -q '"trace":' || fail "traced response carries no timeline"
+echo "$TRACED" | go run ./scripts/tracecheck || fail "trace timeline inconsistent"
+
+# Request IDs are stamped on every response.
+curl -fsSI "$BASE/healthz" | grep -qi '^x-request-id:' || fail "missing X-Request-Id header"
+
 INVALID='{"scheme": "naive", "d": 2, "n": 10, "p": 1, "m": 4, "steps": 4}'
 ERRBODY="$(mktemp)"
 STATUS=$(curl -s -o "$ERRBODY" -w '%{http_code}' -X POST --data "$INVALID" "$BASE/v1/run")

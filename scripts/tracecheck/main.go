@@ -1,0 +1,77 @@
+// Command tracecheck validates a traced /v1/run response piped to
+// stdin (smoke.sh runs it against the live daemon). It passes when the
+// timeline has at least one parent span whose children's virtual-time
+// deltas sum to the parent's own vtime, and when a schedule span's
+// vtime matches the response's time + prep_time — the end-to-end form
+// of the telescoping checks in internal/simulate's unit tests.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+type span struct {
+	Name     string             `json:"name"`
+	DurNS    int64              `json:"dur_ns"`
+	Attrs    map[string]float64 `json:"attrs"`
+	Children []*span            `json:"children"`
+}
+
+type runResponse struct {
+	Time     float64 `json:"time"`
+	PrepTime float64 `json:"prep_time"`
+	Trace    []*span `json:"trace"`
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var r runResponse
+	if err := json.NewDecoder(os.Stdin).Decode(&r); err != nil {
+		die("decoding response: %v", err)
+	}
+	if len(r.Trace) == 0 {
+		die("response carries no trace spans")
+	}
+
+	const relTol = 1e-9
+	total, telescoping := 0, 0
+	scheduleOK := false
+	full := r.Time + r.PrepTime
+	var walk func(s *span)
+	walk = func(s *span) {
+		total++
+		if len(s.Children) > 0 {
+			parent := s.Attrs["vtime"]
+			var sum float64
+			for _, c := range s.Children {
+				sum += c.Attrs["vtime"]
+			}
+			if parent > 0 && math.Abs(sum-parent) <= relTol*parent {
+				telescoping++
+			}
+		}
+		if s.Name == "schedule" && full > 0 && math.Abs(s.Attrs["vtime"]-full) <= relTol*full {
+			scheduleOK = true
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	for _, s := range r.Trace {
+		walk(s)
+	}
+	if telescoping == 0 {
+		die("no parent span's children sum to its vtime (%d spans)", total)
+	}
+	if !scheduleOK {
+		die("no schedule span matches time+prep_time = %v", full)
+	}
+	fmt.Printf("tracecheck: OK (%d spans, %d telescoping parents)\n", total, telescoping)
+}
