@@ -194,6 +194,22 @@ func BlockedD3Context(ctx context.Context, n, m, steps, leafSpan int, prog Progr
 	return simulate.BlockedD3Context(ctx, n, m, steps, leafSpan, prog, opts...)
 }
 
+// AnalyticBlockedD1 computes BlockedD1's virtual time, cost ledger, and
+// space bound analytically: no machine state is materialized and
+// congruent recursion subtrees replay as memoized cost deltas, so
+// lattice volumes of 10^9+ vertices (n = 2^20 × steps = 2^10) finish in
+// seconds. The result carries no guest outputs (Outputs/Memories nil);
+// validate against the work/span laws and the Theorem 3 bound instead.
+func AnalyticBlockedD1(n, m, steps, leafWidth int, prog Program) (Result, error) {
+	return simulate.AnalyticBlockedD1(n, m, steps, leafWidth, prog)
+}
+
+// AnalyticBlockedD1Context is AnalyticBlockedD1 under a context, with
+// BlockedD1Context's cancellation and progress contract.
+func AnalyticBlockedD1Context(ctx context.Context, n, m, steps, leafWidth int, prog Program) (Result, error) {
+	return simulate.AnalyticBlockedD1Context(ctx, n, m, steps, leafWidth, prog)
+}
+
 // MultiD1 runs Theorem 4's multiprocessor simulation: slowdown
 // Θ((n/p)·A(n, m, p)).
 func MultiD1(n, p, m, steps int, prog Program, opts MultiOptions) (MultiResult, error) {
@@ -425,3 +441,29 @@ func TracerFrom(ctx context.Context) *Tracer { return obs.FromContext(ctx) }
 func KernelCacheStats() (entries int, hits, misses, evictions int64) {
 	return simulate.KernelCacheStats()
 }
+
+// MemoStats is a snapshot of the unified memo store (kernel values,
+// exact subtree traces, analytic subtree deltas) with per-(kind, level)
+// hit/miss/eviction rows.
+type MemoStats = simulate.MemoStats
+
+// MemoLevelStats is one (kind, level) row of MemoStats.
+type MemoLevelStats = simulate.MemoLevelStats
+
+// MemoStatsSnapshot reports the unified memo store's capacity, totals,
+// and per-(kind, level) statistics since process start.
+func MemoStatsSnapshot() MemoStats { return simulate.MemoStatsSnapshot() }
+
+// MemoCapacity reports the memo store's shared entry bound.
+func MemoCapacity() int { return simulate.MemoCapacity() }
+
+// SetMemoCapacity rebounds the unified memo store shared by every
+// engine, evicting oldest entries if the store currently exceeds the new
+// bound. A bound <= 0 disables memoization process-wide.
+func SetMemoCapacity(n int) { simulate.SetMemoCapacity(n) }
+
+// WithoutMemo returns a context under which simulations skip the memo
+// store entirely — every subtree executes for real. Results are
+// bit-identical either way; the memo-off path exists for benchmarking
+// and for callers that need machine memory to reflect a full execution.
+func WithoutMemo(ctx context.Context) context.Context { return simulate.WithoutMemo(ctx) }

@@ -46,9 +46,10 @@ var (
 	pkgLine   = regexp.MustCompile(`^pkg:\s+(\S+)`)
 )
 
-// baseEntry is one baseline benchmark: its recorded package (possibly
-// empty for legacy bare-name baselines) and ns/op.
+// baseEntry is one baseline benchmark: its recorded display name and
+// package (possibly empty for legacy bare-name baselines) and ns/op.
 type baseEntry struct {
+	name string
 	pkg  string
 	nsOp float64
 }
@@ -83,6 +84,29 @@ func pkgMatches(measured, baseline string) bool {
 	return measured == baseline ||
 		strings.HasSuffix(measured, "/"+baseline) ||
 		strings.HasSuffix(baseline, "/"+measured)
+}
+
+// matchBaseline resolves one measurement against the baseline:
+// package-exact match first, then an unambiguous bare-name match.
+// Matched entries are marked in usedBase so callers can report baseline
+// entries that no measurement ever matched (removed benchmarks).
+func matchBaseline(m measurement, base []baseEntry, baseByName map[string][]int, usedBase []bool) (want float64, found, ambiguous bool) {
+	for _, i := range baseByName[m.name] {
+		if base[i].pkg != "" && pkgMatches(m.pkg, base[i].pkg) {
+			usedBase[i] = true
+			return base[i].nsOp, true, false
+		}
+	}
+	if idx := baseByName[m.name]; len(idx) == 1 {
+		e := base[idx[0]]
+		if e.pkg == "" || pkgMatches(m.pkg, e.pkg) {
+			usedBase[idx[0]] = true
+			return e.nsOp, true, false
+		}
+	} else if len(idx) > 1 {
+		return 0, false, true
+	}
+	return 0, false, false
 }
 
 // scanMeasurements parses `go test -bench` output, attributing each
@@ -154,7 +178,7 @@ func main() {
 			}
 			bare, pkg := parseBaselineName(b.Name)
 			baseByName[bare] = append(baseByName[bare], len(base))
-			base = append(base, baseEntry{pkg: pkg, nsOp: b.After.NsOp})
+			base = append(base, baseEntry{name: b.Name, pkg: pkg, nsOp: b.After.NsOp})
 		}
 	}
 
@@ -176,6 +200,7 @@ func main() {
 	}
 
 	failed := false
+	usedBase := make([]bool, len(base))
 	for _, name := range strings.Split(*require, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
@@ -193,22 +218,7 @@ func main() {
 		}
 		// Package-exact baseline match first; a bare or package-less
 		// baseline entry still applies when the name is unambiguous.
-		var want float64
-		found := false
-		ambiguous := false
-		for _, i := range baseByName[m.name] {
-			if base[i].pkg != "" && pkgMatches(m.pkg, base[i].pkg) {
-				want, found = base[i].nsOp, true
-				break
-			}
-		}
-		if !found {
-			if idx := baseByName[m.name]; len(idx) == 1 {
-				want, found = base[idx[0]].nsOp, base[idx[0]].pkg == "" || pkgMatches(m.pkg, base[idx[0]].pkg)
-			} else if len(idx) > 1 {
-				ambiguous = true
-			}
-		}
+		want, found, ambiguous := matchBaseline(m, base, baseByName, usedBase)
 		switch {
 		case ambiguous:
 			fmt.Fprintf(os.Stderr, "benchdiff: warning: %s matches multiple baseline entries and none package-exactly; skipping comparison\n", label)
@@ -223,6 +233,15 @@ func main() {
 				failed = true
 			}
 			fmt.Printf("%-8s %-28s %12.0f ns/op  baseline %12.0f  ratio %5.2f\n", verdict, label, m.nsOp, want, ratio)
+		}
+	}
+	// Baseline entries no measurement matched are informational, never a
+	// failure: benchmarks get renamed or retired across PRs, and a stale
+	// baseline entry must not wedge the gate. (-require is the knob for
+	// benchmarks that MUST run.)
+	for i, b := range base {
+		if !usedBase[i] {
+			fmt.Printf("removed  %-28s baseline %12.0f ns/op (not measured in this run)\n", b.name, b.nsOp)
 		}
 	}
 	if len(measured) == 0 {

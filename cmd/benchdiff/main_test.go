@@ -75,6 +75,38 @@ func TestParseBaselineName(t *testing.T) {
 	}
 }
 
+// TestMatchBaselineFlagsRemovedEntries checks that baseline entries no
+// measurement matches stay unmarked in usedBase — main reports those as
+// "removed" informationally instead of failing the gate.
+func TestMatchBaselineFlagsRemovedEntries(t *testing.T) {
+	base := []baseEntry{
+		{name: "BenchmarkKept (internal/simulate)", pkg: "internal/simulate", nsOp: 1000},
+		{name: "BenchmarkRetired (internal/simulate)", pkg: "internal/simulate", nsOp: 2000},
+	}
+	baseByName := map[string][]int{"BenchmarkKept": {0}, "BenchmarkRetired": {1}}
+	usedBase := make([]bool, len(base))
+
+	m := measurement{name: "BenchmarkKept", pkg: "bsmp/internal/simulate", nsOp: 1100}
+	want, found, ambiguous := matchBaseline(m, base, baseByName, usedBase)
+	if !found || ambiguous || want != 1000 {
+		t.Fatalf("matchBaseline = (%v, %t, %t), want (1000, true, false)", want, found, ambiguous)
+	}
+	if !usedBase[0] {
+		t.Error("matched baseline entry not marked used")
+	}
+	if usedBase[1] {
+		t.Error("never-measured baseline entry marked used; it would escape the removed report")
+	}
+
+	// A measurement with no baseline entry at all must not mark anything.
+	if _, found, _ := matchBaseline(measurement{name: "BenchmarkNew", pkg: "bsmp/internal/serve"}, base, baseByName, usedBase); found {
+		t.Error("unknown benchmark matched a baseline entry")
+	}
+	if usedBase[1] {
+		t.Error("unknown benchmark marked an unrelated baseline entry used")
+	}
+}
+
 func TestPkgMatches(t *testing.T) {
 	if !pkgMatches("bsmp/internal/simulate", "internal/simulate") {
 		t.Error("module-qualified path should match module-relative baseline")

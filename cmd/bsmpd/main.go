@@ -41,6 +41,7 @@ func main() {
 	flag.IntVar(&cfg.MaxN, "max-n", 1<<16, "largest accepted machine volume n")
 	flag.IntVar(&cfg.MaxM, "max-m", 1<<12, "largest accepted memory density m")
 	flag.IntVar(&cfg.MaxSteps, "max-steps", 1<<12, "largest accepted step count")
+	flag.IntVar(&cfg.MemoCapacity, "memo-cap", 0, "unified memo store entry bound (kernels + subtree records); 0 = library default, negative disables memoization")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	debugAddr := flag.String("debug-addr", "", "listen address for net/http/pprof (empty = disabled)")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")

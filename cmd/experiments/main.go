@@ -28,10 +28,15 @@ func main() {
 	seq := flag.Bool("seq", false, "run experiments sequentially (one worker)")
 	schemes := flag.Bool("schemes", false, "list the registered simulation schemes and exit")
 	timeout := flag.Duration("timeout", 0, "overall wall-clock budget; on expiry print the experiments that finished (0 = no limit)")
+	memoCap := flag.Int("memo-cap", 0, "unified memo store entry bound (kernels + subtree records); 0 = default, negative disables memoization")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	tracePath := flag.String("trace", "", "write the battery's span timeline to this file (Chrome trace_event JSON; implies -seq)")
 	flag.Parse()
+
+	if *memoCap != 0 {
+		bsmp.SetMemoCapacity(*memoCap)
+	}
 
 	if *schemes {
 		fmt.Printf("%-8s %-2s %-5s %s\n", "name", "d", "multi", "description")

@@ -39,6 +39,7 @@ func main() {
 	sweep := flag.Bool("sweep", false, "dyadic m sweep with an ASCII curve of A(n,m,p)")
 	csv := flag.Bool("csv", false, "emit CSV instead of the aligned table")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for -measure runs; on expiry report the rows that finished (0 = no limit)")
+	memoCap := flag.Int("memo-cap", 0, "unified memo store entry bound (kernels + subtree records); 0 = default, negative disables memoization")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	tracePath := flag.String("trace", "", "write the -measure runs' span timeline to this file (Chrome trace_event JSON)")
@@ -53,6 +54,10 @@ func main() {
 			log.Fatal(err)
 		}
 	}()
+
+	if *memoCap != 0 {
+		bsmp.SetMemoCapacity(*memoCap)
+	}
 
 	if *sweep {
 		runSweep(*d, *n, *p, *csv)
@@ -196,19 +201,28 @@ func rangeName(d, n, m, p int) string {
 // measured runs the named registry scheme and reports its slowdown
 // Tp/Tn. The d = 1 run is additionally verified against the pure
 // reference execution (the cheap case; every scheme is verified across
-// dimensions by the test suite and experiment E-REG).
+// dimensions by the test suite and experiment E-REG). Model-grade
+// schemes that produce no guest outputs (blocked-analytic) skip the
+// output check — their fidelity gate is the E-BRENT battery — and
+// calibrate the guest-time denominator on a smaller machine: the guest
+// runs lock-step, so its per-step virtual time does not depend on n.
 func measured(ctx context.Context, scheme string, d, n, p, m, steps int) (float64, error) {
 	prog := guestProg(d, n)
 	r, err := bsmp.RunSchemeContext(ctx, scheme, d, n, p, m, steps, prog, bsmp.SchemeConfig{})
 	if err != nil {
 		return 0, err
 	}
-	if d == 1 {
+	nGuest := n
+	if r.Outputs == nil {
+		if nGuest > 4096 {
+			nGuest = 4096
+		}
+	} else if d == 1 {
 		if err := r.Verify(1, n, m, prog); err != nil {
 			return 0, err
 		}
 	}
-	tn, err := bsmp.GuestTimeContext(ctx, d, n, m, steps, prog)
+	tn, err := bsmp.GuestTimeContext(ctx, d, nGuest, m, steps, guestProg(d, nGuest))
 	if err != nil {
 		return 0, err
 	}

@@ -197,12 +197,25 @@ func (l *Ledger) String() string {
 type Meter struct {
 	Clock
 	Ledger
+	// tap, when set, observes every Charge/ChargeN with the exact float
+	// added to the clock. Idle is not tapped: an idle span is a
+	// WaitUntil difference, which is not replayable as an additive
+	// charge (now + (t - now) need not equal t in floats). The engines
+	// that record traces never Idle on a tapped meter.
+	tap func(Category, Time)
 }
+
+// SetTap installs (or clears, with nil) the charge observer. The tap sees
+// the exact value added by each Charge/ChargeN, after it is applied.
+func (m *Meter) SetTap(tap func(Category, Time)) { m.tap = tap }
 
 // Charge advances the clock by dt and records it under cat.
 func (m *Meter) Charge(cat Category, dt Time) {
 	m.Advance(dt)
 	m.Add(cat, dt)
+	if m.tap != nil {
+		m.tap(cat, dt)
+	}
 }
 
 // ChargeN advances the clock by n*dt and records it under cat as one entry.
@@ -215,6 +228,19 @@ func (m *Meter) ChargeN(cat Category, n int64, dt Time) {
 	total := Time(n) * dt
 	m.Advance(total)
 	m.Add(cat, total)
+	if m.tap != nil {
+		m.tap(cat, total)
+	}
+}
+
+// ApplyDelta advances the clock by dt and merges delta into the ledger —
+// the analytic replay of a previously captured interval: dt is a Now()
+// difference and delta a Ledger.Sub snapshot of the same interval. Unlike
+// Charge it adds whole-interval sums, so totals match the original up to
+// float regrouping; use Trace.Play when bit-identity is required.
+func (m *Meter) ApplyDelta(dt Time, delta *Ledger) {
+	m.Advance(dt)
+	m.Ledger.Merge(delta)
 }
 
 // Idle advances the clock to time t (if in the future) and records the idle

@@ -1,0 +1,115 @@
+package cost
+
+import "testing"
+
+// TestTracePlayBitIdentical pins the contract the subtree memo relies on:
+// replaying a recorded charge sequence advances a fresh meter to the
+// bit-identical clock and ledger state of the recorded one, including
+// sequences whose summed-delta replay would differ in the last ulps.
+func TestTracePlayBitIdentical(t *testing.T) {
+	charges := []struct {
+		cat Category
+		dt  Time
+	}{
+		{Access, 1.0 / 3}, {Access, 1.0 / 3}, {Access, 1.0 / 3},
+		{Compute, 1}, {Transfer, 0.1}, {Transfer, 0.1}, {Transfer, 0.2},
+		{Access, 1e-9}, {Compute, 1}, {Access, 12345.6789},
+	}
+	var orig Meter
+	var rec Recorder
+	orig.SetTap(rec.Record)
+	for _, c := range charges {
+		orig.Charge(c.cat, c.dt)
+	}
+	var replay Meter
+	rec.Trace().Play(&replay)
+	if replay.Now() != orig.Now() {
+		t.Fatalf("replayed clock %v != original %v", replay.Now(), orig.Now())
+	}
+	for _, c := range Categories() {
+		if replay.Total(c) != orig.Total(c) || replay.Count(c) != orig.Count(c) {
+			t.Fatalf("category %v: replay %v/%d != original %v/%d",
+				c, replay.Total(c), replay.Count(c), orig.Total(c), orig.Count(c))
+		}
+	}
+	if got := rec.Trace().Events(); got != int64(len(charges)) {
+		t.Fatalf("trace events %d, want %d", got, len(charges))
+	}
+}
+
+// TestTraceRLE checks that homogeneous runs collapse and heterogeneous
+// charges do not merge.
+func TestTraceRLE(t *testing.T) {
+	var rec Recorder
+	for i := 0; i < 1000; i++ {
+		rec.Record(Access, 2.5)
+	}
+	rec.Record(Compute, 1)
+	if n := len(rec.Trace().items); n != 2 {
+		t.Fatalf("expected 2 RLE runs, got %d", n)
+	}
+	if ev := rec.Trace().Events(); ev != 1001 {
+		t.Fatalf("expected 1001 events, got %d", ev)
+	}
+}
+
+// TestTraceChild checks nested traces replay in place and count events.
+func TestTraceChild(t *testing.T) {
+	var inner Recorder
+	inner.Record(Access, 3)
+	inner.Record(Access, 3)
+
+	var outer Recorder
+	outer.Record(Compute, 1)
+	outer.Child(inner.Trace())
+	outer.Record(Compute, 1)
+
+	var m Meter
+	outer.Trace().Play(&m)
+	if m.Now() != 8 {
+		t.Fatalf("nested replay clock %v, want 8", m.Now())
+	}
+	if ev := outer.Trace().Events(); ev != 4 {
+		t.Fatalf("nested events %d, want 4", ev)
+	}
+}
+
+// TestChargeNTap checks the tap observes the summed ChargeN value, so a
+// replay reproduces both the clock and the single ledger count.
+func TestChargeNTap(t *testing.T) {
+	var orig Meter
+	var rec Recorder
+	orig.SetTap(rec.Record)
+	orig.ChargeN(Transfer, 7, 0.3)
+	var replay Meter
+	rec.Trace().Play(&replay)
+	if replay.Now() != orig.Now() {
+		t.Fatalf("replay %v != orig %v", replay.Now(), orig.Now())
+	}
+	if replay.Count(Transfer) != 1 {
+		t.Fatalf("ChargeN must replay as one ledger entry, got %d", replay.Count(Transfer))
+	}
+}
+
+// TestApplyDelta checks the analytic replay primitive: capture an
+// interval as (clock delta, ledger delta) and apply it to a fresh meter.
+func TestApplyDelta(t *testing.T) {
+	var orig Meter
+	orig.Charge(Compute, 1)
+	before := orig.Now()
+	ledBefore := orig.Ledger
+	orig.Charge(Access, 2.25)
+	orig.ChargeN(Transfer, 3, 1.5)
+	dt := orig.Now() - before
+	delta := orig.Ledger.Sub(&ledBefore)
+
+	var m Meter
+	m.Charge(Compute, 1)
+	m.ApplyDelta(dt, &delta)
+	if m.Now() != orig.Now() {
+		t.Fatalf("ApplyDelta clock %v != %v", m.Now(), orig.Now())
+	}
+	if m.Total(Transfer) != orig.Total(Transfer) || m.Count(Transfer) != orig.Count(Transfer) {
+		t.Fatalf("ApplyDelta ledger mismatch")
+	}
+}

@@ -53,7 +53,7 @@ func TestQuickExperimentsRun(t *testing.T) {
 		"P1": P1, "T2": T2, "T3": T3, "T4": T4, "T5": T5,
 		"T1D2": T1D2, "D3": D3, "MM": MM, "SStar": SStar, "Ablations": Ablations,
 		"Pipe": Pipe, "MPrime": MPrime, "Coop": Coop, "Levels": Levels, "ISA": ISA,
-		"T3D2": T3D2, "D3Multi": D3Multi,
+		"T3D2": T3D2, "D3Multi": D3Multi, "Brent": Brent,
 	} {
 		tab, err := f(context.Background(), s)
 		if err != nil {

@@ -718,6 +718,78 @@ func Coop(ctx context.Context, s Scale) (*Table, error) {
 	return t, nil
 }
 
+// Brent validates the analytic fast path where no exact twin can reach:
+// for each size the blocked-analytic scheme's virtual time is checked
+// against the work/span laws (with p = 1: T >= T_1, T >= T_inf, and the
+// greedy bound T <= (T_1 - T_inf)/p + T_inf collapse to the exact
+// identity T = T_1 alongside T >= T_inf) plus the model invariants the
+// replay must conserve exactly — one Compute unit per lattice vertex and
+// a virtual time equal to the ledger sum. The smallest size is also
+// cross-checked against the exact blocked engine to 1e-9 relative; the
+// largest (full scale: n = 2^20 x steps = 2^10, over 10^9 vertices) has
+// no feasible exact twin and runs in seconds only because congruent
+// subtrees replay analytically.
+func Brent(ctx context.Context, s Scale) (*Table, error) {
+	type size struct{ n, steps int }
+	sizes := []size{{256, 32}, {1 << 12, 1 << 7}}
+	if !s.Quick {
+		sizes = append(sizes, size{1 << 16, 1 << 8}, size{1 << 20, 1 << 10})
+	}
+	const m = 8
+	t := &Table{
+		ID:    "E-BRENT",
+		Title: "Analytic replay path vs work/span laws (blocked-analytic, d=1)",
+		PaperClaim: "Thm. 3's blocked schedule is a greedy one-processor schedule of the " +
+			"n x (steps+1) dependency lattice: its makespan obeys the work/span laws " +
+			"T >= T_1/p, T >= T_inf, T <= (T_1 - T_inf)/p + T_inf at every size, " +
+			"including sizes only the analytic replay path can reach",
+		Header: []string{"n", "steps", "T", "work T_1", "span T_inf", "T/(vol)", "Thm3 bound", "range"},
+	}
+	defer simulate.SetMemoCapacity(simulate.MemoCapacity())
+	simulate.SetMemoCapacity(1 << 16) // analytic class count grows with log n
+	for i, sz := range sizes {
+		res, err := simulate.RunSchemeContext(ctx, "blocked-analytic", 1, sz.n, 1, m, sz.steps, prog1d(), simulate.SchemeConfig{})
+		if err != nil {
+			return nil, err
+		}
+		T := float64(res.Time)
+		work := float64(res.Ledger.Sum())
+		span := float64(sz.steps + 1)
+		vol := float64(sz.n) * span
+		// Work/span laws for p = 1. T and T_1 accumulate the same charges
+		// in different float orders (clock vs per-category totals), so the
+		// T = T_1 identity is checked to 1e-9 relative.
+		if T < work*(1-1e-9) || T < span {
+			return nil, fmt.Errorf("E-BRENT n=%d: T=%g violates work/span lower bounds (T_1=%g, T_inf=%g)", sz.n, T, work, span)
+		}
+		if T > work*(1+1e-9) { // greedy bound at p = 1: T <= (T_1 - T_inf) + T_inf = T_1
+			return nil, fmt.Errorf("E-BRENT n=%d: T=%g exceeds the p=1 greedy bound T_1=%g", sz.n, T, work)
+		}
+		if c := res.Ledger.Count(cost.Compute); c != int64(sz.n)*int64(sz.steps+1) {
+			return nil, fmt.Errorf("E-BRENT n=%d: Compute count %d, want one per vertex (%d)", sz.n, c, int64(sz.n)*int64(sz.steps+1))
+		}
+		if i == 0 {
+			exact, err := simulate.BlockedD1Context(ctx, sz.n, m, sz.steps, 0, prog1d())
+			if err != nil {
+				return nil, err
+			}
+			if rel := math.Abs(T-float64(exact.Time)) / float64(exact.Time); rel > 1e-9 {
+				return nil, fmt.Errorf("E-BRENT n=%d: analytic T=%g vs exact %g (rel %g)", sz.n, T, float64(exact.Time), rel)
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			d(sz.n), d(sz.steps), g3(T), g3(work), g3(span),
+			f1(T / vol), f1(analytic.Theorem3Slowdown(sz.n, m) / float64(sz.n)),
+			analytic.RangeOf(1, sz.n, m, 1).String(),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"every row passed T >= T_1, T >= T_inf, T <= (T_1-T_inf)/p + T_inf (p=1), and Compute == n*(steps+1) exactly",
+		"the smallest row is cross-checked against the exact blocked engine to 1e-9 relative",
+		"T/(vol) is the per-vertex slowdown; the Thm3 column is the per-vertex form of the O(n*min(n, m*Log(n/m))) bound")
+	return t, nil
+}
+
 // Registry runs every entry of the scheme registry once at a small
 // common scale through simulate.RunScheme — the exact call path
 // cmd/tradeoff uses — verifying outputs wherever the scheme is
@@ -790,6 +862,10 @@ func Registry(ctx context.Context, s Scale) (*Table, error) {
 			check = "dag"
 		case sc.Name == "multi" && sc.D >= 2:
 			check = "model"
+		case sc.Name == "blocked-analytic":
+			// The analytic path produces no guest outputs by design; its
+			// fidelity gate is the work/span battery (E-BRENT).
+			check = "model"
 		default:
 			if err := res.Verify(sc.D, n, m, prog); err != nil {
 				return nil, fmt.Errorf("scheme %s d=%d: %w", sc.Name, sc.D, err)
@@ -817,7 +893,7 @@ func Registry(ctx context.Context, s Scale) (*Table, error) {
 
 // allFns is the E-* experiment battery, in publication order.
 var allFns = []func(context.Context, Scale) (*Table, error){
-	P1, ISA, T2, T3, T3D2, T4, T5, T1D2, D3, D3Multi, MM, SStar, Ablations, Levels, Coop, Pipe, MPrime, Registry,
+	P1, ISA, T2, T3, T3D2, T4, T5, T1D2, D3, D3Multi, MM, SStar, Ablations, Levels, Coop, Pipe, MPrime, Brent, Registry,
 }
 
 // All runs every E-* experiment concurrently on up to GOMAXPROCS workers

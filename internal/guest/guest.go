@@ -70,6 +70,13 @@ func (r Rule90) InitAt(x, y int, mem []hram.Word) hram.Word {
 // Address implements network.Program.
 func (r Rule90) Address(node, step, memSize int) int { return 0 }
 
+// AddrClass implements the simulator's address-classification interface:
+// the returned label is translation-invariantly sound — equal labels at
+// two (node, step) reference points guarantee equal Address values at
+// every uniformly translated pair. Rule90 ignores node and step entirely,
+// so a single class covers all sites.
+func (r Rule90) AddrClass(node, step, memSize int) (uint64, bool) { return 0, true }
+
 // Step implements network.Program: prev is (self, neighbors...); the dag
 // operand set is the same multiset, so XOR matches the dag view.
 func (r Rule90) Step2(node, step int, cell hram.Word, prev []hram.Word) (hram.Word, hram.Word) {
@@ -115,6 +122,14 @@ func (c MixCA) InitAt(x, y int, mem []hram.Word) hram.Word {
 // every cell participates.
 func (c MixCA) Address(node, step, memSize int) int {
 	return (node + step) % memSize
+}
+
+// AddrClass classifies MixCA's cyclic sweep: Address is (node+step) mod
+// memSize, and a uniform translation (dn, ds) shifts every site's address
+// by the same (dn+ds) mod memSize — equal residues at a reference point
+// imply equal addresses at every translated site.
+func (c MixCA) AddrClass(node, step, memSize int) (uint64, bool) {
+	return uint64(((node+step)%memSize + memSize) % memSize), true
 }
 
 // Step2 implements the network step: combines the addressed cell with the
@@ -168,6 +183,17 @@ func (a AsNetwork) Step(node, step int, cell hram.Word, prev []hram.Word) (hram.
 	return a.G.Step2(node, step, cell, prev)
 }
 
+// AddrClass forwards to the wrapped guest when it classifies its
+// addresses; Address passes node through verbatim, so the class does too.
+func (a AsNetwork) AddrClass(node, step, memSize int) (uint64, bool) {
+	if ac, ok := a.G.(interface {
+		AddrClass(node, step, memSize int) (uint64, bool)
+	}); ok {
+		return ac.AddrClass(node, step, memSize)
+	}
+	return 0, false
+}
+
 // RestrictMem wraps a network program so it addresses only the first
 // Words cells of each node's memory, declaring that via MemWords — the
 // paper's concluding m' < m scenario ("if an algorithm for n processors
@@ -205,6 +231,22 @@ func (r RestrictMem) Address(node, step, memSize int) int {
 // Step implements network.Program.
 func (r RestrictMem) Step(node, step int, cell hram.Word, prev []hram.Word) (hram.Word, hram.Word) {
 	return r.P.Step2(node, step, cell, prev)
+}
+
+// AddrClass forwards to the wrapped program with the memory size clamped
+// to the live region, mirroring Address.
+func (r RestrictMem) AddrClass(node, step, memSize int) (uint64, bool) {
+	ac, ok := r.P.(interface {
+		AddrClass(node, step, memSize int) (uint64, bool)
+	})
+	if !ok {
+		return 0, false
+	}
+	w := r.Words
+	if w > memSize {
+		w = memSize
+	}
+	return ac.AddrClass(node, step, w)
 }
 
 // MemWords implements the blocked simulation's MemUser interface.

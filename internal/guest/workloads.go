@@ -41,6 +41,9 @@ func (g Diffusion) InitAt(x, y int, mem []hram.Word) hram.Word {
 // Address implements the network view (memory unused: cell 0).
 func (g Diffusion) Address(node, step, memSize int) int { return 0 }
 
+// AddrClass: Address is constant, one class covers every site.
+func (g Diffusion) AddrClass(node, step, memSize int) (uint64, bool) { return 0, true }
+
 // Step2 implements the network view.
 func (g Diffusion) Step2(node, step int, cell hram.Word, prev []hram.Word) (hram.Word, hram.Word) {
 	var s hram.Word
@@ -68,6 +71,12 @@ func (g ShiftRegister) InitAt(x, y int, mem []hram.Word) hram.Word {
 // Address cycles through the register.
 func (g ShiftRegister) Address(node, step, memSize int) int {
 	return step % memSize
+}
+
+// AddrClass: Address depends only on step mod memSize, and uniform step
+// translations shift every site's residue identically.
+func (g ShiftRegister) AddrClass(node, step, memSize int) (uint64, bool) {
+	return uint64((step%memSize + memSize) % memSize), true
 }
 
 // Step2 consumes the addressed cell and rewrites it from the neighborhood.

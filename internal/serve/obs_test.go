@@ -121,6 +121,17 @@ func TestMetricsPromFormat(t *testing.T) {
 	if !strings.Contains(body, "bsmpd_requests ") {
 		t.Error("missing bsmpd_requests gauge")
 	}
+	// The unified memo store's scalar gauges render numerically, and the
+	// per-(kind, level) breakdown renders as labeled series (a run through
+	// the blocked engine touches at least one level).
+	for _, g := range []string{"bsmpd_memo_entries ", "bsmpd_memo_hits ", "bsmpd_memo_misses ", "bsmpd_memo_evictions ", "bsmpd_memo_capacity "} {
+		if !strings.Contains(body, g) {
+			t.Errorf("missing %s gauge", strings.TrimSpace(g))
+		}
+	}
+	if !strings.Contains(body, `bsmpd_memo_level_hits{kind=`) {
+		t.Error("missing per-level memo series")
+	}
 }
 
 func TestRequestIDAndAccessLog(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"bsmp"
 	"bsmp/internal/obs"
 )
 
@@ -22,9 +23,11 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 		"Time pool jobs spent queued before a worker picked them up.", s.waitHist)
 	writePromHist(w, "bsmpd_run_vertices",
 		"Guest size n*steps of completed simulations.", s.sizeHist)
+	writePromMemoLevels(w)
 	s.vars.Do(func(kv expvar.KeyValue) {
-		// Non-scalar vars (the histogram snapshots above) don't parse and
-		// are skipped; they already have first-class renderings.
+		// Non-scalar vars (the histogram snapshots above and the memo
+		// level breakdown) don't parse and are skipped; they already have
+		// first-class renderings.
 		v, err := strconv.ParseFloat(kv.Value.String(), 64)
 		if err != nil {
 			return
@@ -32,6 +35,33 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 		name := "bsmpd_" + kv.Key
 		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(v))
 	})
+}
+
+// writePromMemoLevels renders the unified memo store's per-(kind, level)
+// counters as labeled gauge series, one metric per counter.
+func writePromMemoLevels(w io.Writer) {
+	stats := bsmp.MemoStatsSnapshot()
+	if len(stats.Levels) == 0 {
+		return
+	}
+	for _, m := range []struct {
+		name, help string
+		value      func(bsmp.MemoLevelStats) int64
+	}{
+		{"bsmpd_memo_level_entries", "Resident memo entries per (kind, size level).",
+			func(l bsmp.MemoLevelStats) int64 { return int64(l.Entries) }},
+		{"bsmpd_memo_level_hits", "Lifetime memo hits per (kind, size level).",
+			func(l bsmp.MemoLevelStats) int64 { return l.Hits }},
+		{"bsmpd_memo_level_misses", "Lifetime memo misses per (kind, size level).",
+			func(l bsmp.MemoLevelStats) int64 { return l.Misses }},
+		{"bsmpd_memo_level_evictions", "Lifetime memo evictions per (kind, size level).",
+			func(l bsmp.MemoLevelStats) int64 { return l.Evictions }},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", m.name, m.help, m.name)
+		for _, l := range stats.Levels {
+			fmt.Fprintf(w, "%s{kind=%q,level=\"%d\"} %d\n", m.name, l.Kind, l.Level, m.value(l))
+		}
+	}
 }
 
 // writePromHist renders one histogram: cumulative buckets, sum, count.

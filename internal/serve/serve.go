@@ -61,6 +61,11 @@ type Config struct {
 	// cannot exhaust memory; violations get a structured 400 (defaults
 	// 1<<16, 1<<12, 1<<12).
 	MaxN, MaxM, MaxSteps int
+	// MemoCapacity bounds the process-wide unified memo store (kernel
+	// values plus subtree replay records). 0 keeps the library default
+	// (simulate.DefaultMemoCapacity); a negative value disables
+	// memoization entirely.
+	MemoCapacity int
 	// Logger receives the daemon's structured JSON records: one access
 	// line per request (with its generated request ID) and run
 	// start/done/failed lifecycle lines. Nil discards them.
@@ -156,6 +161,9 @@ func New(cfg Config) *Server {
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.runScheme = s.execute
+	if cfg.MemoCapacity != 0 {
+		bsmp.SetMemoCapacity(cfg.MemoCapacity)
+	}
 	s.pool.SetQueueWaitObserver(s.waitHist.Observe)
 	s.registerGauges()
 
@@ -265,6 +273,28 @@ func (s *Server) registerGauges() {
 	s.vars.Set("kernel_cache_evictions", expvar.Func(func() any {
 		_, _, _, e := bsmp.KernelCacheStats()
 		return e
+	}))
+	// Unified memo store gauges (kernels + subtree replay records). The
+	// scalar counters render on both endpoints; the per-(kind, level)
+	// breakdown renders as JSON here and as labeled series on
+	// /metrics.prom.
+	s.vars.Set("memo_capacity", expvar.Func(func() any {
+		return bsmp.MemoStatsSnapshot().Capacity
+	}))
+	s.vars.Set("memo_entries", expvar.Func(func() any {
+		return bsmp.MemoStatsSnapshot().Entries
+	}))
+	s.vars.Set("memo_hits", expvar.Func(func() any {
+		return bsmp.MemoStatsSnapshot().Hits
+	}))
+	s.vars.Set("memo_misses", expvar.Func(func() any {
+		return bsmp.MemoStatsSnapshot().Misses
+	}))
+	s.vars.Set("memo_evictions", expvar.Func(func() any {
+		return bsmp.MemoStatsSnapshot().Evictions
+	}))
+	s.vars.Set("memo_levels", expvar.Func(func() any {
+		return bsmp.MemoStatsSnapshot().Levels
 	}))
 	// Histogram snapshots render inline in the /metrics JSON; the
 	// Prometheus endpoint serves the same data in text format.

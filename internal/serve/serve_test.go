@@ -12,6 +12,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"bsmp"
 )
 
 func postRun(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
@@ -413,8 +415,40 @@ func TestSchemes(t *testing.T) {
 	if err := json.Unmarshal(w.Body.Bytes(), &list); err != nil {
 		t.Fatalf("decoding: %v", err)
 	}
-	if len(list) != 11 {
-		t.Fatalf("got %d schemes, want 11", len(list))
+	if len(list) != 12 {
+		t.Fatalf("got %d schemes, want 12", len(list))
+	}
+}
+
+// The analytic scheme serves through the same handler stack: no guest
+// outputs exist, but the response only carries times and ledger, so a
+// blocked-analytic run is a regular 200.
+func TestRunAnalyticScheme(t *testing.T) {
+	s := New(Config{})
+	w := postRun(t, s.Handler(), `{"scheme": "blocked-analytic", "d": 1, "n": 1024, "p": 1, "m": 8, "steps": 64}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d; body: %s", w.Code, w.Body)
+	}
+	resp := decodeRun(t, w)
+	if resp.Time <= 0 {
+		t.Errorf("analytic run Time = %v, want > 0", resp.Time)
+	}
+	if resp.Ledger["compute"] != float64(1024*65) {
+		t.Errorf("analytic compute ledger = %v, want %d", resp.Ledger["compute"], 1024*65)
+	}
+}
+
+// MemoCapacity wires through to the process-wide store: negative
+// disables, positive rebinds.
+func TestConfigMemoCapacity(t *testing.T) {
+	defer bsmp.SetMemoCapacity(bsmp.MemoCapacity())
+	New(Config{MemoCapacity: -1})
+	if c := bsmp.MemoCapacity(); c > 0 {
+		t.Errorf("MemoCapacity(-1) left capacity %d, want disabled", c)
+	}
+	New(Config{MemoCapacity: 99})
+	if c := bsmp.MemoCapacity(); c != 99 {
+		t.Errorf("MemoCapacity(99) set capacity %d", c)
 	}
 }
 

@@ -1,0 +1,624 @@
+package simulate
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"bsmp/internal/cost"
+	"bsmp/internal/lattice"
+	"bsmp/internal/network"
+)
+
+// This file is the analytic fast path of the blocked d = 1 recursion:
+// AnalyticBlockedD1 computes the virtual time and cost ledger of the
+// BlockedD1 simulation WITHOUT materializing the machine — no hram
+// memory, no guest values, no O(volume) state. Charges are derived from
+// the same formulas hram.Machine uses (f(x) = max(1, x/m) per access,
+// per-word block transfers), addresses are tracked in sparse maps, and
+// every congruent recursion subtree beyond the first is replayed as one
+// summed (clock delta, ledger delta) via the unified memo store
+// (kind = analytic). Geometry is enumerated per COLUMN, not per vertex:
+// a diamond's columns, preboundary, and live-out set are all O(width),
+// so a memoized run costs O(boundary work + leaf classes), making
+// lattice volumes of 10^9+ (n = 2^20 × steps = 2^10) tractable in
+// seconds where the exact engine would need hours and ~10 GB.
+//
+// What the analytic path does NOT provide: guest outputs (Result.Outputs
+// and Result.Memories are nil — no prog.Init/Step is ever called) and
+// bit-identity with the exact engine (deltas are replayed as sums, so
+// totals agree only to float regrouping, pinned at 1e-9 relative by
+// TestAnalyticMatchesExact; the Compute ledger is exact: one unit per
+// vertex). Validation for sizes the exact engine cannot reach is against
+// the work/span laws (Brent) and the model's Theorem 3 predictions — see
+// the E-BRENT experiment.
+//
+// Interior broadcast-address cleanup is skipped (the exact engine's
+// kid.Points deletion loop is O(volume)): stale map entries are never
+// read again because every preboundary a future subtree consumes is
+// rebound by its parent's copy-in before use (the ordered-partition
+// property), and entries accumulate only from real — class-miss — leaf
+// executions, which the memo keeps rare.
+
+// analyticExec carries the run state of one analytic simulation.
+type analyticExec struct {
+	n, m, iw, steps, leafSpan int
+	prog                      network.Program
+	meter                     *cost.Meter
+	fm                        float64
+	ec                        *execCtx
+
+	bcast map[lattice.Point]int
+	mem   map[lattice.Point]int
+
+	space      map[lattice.Diamond]int
+	classSpace map[subtreeKey]int
+
+	memoOn   bool
+	progFP   string
+	replayed int
+}
+
+// f mirrors hram.Standard(1, m) exactly.
+func (a *analyticExec) f(x int) float64 { return math.Max(1, float64(x)/a.fm) }
+
+// access mirrors Machine.Read / Machine.Write.
+func (a *analyticExec) access(addr int) { a.meter.Charge(cost.Access, a.f(addr)) }
+
+// op mirrors Machine.Op.
+func (a *analyticExec) op() { a.meter.Charge(cost.Compute, 1) }
+
+// blockCopy mirrors Machine.BlockCopy in the per-word (non-pipelined)
+// model: one Transfer charge of sum f(src+i) + f(dst+i).
+func (a *analyticExec) blockCopy(dst, src, k int) {
+	if k == 0 {
+		return
+	}
+	var total float64
+	for i := 0; i < k; i++ {
+		total += a.f(src+i) + a.f(dst+i)
+	}
+	a.meter.Charge(cost.Transfer, total)
+}
+
+// moveWord mirrors Machine.MoveWord.
+func (a *analyticExec) moveWord(dst, src int) {
+	a.meter.Charge(cost.Transfer, a.f(src)+a.f(dst))
+}
+
+func divFloor(p, q int) int {
+	r := p / q
+	if p%q != 0 && (p < 0) != (q < 0) {
+		r--
+	}
+	return r
+}
+
+func divCeil(p, q int) int { return -divFloor(-p, q) }
+
+// dXRange is the half-open x interval of d's columns: the bounding
+// x-range of the rotated rectangle intersected with the clip.
+func dXRange(d lattice.Diamond) (int, int) {
+	x0 := divCeil(d.U0-(d.W0+d.RW-1), 2)
+	x1 := divFloor(d.U0+d.RU-1-d.W0, 2) + 1
+	if d.Clip.X0 > x0 {
+		x0 = d.Clip.X0
+	}
+	if d.Clip.X1 < x1 {
+		x1 = d.Clip.X1
+	}
+	return x0, x1
+}
+
+// dTa / dTb are column x's first and last vertex times: the (u, w)
+// range constraints u = t+x in [U0, U0+RU) and w = t-x in [W0, W0+RW)
+// solved for t, clamped to the clip's time range. The column is a
+// contiguous interval — every integer (x, t) in range is a lattice
+// point (u + w = 2t carries no parity constraint on (x, t)) — which is
+// what makes all geometry here O(width) instead of O(volume).
+func dTa(d lattice.Diamond, x int) int {
+	ta := d.U0 - x
+	if w := d.W0 + x; w > ta {
+		ta = w
+	}
+	if d.Clip.T0 > ta {
+		ta = d.Clip.T0
+	}
+	return ta
+}
+
+func dTb(d lattice.Diamond, x int) int {
+	tb := d.U0 + d.RU - 1 - x
+	if w := d.W0 + d.RW - 1 + x; w < tb {
+		tb = w
+	}
+	if d.Clip.T1-1 < tb {
+		tb = d.Clip.T1 - 1
+	}
+	return tb
+}
+
+// analyticColumns is b.columns for a diamond in O(width): the per-node
+// time spans in ascending x (the d = 1 sortCols order).
+func analyticColumns(d lattice.Diamond) []colSpan {
+	x0, x1 := dXRange(d)
+	spans := make([]colSpan, 0, x1-x0)
+	for x := x0; x < x1; x++ {
+		ta, tb := dTa(d, x), dTb(d, x)
+		if ta > tb {
+			continue
+		}
+		spans = append(spans, colSpan{pos: lattice.Point{X: x}, ta: ta, tb: tb})
+	}
+	return spans
+}
+
+// analyticHasAt reports whether (x, t) is a vertex of d.
+func analyticHasAt(d lattice.Diamond, x, t int) bool {
+	if x < d.Clip.X0 || x >= d.Clip.X1 {
+		return false
+	}
+	ta, tb := dTa(d, x), dTb(d, x)
+	return ta <= t && t <= tb
+}
+
+// analyticPreboundary replicates dag.Preboundary(LineGraph(n, ·), d)
+// exactly — same points, same first-encounter order — in O(width).
+// Only vertices with t <= ta(x)+1 can have predecessors outside the
+// domain: a vertex at t >= ta(x)+2 has all three preds at t-1 >= ta(x)+1
+// inside (|ta(x±1) - ta(x)| <= 1 and t-1 <= tb(x)-1 <= tb(x±1); an empty
+// adjacent column occurs only at diamond tips, whose columns have height
+// <= 2 and are inside the band anyway, or at the machine edge, where the
+// pred is outside the graph). The band is enumerated in global (T, X)
+// vertex order with predecessors in LineGraph.Preds order (left, self,
+// right), reproducing the exact first-encounter sequence.
+func analyticPreboundary(d lattice.Diamond, n int) []lattice.Point {
+	spans := analyticColumns(d)
+	type bp struct{ x, t int }
+	var band []bp
+	for _, s := range spans {
+		top := s.ta + 1
+		if top > s.tb {
+			top = s.tb
+		}
+		for t := s.ta; t <= top; t++ {
+			band = append(band, bp{s.pos.X, t})
+		}
+	}
+	// Global (T, X) vertex order; all keys distinct.
+	sort.Slice(band, func(i, j int) bool {
+		return band[i].t < band[j].t || (band[i].t == band[j].t && band[i].x < band[j].x)
+	})
+	var out []lattice.Point
+	seen := make(map[lattice.Point]bool)
+	for _, p := range band {
+		if p.t == 0 {
+			continue // no predecessors in the graph
+		}
+		for _, dx := range [3]int{-1, 0, 1} { // LineGraph.Preds order
+			x := p.x + dx
+			if x < 0 || x >= n {
+				continue
+			}
+			if analyticHasAt(d, x, p.t-1) {
+				continue
+			}
+			q := lattice.Point{X: x, T: p.t - 1}
+			if !seen[q] {
+				seen[q] = true
+				out = append(out, q)
+			}
+		}
+	}
+	return out
+}
+
+// analyticLiveOut replicates dag.LiveOut(LineGraph(n, steps+1), d)
+// exactly in O(width). Only vertices with t >= tb(x)-1 can have a
+// successor outside the domain (the mirror of the preboundary band
+// argument), and the final layer t = steps is always live.
+func analyticLiveOut(d lattice.Diamond, n, steps int) []lattice.Point {
+	spans := analyticColumns(d)
+	type bp struct{ x, t int }
+	var band []bp
+	for _, s := range spans {
+		lo := s.tb - 1
+		if lo < s.ta {
+			lo = s.ta
+		}
+		for t := lo; t <= s.tb; t++ {
+			band = append(band, bp{s.pos.X, t})
+		}
+	}
+	sort.Slice(band, func(i, j int) bool {
+		return band[i].t < band[j].t || (band[i].t == band[j].t && band[i].x < band[j].x)
+	})
+	var out []lattice.Point
+	for _, p := range band {
+		if p.t == steps {
+			out = append(out, lattice.Point{X: p.x, T: p.t})
+			continue
+		}
+		for _, dx := range [3]int{-1, 0, 1} { // LineGraph.Succs order
+			x := p.x + dx
+			if x < 0 || x >= n {
+				continue
+			}
+			if !analyticHasAt(d, x, p.t+1) {
+				out = append(out, lattice.Point{X: p.x, T: p.t})
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (a *analyticExec) isLeaf(d lattice.Diamond) bool {
+	return d.Span() <= a.leafSpan || d.Children() == nil
+}
+
+// keyFor is subtreeKeyFor for the analytic engine: d = 1 line geometry
+// (stride 0), never pipelined. Analytic records live under their own
+// memo kind, so they can never collide with exact-trace records.
+func (a *analyticExec) keyFor(d lattice.Diamond) (subtreeKey, bool) {
+	shape, ok := canonicalDomain(d)
+	if !ok {
+		return subtreeKey{}, false
+	}
+	ref, ok := refPoint(d)
+	if !ok {
+		return subtreeKey{}, false
+	}
+	class, ok := progClass(a.prog, ref.X, ref.T, a.m)
+	if !ok {
+		return subtreeKey{}, false
+	}
+	return subtreeKey{
+		d: 1, m: a.m, iw: a.iw, leafSpan: a.leafSpan,
+		shape: shape, class: class, prog: a.progFP,
+	}, true
+}
+
+// spaceNeeded mirrors blockedExec.spaceNeeded, memoized both per domain
+// value and — decisively for huge n — per congruence class, so the
+// recursion visits each class once instead of every domain.
+func (a *analyticExec) spaceNeeded(d lattice.Diamond) int {
+	if s, ok := a.space[d]; ok {
+		return s
+	}
+	var key subtreeKey
+	var keyOK bool
+	if a.memoOn {
+		if key, keyOK = a.keyFor(d); keyOK {
+			if s, ok := a.classSpace[key]; ok {
+				a.space[d] = s
+				return s
+			}
+		}
+	}
+	spans := analyticColumns(d)
+	in := len(analyticPreboundary(d, a.n)) + a.iw*memInCount(spans)
+	var out int
+	if a.isLeaf(d) {
+		out = len(spans)*a.iw + d.Size() + in
+	} else {
+		smax, stage := 0, 0
+		for _, kd := range d.Children() {
+			kid := kd.(lattice.Diamond)
+			if s := a.spaceNeeded(kid); s > smax {
+				smax = s
+			}
+			stage += len(analyticLiveOut(kid, a.n, a.steps)) + a.iw*len(analyticColumns(kid))
+		}
+		out = smax + stage + in
+	}
+	a.space[d] = out
+	if keyOK {
+		a.classSpace[key] = out
+	}
+	return out
+}
+
+// execLeaf mirrors blockedExec.execLeaf charge for charge: image bases
+// at the bottom of the workspace, vertices in global (T, X) order, one
+// Op per vertex, reads of the addressed cell and the (self, left, right)
+// operands, writes of the updated cell and the broadcast word. prog.Init
+// and prog.Step are never called — charges are value-independent.
+func (a *analyticExec) execLeaf(d lattice.Diamond, spans []colSpan) error {
+	next := 0
+	base := make(map[int]int, len(spans))
+	for _, s := range spans {
+		base[s.pos.X] = next
+		next += a.iw
+	}
+	for _, s := range spans {
+		if s.ta < 1 {
+			continue
+		}
+		k := memKey(s.pos, s.ta)
+		src, ok := a.mem[k]
+		if !ok {
+			return fmt.Errorf("simulate: analytic image %v unavailable in leaf %v", k, d)
+		}
+		a.blockCopy(base[s.pos.X], src, a.iw)
+		a.mem[k] = base[s.pos.X]
+	}
+	tmin, tmax := spans[0].ta, spans[0].tb
+	for _, s := range spans {
+		if s.ta < tmin {
+			tmin = s.ta
+		}
+		if s.tb > tmax {
+			tmax = s.tb
+		}
+	}
+	for t := tmin; t <= tmax; t++ { // global (T, X) vertex order
+		for _, s := range spans {
+			if t < s.ta || t > s.tb {
+				continue
+			}
+			x := s.pos.X
+			p := lattice.Point{X: x, T: t}
+			if t == 0 {
+				// Init vertex: Pokes of the initial image are free; the
+				// broadcast value costs one op and one write.
+				a.op()
+				a.access(next)
+				a.bcast[p] = next
+				next++
+				continue
+			}
+			cellOff := a.prog.Address(x, t, a.m)
+			if cellOff >= a.iw {
+				return fmt.Errorf("simulate: address %d beyond declared live memory %d", cellOff, a.iw)
+			}
+			addr := base[x] + cellOff
+			a.access(addr) // read addressed cell
+			// Operand reads in netPreds order: self, left, right.
+			for _, dx := range [3]int{0, -1, 1} {
+				qx := x + dx
+				if qx < 0 || qx >= a.n {
+					continue
+				}
+				q := lattice.Point{X: qx, T: t - 1}
+				qa, ok := a.bcast[q]
+				if !ok {
+					return fmt.Errorf("simulate: analytic operand %v of %v unavailable", q, p)
+				}
+				a.access(qa)
+			}
+			a.op()
+			a.access(addr) // write updated cell
+			a.access(next) // write broadcast word
+			a.bcast[p] = next
+			next++
+		}
+	}
+	if err := a.ec.step(d.Size()); err != nil {
+		return err
+	}
+	for _, s := range spans {
+		delete(a.mem, memKey(s.pos, s.ta))
+		a.mem[memKey(s.pos, s.tb+1)] = base[s.pos.X]
+	}
+	return nil
+}
+
+// exec mirrors blockedExec.exec with summed-delta memoization.
+func (a *analyticExec) exec(d lattice.Diamond, space int) error {
+	spans := analyticColumns(d)
+	if a.isLeaf(d) {
+		return a.execLeaf(d, spans)
+	}
+	stagePtr := space - (len(analyticPreboundary(d, a.n)) + a.iw*memInCount(spans))
+	for _, kd := range d.Children() {
+		kid := kd.(lattice.Diamond)
+		if err := a.ec.checkpoint(); err != nil {
+			return err
+		}
+		var key subtreeKey
+		var keyOK bool
+		var rec *subtreeRecord
+		if a.memoOn {
+			if key, keyOK = a.keyFor(kid); keyOK {
+				if v, ok := memo.load(memoAnalytic, memoLevel(kid.Span()), key); ok {
+					rec = v.(*subtreeRecord)
+				}
+			}
+		}
+		spanName := "block"
+		if rec != nil {
+			spanName = "block:replayed"
+		}
+		sp := a.ec.tr.Start(spanName)
+		var vt0 float64
+		if sp != nil {
+			vt0 = float64(a.meter.Now())
+		}
+		kidSpans := analyticColumns(kid)
+		kidGin := analyticPreboundary(kid, a.n)
+		live := analyticLiveOut(kid, a.n, a.steps)
+		skid := a.spaceNeeded(kid)
+
+		var overrides []savedAddr
+		dst := skid - (len(kidGin) + a.iw*memInCount(kidSpans))
+		if dst < 0 {
+			return fmt.Errorf("simulate: analytic child slot underflow in %v", kid)
+		}
+		for _, s := range kidSpans {
+			if s.ta < 1 {
+				continue
+			}
+			k := memKey(s.pos, s.ta)
+			src, ok := a.mem[k]
+			if !ok {
+				return fmt.Errorf("simulate: analytic image %v unavailable for %v", k, kid)
+			}
+			a.blockCopy(dst, src, a.iw)
+			overrides = append(overrides, savedAddr{k, src, true})
+			a.mem[k] = dst
+			dst += a.iw
+		}
+		for _, q := range kidGin {
+			src, ok := a.bcast[q]
+			if !ok {
+				return fmt.Errorf("simulate: analytic broadcast %v unavailable for %v", q, kid)
+			}
+			a.moveWord(dst, src)
+			overrides = append(overrides, savedAddr{q, src, false})
+			a.bcast[q] = dst
+			dst++
+		}
+
+		if rec != nil {
+			// Replay the whole subtree as one clock/ledger delta and
+			// rebind products to their recorded child-frame addresses.
+			a.meter.ApplyDelta(rec.dt, &rec.ledger)
+			for i, s := range kidSpans {
+				a.mem[memKey(s.pos, s.tb+1)] = rec.imgAddrs[i]
+			}
+			for i, v := range live {
+				a.bcast[v] = rec.outAddrs[i]
+			}
+			a.replayed++
+			if err := a.ec.step(kid.Size()); err != nil {
+				return err
+			}
+		} else {
+			t0 := a.meter.Now()
+			led0 := a.meter.Ledger
+			if err := a.exec(kid, skid); err != nil {
+				return err // no publication on error: no poisoned records
+			}
+			if keyOK {
+				nr := &subtreeRecord{
+					dt: a.meter.Now() - t0, ledger: a.meter.Ledger.Sub(&led0),
+					space:    skid,
+					imgAddrs: make([]int, len(kidSpans)), outAddrs: make([]int, len(live)),
+				}
+				okAll := true
+				for i, s := range kidSpans {
+					addr, ok := a.mem[memKey(s.pos, s.tb+1)]
+					if !ok {
+						okAll = false
+						break
+					}
+					nr.imgAddrs[i] = addr
+				}
+				for i, v := range live {
+					addr, ok := a.bcast[v]
+					if !ok {
+						okAll = false
+						break
+					}
+					nr.outAddrs[i] = addr
+				}
+				if okAll {
+					memo.store(memoAnalytic, memoLevel(kid.Span()), key, nr)
+				}
+			}
+		}
+
+		for _, s := range kidSpans {
+			k := memKey(s.pos, s.tb+1)
+			src, ok := a.mem[k]
+			if !ok {
+				return fmt.Errorf("simulate: analytic produced image %v missing after %v", k, kid)
+			}
+			stagePtr -= a.iw
+			if stagePtr < skid {
+				return fmt.Errorf("simulate: analytic staging underflow in %v", d)
+			}
+			a.blockCopy(stagePtr, src, a.iw)
+			a.mem[k] = stagePtr
+		}
+		for _, v := range live {
+			src, ok := a.bcast[v]
+			if !ok {
+				return fmt.Errorf("simulate: analytic live-out %v missing after %v", v, kid)
+			}
+			stagePtr--
+			if stagePtr < skid {
+				return fmt.Errorf("simulate: analytic staging underflow in %v", d)
+			}
+			a.moveWord(stagePtr, src)
+			a.bcast[v] = stagePtr
+		}
+		for _, s := range overrides {
+			if s.mem {
+				a.mem[s.p] = s.add
+			} else {
+				a.bcast[s.p] = s.add
+			}
+		}
+		for _, s := range kidSpans {
+			if s.ta >= 1 {
+				delete(a.mem, memKey(s.pos, s.ta))
+			}
+		}
+		// Interior broadcast cleanup intentionally skipped — see the file
+		// comment; stale entries are never read again.
+		if sp != nil {
+			sp.SetAttr("size", float64(kid.Size()))
+			sp.SetAttr("vtime", float64(a.meter.Now())-vt0)
+			sp.End()
+		}
+	}
+	return nil
+}
+
+// AnalyticBlockedD1 computes BlockedD1's virtual time, ledger, and space
+// analytically — no machine state, no guest values, memoized subtree
+// replay — making volumes far beyond the exact engine's reach tractable.
+// Result.Outputs and Result.Memories are nil (there is nothing to
+// verify guest-side; validate against the work/span laws instead).
+func AnalyticBlockedD1(n, m, steps, leafWidth int, prog network.Program) (Result, error) {
+	return AnalyticBlockedD1Context(context.Background(), n, m, steps, leafWidth, prog)
+}
+
+// AnalyticBlockedD1Context is AnalyticBlockedD1 under a context, with
+// the same cancellation and progress contract as BlockedD1Context.
+func AnalyticBlockedD1Context(ctx context.Context, n, m, steps, leafWidth int, prog network.Program) (Result, error) {
+	if e := validateBlocked(1, n, m, steps); e != nil {
+		return Result{}, e
+	}
+	if leafWidth <= 0 {
+		leafWidth = m
+	}
+	if leafWidth < 2 {
+		leafWidth = 2
+	}
+	iw, err := imageWords(prog, m)
+	if err != nil {
+		return Result{}, err
+	}
+	var meter cost.Meter
+	a := &analyticExec{
+		n: n, m: m, iw: iw, steps: steps, leafSpan: leafWidth,
+		prog: prog, meter: &meter, fm: float64(m),
+		ec:    newExecCtx(ctx),
+		bcast: make(map[lattice.Point]int), mem: make(map[lattice.Point]int),
+		space: make(map[lattice.Diamond]int), classSpace: make(map[subtreeKey]int),
+	}
+	if memoEnabled(ctx) {
+		if _, ok := prog.(addrClasser); ok {
+			a.memoOn = true
+			a.progFP = progFingerprint(prog)
+		}
+	}
+	root := lattice.DiamondAround(n, steps+1)
+	space := a.spaceNeeded(root)
+	if err := a.exec(root, space); err != nil {
+		return Result{}, err
+	}
+	if err := a.ec.flush(); err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Time:   meter.Now(),
+		Ledger: meter.Ledger,
+		Steps:  steps,
+		Space:  space,
+	}, nil
+}

@@ -86,10 +86,22 @@ func BlockedD1Context(ctx context.Context, n, m, steps, leafWidth int, prog netw
 	space := b.spaceNeeded(root)
 	var meter cost.Meter
 	b.mach = hram.New(space, hram.Standard(1, m), &meter, opts...)
+	if memoEnabled(ctx) {
+		b.enableMemo(&meter)
+	}
 	if err := b.exec(root, space, 0); err != nil {
 		return Result{}, err
 	}
-	out, mems, err := b.collect(n)
+	// Replayed subtrees charge the meter without writing machine memory,
+	// so when any subtree replayed the outputs are recomputed guest-side
+	// (value-independent charges make this sound; Verify still works).
+	var out []hram.Word
+	var mems [][]hram.Word
+	if b.replayed > 0 {
+		out, mems, err = network.RunGuestPureHook(1, n, m, steps, prog, b.ec.hook())
+	} else {
+		out, mems, err = b.collect(n)
+	}
 	if err != nil {
 		return Result{}, err
 	}
@@ -99,6 +111,7 @@ func BlockedD1Context(ctx context.Context, n, m, steps, leafWidth int, prog netw
 		Time:     meter.Now(),
 		Ledger:   meter.Ledger,
 		Steps:    steps,
+		Space:    space,
 	}, nil
 }
 

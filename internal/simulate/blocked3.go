@@ -75,16 +75,28 @@ func BlockedD3Context(ctx context.Context, n, m, steps, leafSpan int, prog netwo
 			}
 			return buf
 		},
+		side: side,
 	}
 	b := newBlockedExec(ctx, g, prog, m, iw, steps, leafSpan, geom)
 	root := g.Domain()
 	space := b.spaceNeeded(root)
 	var meter cost.Meter
 	b.mach = hram.New(space, hram.Standard(3, m), &meter, opts...)
+	if memoEnabled(ctx) {
+		b.enableMemo(&meter)
+	}
 	if err := b.exec(root, space, 0); err != nil {
 		return Result{}, err
 	}
-	out, mems, err := b.collect(n)
+	// See BlockedD1Context: replay leaves machine memory stale, so any
+	// replayed subtree switches output collection to the pure guest run.
+	var out []hram.Word
+	var mems [][]hram.Word
+	if b.replayed > 0 {
+		out, mems, err = network.RunGuestPureHook(3, n, m, steps, prog, b.ec.hook())
+	} else {
+		out, mems, err = b.collect(n)
+	}
 	if err != nil {
 		return Result{}, err
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"bsmp/internal/cost"
 	"bsmp/internal/dag"
 	"bsmp/internal/hram"
 	"bsmp/internal/lattice"
@@ -63,6 +64,11 @@ type blockedGeom struct {
 	// Column order fixes the memory layout of images in leaves and
 	// staging areas, so it is part of the virtual-time contract.
 	sortCols bool
+	// side is the mesh side length entering nodeIndex's stride (0 for the
+	// d = 1 line). It is part of the subtree memo key: the address-class
+	// argument needs node indices to shift uniformly under lattice
+	// translation, which holds only within one stride.
+	side int
 }
 
 // blockedExec runs the blocked simulation of one guest on one H-RAM.
@@ -87,6 +93,60 @@ type blockedExec struct {
 	ptsBuf  []lattice.Point
 	opsBuf  []hram.Word
 	initMem []hram.Word
+
+	// Subtree memoization state (enableMemo). recs is the stack of active
+	// trace recorders: the machine meter's tap feeds the top entry, so a
+	// recording subtree captures exactly its own charge interval while
+	// nested recordings and replays link in as trace children. replayed
+	// counts memo hits; when nonzero, machine memory holds garbage at
+	// replayed addresses and the wrappers recompute outputs guest-side.
+	memoOn   bool
+	progFP   string
+	recs     []*cost.Recorder
+	replayed int
+}
+
+// enableMemo arms subtree memoization: congruent recursion subtrees are
+// recorded once and analytically replayed (trace playback) at every later
+// congruent site. Requires a guest whose address pattern is classifiable
+// (addrClasser); otherwise the run proceeds unmemoized. The meter tap
+// only observes charges — it never charges — so arming it cannot perturb
+// virtual times.
+func (b *blockedExec) enableMemo(meter *cost.Meter) {
+	if _, ok := b.prog.(addrClasser); !ok {
+		return
+	}
+	b.memoOn = true
+	b.progFP = progFingerprint(b.prog)
+	meter.SetTap(func(cat cost.Category, dt cost.Time) {
+		if n := len(b.recs); n > 0 {
+			b.recs[n-1].Record(cat, dt)
+		}
+	})
+}
+
+// subtreeKeyFor builds dom's congruence-class key in O(1): canonical
+// translated shape, clip clamped near the domain, machine stride, hram
+// pricing mode, recursion cutoff, and the guest's address class at the
+// domain's reference vertex. ok = false disables memoization for dom.
+func (b *blockedExec) subtreeKeyFor(dom lattice.Domain) (subtreeKey, bool) {
+	shape, ok := canonicalDomain(dom)
+	if !ok {
+		return subtreeKey{}, false
+	}
+	ref, ok := refPoint(dom)
+	if !ok {
+		return subtreeKey{}, false
+	}
+	class, ok := progClass(b.prog, b.geom.nodeIndex(ref), ref.T, b.m)
+	if !ok {
+		return subtreeKey{}, false
+	}
+	return subtreeKey{
+		d: dom.Dim(), m: b.m, iw: b.iw, leafSpan: b.leafSpan,
+		pipelined: b.mach.Pipelined(), side: b.geom.side,
+		shape: shape, class: class, prog: b.progFP,
+	}, true
 }
 
 // savedAddr remembers a key's parent-level address while a child executes
@@ -232,6 +292,21 @@ func (b *blockedExec) exec(dom lattice.Domain, space, depth int) error {
 		if err := b.ec.checkpoint(); err != nil {
 			return err
 		}
+		// A memo hit replays the child's recorded charge trace instead of
+		// recursing; a classifiable miss records the recursion for future
+		// congruent sites. Either way the charge sequence the meter sees
+		// is identical to an unmemoized run (trace playback re-applies the
+		// exact per-event floats), so virtual times stay bit-identical.
+		var key subtreeKey
+		var keyOK bool
+		var rec *subtreeRecord
+		if b.memoOn {
+			if key, keyOK = b.subtreeKeyFor(kid); keyOK {
+				if v, ok := memo.load(memoSubtree, memoLevel(kid.Span()), key); ok {
+					rec = v.(*subtreeRecord)
+				}
+			}
+		}
 		// Trace one span per recursion child — the same boundary the
 		// checkpoint above polls. Both the span and its virtual-time
 		// attribute only *read* the machine meter, so an attached tracer
@@ -239,13 +314,18 @@ func (b *blockedExec) exec(dom lattice.Domain, space, depth int) error {
 		// bit-identical); with no tracer, sp is nil and every hook below
 		// is a nil check. Error unwinds leave sp open, which the
 		// exporters tolerate — the run's trace is abandoned anyway.
-		sp := b.ec.tr.Start("block")
+		spanName := "block"
+		if rec != nil {
+			spanName = "block:replayed"
+		}
+		sp := b.ec.tr.Start(spanName)
 		var vt0 float64
 		if sp != nil {
 			vt0 = b.mach.Meter().Now()
 		}
 		kidSpans := b.columns(kid)
 		kidGin := dag.Preboundary(b.g, kid)
+		live := dag.LiveOut(b.g, kid)
 		skid := b.spaceNeeded(kid)
 
 		// Copy incoming data into the child's top slot: images first,
@@ -282,8 +362,69 @@ func (b *blockedExec) exec(dom lattice.Domain, space, depth int) error {
 		}
 		b.ovStack[depth] = overrides
 
-		if err := b.exec(kid, skid, depth+1); err != nil {
-			return err
+		if rec != nil {
+			// Replay: re-apply the recorded charge sequence and rebind the
+			// child's products to their recorded addresses. The child frame
+			// is always the absolute range [0, skid), so the recorded
+			// addresses are valid verbatim at this congruent site. Machine
+			// memory is NOT written — the wrapper recomputes outputs
+			// guest-side when any subtree replayed.
+			rec.trace.Play(b.mach.Meter())
+			if n := len(b.recs); n > 0 {
+				b.recs[n-1].Child(rec.trace)
+			}
+			for i, s := range kidSpans {
+				b.mem.Set(memKey(s.pos, s.tb+1), rec.imgAddrs[i])
+			}
+			for i, v := range live {
+				b.bcast.Set(v, rec.outAddrs[i])
+			}
+			b.replayed++
+			// Progress advances by the whole replayed subtree; the
+			// cancellation poll still fires here.
+			if err := b.ec.step(kid.Size()); err != nil {
+				return err
+			}
+		} else {
+			var kr *cost.Recorder
+			if keyOK {
+				kr = &cost.Recorder{}
+				b.recs = append(b.recs, kr)
+			}
+			err := b.exec(kid, skid, depth+1)
+			if kr != nil {
+				b.recs = b.recs[:len(b.recs)-1]
+			}
+			if err != nil {
+				// No publication on an error unwind: a cancelled or failed
+				// subtree never poisons the memo.
+				return err
+			}
+			if kr != nil {
+				nr := &subtreeRecord{trace: kr.Trace(), space: skid,
+					imgAddrs: make([]int, len(kidSpans)), outAddrs: make([]int, len(live))}
+				for i, s := range kidSpans {
+					a, ok := b.mem.Get(memKey(s.pos, s.tb+1))
+					if !ok {
+						return fmt.Errorf("simulate: produced image %v missing after %v", memKey(s.pos, s.tb+1), kid)
+					}
+					nr.imgAddrs[i] = a
+				}
+				for i, v := range live {
+					a, ok := b.bcast.Get(v)
+					if !ok {
+						return fmt.Errorf("simulate: live-out %v missing after %v", v, kid)
+					}
+					nr.outAddrs[i] = a
+				}
+				memo.store(memoSubtree, memoLevel(kid.Span()), key, nr)
+				// The outer recorder (if any) saw none of the child's
+				// charges while the inner recorder held the tap; link the
+				// finished trace in its place.
+				if n := len(b.recs); n > 0 {
+					b.recs[n-1].Child(nr.trace)
+				}
+			}
 		}
 		overrides = b.ovStack[depth]
 
@@ -302,7 +443,6 @@ func (b *blockedExec) exec(dom lattice.Domain, space, depth int) error {
 			b.mach.BlockCopy(stagePtr, src, b.iw)
 			b.mem.Set(k, stagePtr)
 		}
-		live := dag.LiveOut(b.g, kid)
 		for _, v := range live {
 			b.live.Add(v)
 			src, ok := b.bcast.Get(v)

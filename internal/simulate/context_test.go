@@ -142,38 +142,65 @@ func TestGoldenTimesBitIdenticalUnderLiveContext(t *testing.T) {
 	}
 }
 
-// The kernel cache honors its capacity bound with FIFO eviction and
-// accurate hit/miss/eviction counters.
+// The unified memo store honors its capacity bound with FIFO eviction
+// and accurate hit/miss/eviction counters (exercised here through the
+// kernel-kind adapter a fresh local store instance).
 func TestKernelCacheBounded(t *testing.T) {
-	c := &boundedKernelCache{entries: make(map[kernelKey]float64)}
+	const cap_ = 64
+	c := &memoStore{capacity: cap_, entries: make(map[memoID]memoVal), stats: make(map[levelID]*levelCounters)}
 	const extra = 10
-	for i := 0; i < kernelCacheCap+extra; i++ {
-		c.store(kernelKey{d: 1, s: i, m: 1}, float64(i))
+	for i := 0; i < cap_+extra; i++ {
+		c.store(memoKernel, 0, kernelKey{d: 1, s: i, m: 1}, float64(i))
 	}
-	entries, _, _, evictions := c.stats()
-	if entries != kernelCacheCap {
-		t.Errorf("entries = %d, want cap %d", entries, kernelCacheCap)
+	snap := func() (int, int64, int64, int64) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		var h, ms, ev int64
+		for _, lc := range c.stats {
+			h += lc.hits
+			ms += lc.misses
+			ev += lc.evicted
+		}
+		return len(c.entries), h, ms, ev
+	}
+	entries, _, _, evictions := snap()
+	if entries != cap_ {
+		t.Errorf("entries = %d, want cap %d", entries, cap_)
 	}
 	if evictions != extra {
 		t.Errorf("evictions = %d, want %d", evictions, extra)
 	}
 	// FIFO: the first `extra` keys are gone, the newest survive.
-	if _, ok := c.load(kernelKey{d: 1, s: 0, m: 1}); ok {
+	if _, ok := c.load(memoKernel, 0, kernelKey{d: 1, s: 0, m: 1}); ok {
 		t.Error("oldest entry survived past capacity")
 	}
-	if v, ok := c.load(kernelKey{d: 1, s: kernelCacheCap + extra - 1, m: 1}); !ok || v != float64(kernelCacheCap+extra-1) {
+	if v, ok := c.load(memoKernel, 0, kernelKey{d: 1, s: cap_ + extra - 1, m: 1}); !ok || v.(float64) != float64(cap_+extra-1) {
 		t.Errorf("newest entry = %v, %t; want value and true", v, ok)
 	}
-	_, hits, misses, _ := c.stats()
+	_, hits, misses, _ := snap()
 	if hits != 1 || misses != 1 {
 		t.Errorf("hits, misses = %d, %d; want 1, 1", hits, misses)
 	}
 	// Re-storing an existing key updates in place without eviction.
-	c.store(kernelKey{d: 1, s: kernelCacheCap + extra - 1, m: 1}, 99)
-	entries2, _, _, evictions2 := c.stats()
-	if entries2 != kernelCacheCap || evictions2 != extra {
+	c.store(memoKernel, 0, kernelKey{d: 1, s: cap_ + extra - 1, m: 1}, 99.0)
+	entries2, _, _, evictions2 := snap()
+	if entries2 != cap_ || evictions2 != extra {
 		t.Errorf("after update-in-place: entries %d evictions %d, want %d %d",
-			entries2, evictions2, kernelCacheCap, extra)
+			entries2, evictions2, cap_, extra)
+	}
+	// Shrinking the capacity evicts down; a non-positive capacity
+	// disables the store entirely.
+	c.setCapacity(8)
+	if e, _, _, _ := snap(); e != 8 {
+		t.Errorf("after shrink: entries = %d, want 8", e)
+	}
+	c.setCapacity(0)
+	if e, _, _, _ := snap(); e != 0 {
+		t.Errorf("disabled store holds %d entries, want 0", e)
+	}
+	c.store(memoKernel, 0, kernelKey{d: 1, s: 1, m: 1}, 1.0)
+	if _, ok := c.load(memoKernel, 0, kernelKey{d: 1, s: 1, m: 1}); ok {
+		t.Error("disabled store served a hit")
 	}
 }
 

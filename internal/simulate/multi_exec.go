@@ -4,9 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sync"
-	"sync/atomic"
-
 	"bsmp/internal/cost"
 	"bsmp/internal/network"
 	"bsmp/internal/obs"
@@ -120,73 +117,25 @@ type kernelKey struct {
 	prog    string
 }
 
-// kernelCacheCap bounds the number of memoized kernels. Long-lived
-// daemons see an unbounded stream of (d, s, m, program) tuples — the
-// d = 1 scheme keys on the caller's program — so the memo must not grow
-// without bound. Kernels are deterministic re-measurements of small
-// calibration guests: evicting one costs only recalibration time and can
-// never change a result, so simple FIFO eviction suffices.
-const kernelCacheCap = 1024
+// Measured kernels are memoized in the unified memo store (memo.go)
+// under memoKernel keys. Long-lived daemons see an unbounded stream of
+// (d, s, m, program) tuples — the d = 1 scheme keys on the caller's
+// program — so the store bounds its entries (SetMemoCapacity). Kernels
+// are deterministic re-measurements of small calibration guests:
+// evicting one costs only recalibration time and can never change a
+// result, so the store's FIFO eviction suffices.
 
-// boundedKernelCache memoizes measured kernels under a capacity bound,
-// with hit/miss/eviction counters sampled by KernelCacheStats (exposed
-// on bsmpd's /metrics). A mutex-guarded map replaces the former
-// unbounded sync.Map; experiments still calibrate from concurrently
-// running goroutines (exp.All), and the critical sections are a map
-// probe or insert.
-type boundedKernelCache struct {
-	mu      sync.Mutex
-	entries map[kernelKey]float64
-	order   []kernelKey // insertion order, the FIFO eviction queue
-
-	hits      atomic.Int64
-	misses    atomic.Int64
-	evictions atomic.Int64
-}
-
-var kernelCache = &boundedKernelCache{entries: make(map[kernelKey]float64)}
-
-func (c *boundedKernelCache) load(k kernelKey) (float64, bool) {
-	c.mu.Lock()
-	v, ok := c.entries[k]
-	c.mu.Unlock()
-	if ok {
-		c.hits.Add(1)
-	} else {
-		c.misses.Add(1)
+// kernelLoad and kernelStore adapt the unified store to float64 kernels.
+func kernelLoad(k kernelKey) (float64, bool) {
+	v, ok := memo.load(memoKernel, memoLevel(k.s), k)
+	if !ok {
+		return 0, false
 	}
-	return v, ok
+	return v.(float64), true
 }
 
-func (c *boundedKernelCache) store(k kernelKey, v float64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.entries[k]; ok {
-		c.entries[k] = v
-		return
-	}
-	for len(c.entries) >= kernelCacheCap {
-		oldest := c.order[0]
-		c.order = c.order[1:]
-		delete(c.entries, oldest)
-		c.evictions.Add(1)
-	}
-	c.entries[k] = v
-	c.order = append(c.order, k)
-}
-
-func (c *boundedKernelCache) stats() (entries int, hits, misses, evictions int64) {
-	c.mu.Lock()
-	entries = len(c.entries)
-	c.mu.Unlock()
-	return entries, c.hits.Load(), c.misses.Load(), c.evictions.Load()
-}
-
-// KernelCacheStats reports the kernel cache's current entry count and
-// its lifetime hit/miss/eviction counters, for the daemon's /metrics
-// expvar gauges.
-func KernelCacheStats() (entries int, hits, misses, evictions int64) {
-	return kernelCache.stats()
+func kernelStore(k kernelKey, v float64) {
+	memo.store(memoKernel, memoLevel(k.s), k, v)
 }
 
 // progFingerprint renders a program's identity for kernel-cache keying.
@@ -204,11 +153,11 @@ func (g *multiGeom) kernel(ctx context.Context, s, m int, prog network.Program) 
 	cal := g.calSpan(s)
 	calProg := g.calProg(cal, prog)
 	key := kernelKey{g.d, s, m, progFingerprint(calProg)}
-	if v, ok := kernelCache.load(key); ok {
+	if v, ok := kernelLoad(key); ok {
 		return v, nil
 	}
 	if s < 2 {
-		kernelCache.store(key, g.kernelFloor)
+		kernelStore(key, g.kernelFloor)
 		return g.kernelFloor, nil
 	}
 	// Trace the actual measurement (cache hits return above without a
@@ -232,7 +181,7 @@ func (g *multiGeom) kernel(ctx context.Context, s, m int, prog network.Program) 
 		sp.SetAttr("kernel", k)
 		sp.End()
 	}
-	kernelCache.store(key, k)
+	kernelStore(key, k)
 	return k, nil
 }
 

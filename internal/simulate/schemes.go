@@ -140,6 +140,24 @@ func blockedScheme(d int) Scheme {
 	}
 }
 
+// analyticScheme registers the d = 1 analytic fast path: same recursion
+// and charge model as "blocked", but costs are computed without machine
+// state and congruent subtrees replay as summed deltas, so volumes of
+// 10^9+ vertices finish in seconds. Results carry no guest outputs
+// (Outputs/Memories nil) — callers validate against the work/span laws
+// and the Theorem 3 predictions instead of output comparison.
+func analyticScheme() Scheme {
+	return Scheme{
+		Name: "blocked-analytic", D: 1, Multiproc: false,
+		Description: "analytic replay of the blocked d = 1 recursion: exact model costs at huge n, no guest outputs",
+		Validate:    uniprocOnly("blocked-analytic", 1),
+		Run: func(ctx context.Context, n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error) {
+			r, err := AnalyticBlockedD1Context(ctx, n, m, steps, cfg.Leaf, prog)
+			return MultiResult{Result: r}, err
+		},
+	}
+}
+
 func multiScheme(d int) Scheme {
 	return Scheme{
 		Name: "multi", D: d, Multiproc: true,
@@ -170,6 +188,7 @@ var Schemes = []Scheme{
 	withValidation(naiveScheme(1)), withValidation(naiveScheme(2)),
 	withValidation(unidcScheme(1)), withValidation(unidcScheme(2)), withValidation(unidcScheme(3)),
 	withValidation(blockedScheme(1)), withValidation(blockedScheme(2)), withValidation(blockedScheme(3)),
+	withValidation(analyticScheme()),
 	withValidation(multiScheme(1)), withValidation(multiScheme(2)), withValidation(multiScheme(3)),
 }
 

@@ -9,10 +9,11 @@ import (
 
 func TestSchemesRegistryComplete(t *testing.T) {
 	want := map[string][]int{
-		"naive":   {1, 2},
-		"unidc":   {1, 2, 3},
-		"blocked": {1, 2, 3},
-		"multi":   {1, 2, 3},
+		"naive":            {1, 2},
+		"unidc":            {1, 2, 3},
+		"blocked":          {1, 2, 3},
+		"blocked-analytic": {1},
+		"multi":            {1, 2, 3},
 	}
 	seen := map[string]map[int]bool{}
 	for _, s := range Schemes {

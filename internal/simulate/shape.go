@@ -1,0 +1,137 @@
+package simulate
+
+import (
+	"bsmp/internal/lattice"
+	"bsmp/internal/network"
+)
+
+// This file defines the congruence key of the subtree memo: two recursion
+// subtrees are congruent — and may share one memoized record — when their
+// domains are identical up to a lattice translation, their clip boxes agree
+// near the domain, and the guest program's address pattern matches at
+// corresponding points. The key is O(1) to build, so a memo hit costs
+// nothing proportional to the subtree.
+
+// addrClasser is the optional interface a guest program implements to
+// declare its Address pattern classifiable: AddrClass(n1,s1,m) ==
+// AddrClass(n2,s2,m) must imply Address(n1+dn, s1+ds, m) ==
+// Address(n2+dn, s2+ds, m) for every uniform translation (dn, ds). A
+// program that cannot promise this returns ok = false (or simply does not
+// implement the interface) and subtree memoization stays off for it —
+// memoization is opt-in per guest, never assumed.
+type addrClasser interface {
+	AddrClass(node, step, memSize int) (uint64, bool)
+}
+
+// progClass classifies prog's address pattern at the reference site
+// (node, step), or reports ok = false when prog is unclassifiable.
+func progClass(prog network.Program, node, step, m int) (uint64, bool) {
+	ac, ok := prog.(addrClasser)
+	if !ok {
+		return 0, false
+	}
+	return ac.AddrClass(node, step, m)
+}
+
+// subtreeKey identifies a congruence class of recursion subtrees. All
+// fields are comparable; shape holds the canonical translated Domain value
+// (a Diamond, Box4 or Box6 struct).
+type subtreeKey struct {
+	d         int  // mesh dimension
+	m         int  // words per guest node
+	iw        int  // image words per column
+	leafSpan  int  // recursion cutoff — fixes the subtree's inner shape
+	pipelined bool // hram block-transfer pricing mode
+	side      int  // node-index stride of the mesh (0 for the d = 1 line)
+	shape     lattice.Domain
+	class     uint64 // address class at the canonical reference point
+	prog      string // guest program fingerprint
+}
+
+// mod2 is the non-negative parity of v.
+func mod2(v int) int { return (v%2 + 2) % 2 }
+
+// inflateClip grows the box by k in every direction.
+func inflateClip(c lattice.Clip, k int) lattice.Clip {
+	return lattice.Clip{
+		X0: c.X0 - k, X1: c.X1 + k,
+		Y0: c.Y0 - k, Y1: c.Y1 + k,
+		Z0: c.Z0 - k, Z1: c.Z1 + k,
+		T0: c.T0 - k, T1: c.T1 + k,
+	}
+}
+
+// shiftClip translates the box by (dx, dy, dz, dt).
+func shiftClip(c lattice.Clip, dx, dy, dz, dt int) lattice.Clip {
+	return lattice.Clip{
+		X0: c.X0 + dx, X1: c.X1 + dx,
+		Y0: c.Y0 + dy, Y1: c.Y1 + dy,
+		Z0: c.Z0 + dz, Z1: c.Z1 + dz,
+		T0: c.T0 + dt, T1: c.T1 + dt,
+	}
+}
+
+// canonicalDomain translates dom so its low rotated corners sit at the
+// canonical position (primary coordinates at 0, partners at 0 or 1 to
+// preserve lattice parity) and clamps its clip to the domain's bounding
+// box inflated by 2 — wide enough that every computation the engines
+// derive from the clip (point membership, preboundary preds one step
+// outside the domain, live-out successor tests, the machine-boundary
+// relation when the clip equals the graph bounds) is unchanged, and
+// narrow enough that congruent translated domains canonicalize to the
+// same comparable value. The clamp runs BEFORE the translation so
+// effectively-unbounded clip edges never overflow when shifted.
+//
+// The second result is false for domain families the memo does not
+// canonicalize.
+func canonicalDomain(dom lattice.Domain) (lattice.Domain, bool) {
+	switch d := dom.(type) {
+	case lattice.Diamond:
+		clip := d.Clip.Intersect(inflateClip(lattice.BoundingClip(d), 2))
+		w0 := mod2(d.U0 + d.W0) // du + dw must be even for an integer (dx, dt)
+		du, dw := -d.U0, w0-d.W0
+		dt, dx := (du+dw)/2, (du-dw)/2
+		d.U0, d.W0 = 0, w0
+		d.Clip = shiftClip(clip, dx, 0, 0, dt)
+		return d, true
+	case lattice.Box4:
+		clip := d.Clip.Intersect(inflateClip(lattice.BoundingClip(d), 2))
+		b0 := mod2(d.A0 + d.B0)
+		da, db := -d.A0, b0-d.B0
+		dt, dx := (da+db)/2, (da-db)/2
+		dy := -d.E0 - dt // de = dt + dy = -E0, so E0' = 0
+		d.A0, d.B0 = 0, b0
+		d.F0 = d.F0 + 2*dt + d.E0 // df = dt - dy = 2dt + E0
+		d.E0 = 0
+		d.Clip = shiftClip(clip, dx, dy, 0, dt)
+		return d, true
+	case lattice.Box6:
+		clip := d.Clip.Intersect(inflateClip(lattice.BoundingClip(d), 2))
+		b0 := mod2(d.A0 + d.B0)
+		da, db := -d.A0, b0-d.B0
+		dt, dx := (da+db)/2, (da-db)/2
+		dy := -d.E0 - dt
+		dz := -d.G0 - dt
+		d.A0, d.B0 = 0, b0
+		d.F0 = d.F0 + 2*dt + d.E0
+		d.E0 = 0
+		d.H0 = d.H0 + 2*dt + d.G0
+		d.G0 = 0
+		d.Clip = shiftClip(clip, dx, dy, dz, dt)
+		return d, true
+	}
+	return nil, false
+}
+
+// refPoint is the canonical reference vertex of a domain — its first
+// enumerated point. Congruent domains have reference points at
+// corresponding translated positions.
+func refPoint(dom lattice.Domain) (lattice.Point, bool) {
+	var ref lattice.Point
+	found := false
+	dom.Points(func(p lattice.Point) bool {
+		ref, found = p, true
+		return false
+	})
+	return ref, found
+}

@@ -1,0 +1,156 @@
+package simulate
+
+import (
+	"testing"
+
+	"bsmp/internal/guest"
+	"bsmp/internal/lattice"
+)
+
+// Translating a domain and its clip together must not change its
+// canonical value — that is the congruence the subtree memo keys on —
+// while the canonical domain must keep the original's exact point count.
+func TestCanonicalDiamondTranslationInvariant(t *testing.T) {
+	base := lattice.Diamond{U0: 5, W0: -3, RU: 9, RW: 6,
+		Clip: lattice.Clip{X0: 0, X1: 64, Y0: 0, Y1: 1, Z0: 0, Z1: 1, T0: 0, T1: 16}}
+	canon, ok := canonicalDomain(base)
+	if !ok {
+		t.Fatal("diamond not canonicalized")
+	}
+	if canon.Size() != base.Size() {
+		t.Fatalf("canonical size %d != original %d", canon.Size(), base.Size())
+	}
+	for _, shift := range [][2]int{{1, 0}, {0, 1}, {3, 2}, {-2, 5}} {
+		dx, dt := shift[0], shift[1]
+		moved := base
+		moved.U0 += dt + dx
+		moved.W0 += dt - dx
+		moved.Clip = shiftClip(base.Clip, dx, 0, 0, dt)
+		got, ok := canonicalDomain(moved)
+		if !ok || got != canon {
+			t.Errorf("shift (%d,%d): canonical %v != %v", dx, dt, got, canon)
+		}
+	}
+}
+
+// Clip edges farther than the margin from the domain are equivalent to
+// unbounded and collapse to one canonical value; edges at or inside the
+// margin are preserved (they change preboundary/live-out structure).
+func TestCanonicalDiamondClipClamping(t *testing.T) {
+	mk := func(t1 int) lattice.Diamond {
+		return lattice.Diamond{U0: 0, W0: 0, RU: 8, RW: 8,
+			Clip: lattice.Clip{X0: -100, X1: 100, Y0: 0, Y1: 1, Z0: 0, Z1: 1, T0: 0, T1: t1}}
+	}
+	bb := lattice.BoundingClip(mk(1000))
+	far1, _ := canonicalDomain(mk(bb.T1 + 5))
+	far2, _ := canonicalDomain(mk(bb.T1 + 50))
+	if far1 != far2 {
+		t.Errorf("distant clip edges did not collapse: %v vs %v", far1, far2)
+	}
+	near, _ := canonicalDomain(mk(bb.T1 - 1))
+	if near == far1 {
+		t.Error("binding clip edge collapsed with unbounded one")
+	}
+}
+
+func TestCanonicalBox4TranslationInvariant(t *testing.T) {
+	base := lattice.Box4{A0: 4, B0: -2, E0: 3, F0: -1, RA: 6, RB: 6, RE: 6, RF: 6,
+		Clip: lattice.ClipAll2D(32, 16)}
+	canon, ok := canonicalDomain(base)
+	if !ok {
+		t.Fatal("box4 not canonicalized")
+	}
+	if canon.Size() != base.Size() {
+		t.Fatalf("canonical size %d != original %d", canon.Size(), base.Size())
+	}
+	for _, sh := range [][3]int{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {2, -1, 3}} {
+		dx, dy, dt := sh[0], sh[1], sh[2]
+		moved := base
+		moved.A0 += dt + dx
+		moved.B0 += dt - dx
+		moved.E0 += dt + dy
+		moved.F0 += dt - dy
+		moved.Clip = shiftClip(base.Clip, dx, dy, 0, dt)
+		got, ok := canonicalDomain(moved)
+		if !ok || got != canon {
+			t.Errorf("shift (%d,%d,%d): canonical %v != %v", dx, dy, dt, got, canon)
+		}
+	}
+}
+
+func TestCanonicalBox6TranslationInvariant(t *testing.T) {
+	base := lattice.Box6{A0: 2, B0: -1, E0: 1, F0: 0, G0: 3, H0: -2,
+		RA: 4, RB: 4, RE: 4, RF: 4, RG: 4, RH: 4,
+		Clip: lattice.ClipAll3D(16, 8)}
+	canon, ok := canonicalDomain(base)
+	if !ok {
+		t.Fatal("box6 not canonicalized")
+	}
+	if canon.Size() != base.Size() {
+		t.Fatalf("canonical size %d != original %d", canon.Size(), base.Size())
+	}
+	for _, sh := range [][4]int{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, 1}, {1, -2, 2, 3}} {
+		dx, dy, dz, dt := sh[0], sh[1], sh[2], sh[3]
+		moved := base
+		moved.A0 += dt + dx
+		moved.B0 += dt - dx
+		moved.E0 += dt + dy
+		moved.F0 += dt - dy
+		moved.G0 += dt + dz
+		moved.H0 += dt - dz
+		moved.Clip = shiftClip(base.Clip, dx, dy, dz, dt)
+		got, ok := canonicalDomain(moved)
+		if !ok || got != canon {
+			t.Errorf("shift %v: canonical %v != %v", sh, got, canon)
+		}
+	}
+}
+
+// The guest address classifier must be translation-invariantly sound:
+// equal classes at two reference sites imply equal addresses at every
+// uniformly translated pair — checked by brute force over a window.
+func TestAddrClassSoundness(t *testing.T) {
+	progs := []struct {
+		name string
+		p    addrClasser
+		addr func(node, step, m int) int
+	}{
+		{"mixca", guest.MixCA{Seed: 3}, guest.MixCA{Seed: 3}.Address},
+		{"rule90", guest.Rule90{}, guest.Rule90{}.Address},
+		{"shiftreg", guest.ShiftRegister{}, guest.ShiftRegister{}.Address},
+		{"asnetwork-mixca", guest.AsNetwork{G: guest.MixCA{Seed: 9}},
+			guest.AsNetwork{G: guest.MixCA{Seed: 9}}.Address},
+		{"restrictmem-mixca", guest.RestrictMem{P: guest.MixCA{Seed: 9}, Words: 3},
+			guest.RestrictMem{P: guest.MixCA{Seed: 9}, Words: 3}.Address},
+	}
+	const m = 5
+	for _, pr := range progs {
+		for n1 := 0; n1 < 2*m; n1++ {
+			for s1 := 0; s1 < 2*m; s1++ {
+				for n2 := 0; n2 < 2*m; n2++ {
+					for s2 := 0; s2 < 2*m; s2++ {
+						c1, ok1 := pr.p.AddrClass(n1, s1, m)
+						c2, ok2 := pr.p.AddrClass(n2, s2, m)
+						if !ok1 || !ok2 {
+							t.Fatalf("%s: unclassifiable", pr.name)
+						}
+						if c1 != c2 {
+							continue
+						}
+						for dn := 0; dn < m; dn++ {
+							for ds := 0; ds < m; ds++ {
+								if pr.addr(n1+dn, s1+ds, m) != pr.addr(n2+dn, s2+ds, m) {
+									t.Fatalf("%s: class %d at (%d,%d) and (%d,%d) but Address differs at shift (%d,%d)",
+										pr.name, c1, n1, s1, n2, s2, dn, ds)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if _, ok := progClass(guest.AsNetwork{G: guest.OETSort{}}, 0, 0, m); ok {
+		t.Error("unclassifiable guest reported a class")
+	}
+}

@@ -56,8 +56,12 @@ func TestTraceGoldenBitIdentical(t *testing.T) {
 	if r.Time != 1.59814675e+06 {
 		t.Errorf("traced BlockedD1: Time = %v, golden 1.59814675e+06", r.Time)
 	}
-	if len(findSpans(tr2.Roots(), "block")) == 0 {
-		t.Error("traced BlockedD1 recorded no block spans")
+	// With the subtree memo warm (shared across runs in this process), any
+	// child may replay instead of recursing; both span kinds mark one
+	// recursion-child boundary.
+	blocks := len(findSpans(tr2.Roots(), "block")) + len(findSpans(tr2.Roots(), "block:replayed"))
+	if blocks == 0 {
+		t.Error("traced BlockedD1 recorded no block or block:replayed spans")
 	}
 }
 
