@@ -305,11 +305,14 @@ func RunSchemeContext(ctx context.Context, name string, d, n, p, m, steps int, p
 type ParamError = simulate.ParamError
 
 // ValidateParams checks (scheme, d, n, p, m, steps) against the
-// registered scheme's constraints without running anything. It returns
-// nil for a runnable tuple, a *ParamError for a constraint violation, or
-// the registry lookup error for an unknown (scheme, d) pair.
-func ValidateParams(scheme string, d, n, p, m, steps int) error {
-	return simulate.ValidateParams(scheme, d, n, p, m, steps)
+// registered scheme's constraints without running anything. The
+// optional cfg carries the per-run knobs some schemes constrain (the
+// multi-theta delay ratio Θ); omitting it validates the zero config. It
+// returns nil for a runnable tuple, a *ParamError for a constraint
+// violation, or the registry lookup error for an unknown (scheme, d)
+// pair.
+func ValidateParams(scheme string, d, n, p, m, steps int, cfg ...SchemeConfig) error {
+	return simulate.ValidateParams(scheme, d, n, p, m, steps, cfg...)
 }
 
 // Closed-form bounds (package analytic re-exported).

@@ -39,13 +39,13 @@ func main() {
 	}
 
 	if *schemes {
-		fmt.Printf("%-8s %-2s %-5s %s\n", "name", "d", "multi", "description")
+		fmt.Printf("%-16s %-2s %-5s %s\n", "name", "d", "multi", "description")
 		for _, s := range bsmp.Schemes() {
 			multi := "-"
 			if s.Multiproc {
 				multi = "p>1"
 			}
-			fmt.Printf("%-8s %-2d %-5s %s\n", s.Name, s.D, multi, s.Description)
+			fmt.Printf("%-16s %-2d %-5s %s\n", s.Name, s.D, multi, s.Description)
 		}
 		return
 	}

@@ -36,6 +36,8 @@ func main() {
 	measure := flag.Bool("measure", false, "also run the executable simulation")
 	scheme := flag.String("scheme", "multi", "simulation scheme to measure (see bsmp.Schemes)")
 	steps := flag.Int("steps", 64, "guest steps to simulate when measuring")
+	theta := flag.Float64("theta", 0, "Θ-model delay ratio for -scheme multi-theta: delays in [dist, Θ·dist] (0 = scheme default)")
+	thetaSeed := flag.Uint64("theta-seed", 0, "seed for the Θ-model delay draws")
 	sweep := flag.Bool("sweep", false, "dyadic m sweep with an ASCII curve of A(n,m,p)")
 	csv := flag.Bool("csv", false, "emit CSV instead of the aligned table")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for -measure runs; on expiry report the rows that finished (0 = no limit)")
@@ -71,6 +73,23 @@ func main() {
 			log.Fatalf("bad m value %q: %v", s, err)
 		}
 		mvals = append(mvals, v)
+	}
+
+	cfg := bsmp.SchemeConfig{Multi: bsmp.MultiOptions{Theta: *theta, ThetaSeed: *thetaSeed}}
+	if *measure {
+		// Reject a bad scheme name (or a Θ the scheme refuses) before any
+		// analytic rows print, and answer a typo with the same registry
+		// table `experiments -schemes` shows.
+		if _, err := bsmp.SchemeByName(*scheme, *d); err != nil {
+			log.Fatalf("%v\nregistered schemes:\n%s", err, schemeTable())
+		}
+		if err := bsmp.ValidateParams(*scheme, *d, *n, *p, mvals[0], *steps, cfg); err != nil {
+			var pe *bsmp.ParamError
+			if errors.As(err, &pe) && pe.Field == "theta" {
+				log.Fatal(err)
+			}
+			// Other tuple constraints surface per row from the scheme run.
+		}
 	}
 
 	b12, b23, b34 := bsmp.Boundaries(*d, *n, *p)
@@ -119,7 +138,7 @@ func main() {
 		row := fmt.Sprintf("%8d %8s %8.0f %14.1f %14.1f",
 			m, rangeName(*d, *n, m, *p), bsmp.OptimalS(*n, m, *p), a, bound)
 		if *measure {
-			slow, err := measured(ctx, *scheme, *d, *n, *p, m, *steps)
+			slow, err := measured(ctx, *scheme, *d, *n, *p, m, *steps, cfg)
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				log.Fatalf("interrupted (%v): %d of %d measured rows finished", err, i, len(mvals))
 			}
@@ -183,6 +202,21 @@ func runSweep(d, n, p int, csv bool) {
 	}
 }
 
+// schemeTable renders the registry in the same aligned format as
+// `experiments -schemes`, for the unknown -scheme error message.
+func schemeTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-16s %-2s %-5s %s\n", "name", "d", "multi", "description")
+	for _, s := range bsmp.Schemes() {
+		multi := "-"
+		if s.Multiproc {
+			multi = "p>1"
+		}
+		fmt.Fprintf(&b, "  %-16s %-2d %-5s %s\n", s.Name, s.D, multi, s.Description)
+	}
+	return b.String()
+}
+
 func rangeName(d, n, m, p int) string {
 	b12, b23, b34 := bsmp.Boundaries(d, n, p)
 	mf := float64(m)
@@ -206,9 +240,9 @@ func rangeName(d, n, m, p int) string {
 // output check — their fidelity gate is the E-BRENT battery — and
 // calibrate the guest-time denominator on a smaller machine: the guest
 // runs lock-step, so its per-step virtual time does not depend on n.
-func measured(ctx context.Context, scheme string, d, n, p, m, steps int) (float64, error) {
+func measured(ctx context.Context, scheme string, d, n, p, m, steps int, cfg bsmp.SchemeConfig) (float64, error) {
 	prog := guestProg(d, n)
-	r, err := bsmp.RunSchemeContext(ctx, scheme, d, n, p, m, steps, prog, bsmp.SchemeConfig{})
+	r, err := bsmp.RunSchemeContext(ctx, scheme, d, n, p, m, steps, prog, cfg)
 	if err != nil {
 		return 0, err
 	}

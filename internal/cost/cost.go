@@ -337,6 +337,13 @@ type phaseMark struct {
 type Bank struct {
 	meters []Meter
 	marks  []phaseMark
+
+	// dm, when set, stretches distance-proportional charges
+	// (ChargeDelayed, SendDelayed) by bounded per-charge factors; nil is
+	// the lockstep machine. delaySeq holds the per-processor draw
+	// counters the model is keyed on.
+	dm       DelayModel
+	delaySeq []uint64
 }
 
 // NewBank creates a bank of p meters, all at time 0. It panics if p < 1.
@@ -459,11 +466,15 @@ func (b *Bank) Phases() PhaseBreakdown {
 	return out
 }
 
-// Reset returns every meter to time zero with empty ledgers and drops all
-// phase marks.
+// Reset returns every meter to time zero with empty ledgers, drops all
+// phase marks, and rewinds the delay-draw counters (the delay model
+// itself stays installed, so a reset bank replays identical delays).
 func (b *Bank) Reset() {
 	for i := range b.meters {
 		b.meters[i].Reset()
 	}
 	b.marks = nil
+	for i := range b.delaySeq {
+		b.delaySeq[i] = 0
+	}
 }

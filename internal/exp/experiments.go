@@ -790,6 +790,60 @@ func Brent(ctx context.Context, s Scale) (*Table, error) {
 	return t, nil
 }
 
+// Theta validates the Θ-model degradation path end to end: the
+// event-driven multi-theta scheme at Θ = 1 reproduces the lockstep
+// multi run exactly (same Time, same PrepTime — the event queue and the
+// phase barrier are two executions of the same charge sequence), and as
+// Θ grows the makespan grows monotonically while idle (Sync) time
+// appears: desynchronized processors wait at each wave join.
+func Theta(ctx context.Context, s Scale) (*Table, error) {
+	n, p, m, steps := 1024, 8, 16, 16
+	if s.Quick {
+		n, p, m, steps = 64, 4, 4, 8
+	}
+	const seed = 7
+	thetas := []float64{1, 2, 4, 8}
+	t := &Table{
+		ID:    "E-THETA",
+		Title: fmt.Sprintf("Θ-model bounded-delay degradation (multi-theta, d=1, n=%d, p=%d, m=%d)", n, p, m),
+		PaperClaim: "§2: links propagate messages at bounded speed — delivery takes at " +
+			"least the distance. The Θ-model relaxes lockstep delivery to delays in " +
+			"[dist, Θ·dist]; Θ = 1 recovers the synchronous schedule exactly, and the " +
+			"upper-bound schedule degrades gracefully as Θ grows",
+		Header: []string{"Θ", "T_p", "prep", "sync", "T/T_lock"},
+	}
+	lock, err := simulate.RunSchemeContext(ctx, "multi", 1, n, p, m, steps, prog1d(), simulate.SchemeConfig{})
+	if err != nil {
+		return nil, err
+	}
+	prev := 0.0
+	for _, theta := range thetas {
+		cfg := simulate.SchemeConfig{Multi: simulate.MultiOptions{Theta: theta, ThetaSeed: seed}}
+		res, err := simulate.RunSchemeContext(ctx, "multi-theta", 1, n, p, m, steps, prog1d(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		T := float64(res.Time)
+		if theta == 1 && (res.Time != lock.Time || res.PrepTime != lock.PrepTime) {
+			return nil, fmt.Errorf("E-THETA: Θ=1 times (%g, %g) differ from lockstep (%g, %g)",
+				T, float64(res.PrepTime), float64(lock.Time), float64(lock.PrepTime))
+		}
+		if T < prev {
+			return nil, fmt.Errorf("E-THETA: Time %g decreased at Θ=%g (prev %g)", T, theta, prev)
+		}
+		prev = T
+		t.Rows = append(t.Rows, []string{
+			f1(theta), g3(T), g3(float64(res.PrepTime)),
+			g3(res.Ledger.Total(cost.Sync)), f2(T / float64(lock.Time)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"the Θ = 1 row is checked bit-identical to the lockstep multi scheme (Time and PrepTime)",
+		"Time is checked monotone non-decreasing in Θ; sync is the idle time charged at wave joins",
+		fmt.Sprintf("delays drawn deterministically from seed %d: the table reproduces exactly", seed))
+	return t, nil
+}
+
 // Registry runs every entry of the scheme registry once at a small
 // common scale through simulate.RunScheme — the exact call path
 // cmd/tradeoff uses — verifying outputs wherever the scheme is
@@ -860,7 +914,7 @@ func Registry(ctx context.Context, s Scale) (*Table, error) {
 				return nil, fmt.Errorf("scheme unidc d=%d: %w", sc.D, err)
 			}
 			check = "dag"
-		case sc.Name == "multi" && sc.D >= 2:
+		case (sc.Name == "multi" || sc.Name == "multi-theta") && sc.D >= 2:
 			check = "model"
 		case sc.Name == "blocked-analytic":
 			// The analytic path produces no guest outputs by design; its
@@ -893,7 +947,7 @@ func Registry(ctx context.Context, s Scale) (*Table, error) {
 
 // allFns is the E-* experiment battery, in publication order.
 var allFns = []func(context.Context, Scale) (*Table, error){
-	P1, ISA, T2, T3, T3D2, T4, T5, T1D2, D3, D3Multi, MM, SStar, Ablations, Levels, Coop, Pipe, MPrime, Brent, Registry,
+	P1, ISA, T2, T3, T3D2, T4, T5, T1D2, D3, D3Multi, MM, SStar, Ablations, Levels, Coop, Pipe, MPrime, Brent, Theta, Registry,
 }
 
 // All runs every E-* experiment concurrently on up to GOMAXPROCS workers

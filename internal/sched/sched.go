@@ -1,0 +1,180 @@
+// Package sched is the event-driven scheduler core that replaces the
+// per-phase barrier of the lockstep engines: a min-heap event queue over
+// virtual time with deterministic tie-breaking.
+//
+// Events are keyed (time, proc, seq): earliest virtual time first, ties
+// broken by processor index, then by scheduling order (a globally
+// monotone sequence number). The dispatch order of any schedule is
+// therefore a pure function of the scheduling calls — never of heap
+// layout or map iteration — so two runs that schedule the same events
+// dispatch them identically, which is the property the Θ-model
+// simulations rely on for seeded reproducibility.
+//
+// Dispatch is batched per instant: Step drains every event at the
+// minimal queued time into a per-processor ready list and runs the whole
+// batch in (proc, seq) order before looking at the heap again. Events
+// scheduled *during* a batch — even at the current instant — join the
+// next batch, so causally dependent same-time events never interleave
+// with the batch that produced them.
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// Event is one scheduled unit of work on a processor's virtual-time
+// line. The key fields are exported so observers (determinism tests,
+// trace tooling) can record dispatch orders; Fn is dispatched by Run.
+type Event struct {
+	// Time is the virtual time at which the event fires.
+	Time float64
+	// Proc is the processor the event belongs to; batches at one
+	// instant run in ascending Proc order.
+	Proc int
+	// Seq is the globally monotone scheduling sequence number, the
+	// final tie-breaker: same-(time, proc) events run in the order they
+	// were scheduled.
+	Seq uint64
+	// Fn is the work to run at dispatch.
+	Fn func()
+}
+
+// key orders events by (Time, Proc, Seq).
+func (e *Event) before(o *Event) bool {
+	if e.Time != o.Time {
+		return e.Time < o.Time
+	}
+	if e.Proc != o.Proc {
+		return e.Proc < o.Proc
+	}
+	return e.Seq < o.Seq
+}
+
+// Queue is a deterministic event queue over virtual time. The zero
+// value is ready to use. Queues are single-goroutine structures: the
+// engines that own them are serial, so no locking is provided.
+type Queue struct {
+	heap []*Event
+	seq  uint64
+	now  float64
+	// batch is the per-instant ready list, reused across Step calls.
+	batch []*Event
+	// dispatched counts events run so far (observability + tests).
+	dispatched uint64
+	// observer, when set, sees every event as it is dispatched, in
+	// dispatch order. Used by the determinism property tests to pin
+	// event orders across runs.
+	observer func(Event)
+}
+
+// New returns an empty queue at virtual time 0.
+func New() *Queue { return &Queue{} }
+
+// Now reports the queue's current virtual time: the time of the last
+// dispatched batch (0 before any dispatch).
+func (q *Queue) Now() float64 { return q.now }
+
+// Len reports the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Dispatched reports the number of events dispatched so far.
+func (q *Queue) Dispatched() uint64 { return q.dispatched }
+
+// SetObserver installs (or clears, with nil) the dispatch observer.
+func (q *Queue) SetObserver(fn func(Event)) { q.observer = fn }
+
+// At schedules fn to run at virtual time t on processor proc. It panics
+// on NaN or past times and on negative processor indices: a past event
+// would silently reorder history, which is exactly the class of bug the
+// deterministic queue exists to exclude.
+func (q *Queue) At(t float64, proc int, fn func()) {
+	if math.IsNaN(t) {
+		panic("sched: NaN event time")
+	}
+	if t < q.now {
+		panic(fmt.Sprintf("sched: event time %v before current time %v", t, q.now))
+	}
+	if proc < 0 {
+		panic(fmt.Sprintf("sched: negative processor index %d", proc))
+	}
+	if fn == nil {
+		panic("sched: nil event function")
+	}
+	e := &Event{Time: t, Proc: proc, Seq: q.seq, Fn: fn}
+	q.seq++
+	q.push(e)
+}
+
+// Step dispatches the entire batch of events at the minimal queued time
+// and advances Now to it. It reports whether any event was dispatched
+// (false on an empty queue). Events scheduled during the batch — even
+// at the current instant — land in a later batch.
+func (q *Queue) Step() bool {
+	if len(q.heap) == 0 {
+		return false
+	}
+	t := q.heap[0].Time
+	q.now = t
+	q.batch = q.batch[:0]
+	for len(q.heap) > 0 && q.heap[0].Time == t {
+		q.batch = append(q.batch, q.pop())
+	}
+	// The heap pops in full (time, proc, seq) order, so the batch is
+	// already sorted by (proc, seq): the per-processor ready lists are
+	// simply the contiguous runs of equal Proc in this slice.
+	for _, e := range q.batch {
+		q.dispatched++
+		if q.observer != nil {
+			q.observer(*e)
+		}
+		e.Fn()
+	}
+	return true
+}
+
+// Run dispatches batches until the queue is empty.
+func (q *Queue) Run() {
+	for q.Step() {
+	}
+}
+
+// push inserts e into the binary min-heap.
+func (q *Queue) push(e *Event) {
+	q.heap = append(q.heap, e)
+	i := len(q.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.heap[i].before(q.heap[parent]) {
+			break
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimal event.
+func (q *Queue) pop() *Event {
+	top := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap[last] = nil
+	q.heap = q.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(q.heap) && q.heap[l].before(q.heap[min]) {
+			min = l
+		}
+		if r < len(q.heap) && q.heap[r].before(q.heap[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		q.heap[i], q.heap[min] = q.heap[min], q.heap[i]
+		i = min
+	}
+	return top
+}

@@ -1,0 +1,202 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestOrdering pins the (time, proc, seq) dispatch order.
+func TestOrdering(t *testing.T) {
+	q := New()
+	var got []int
+	rec := func(id int) func() { return func() { got = append(got, id) } }
+	// Scheduled deliberately out of dispatch order.
+	q.At(2.0, 0, rec(4))
+	q.At(1.0, 1, rec(1))
+	q.At(1.0, 0, rec(0))
+	q.At(1.0, 1, rec(2)) // same (time, proc) as id 1, later seq
+	q.At(1.5, 3, rec(3))
+	q.At(3.0, 2, rec(5))
+	q.Run()
+	want := []int{0, 1, 2, 3, 4, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("dispatch order %v, want %v", got, want)
+	}
+	if q.Now() != 3.0 {
+		t.Fatalf("Now() = %v after run, want 3", q.Now())
+	}
+	if q.Dispatched() != 6 {
+		t.Fatalf("Dispatched() = %d, want 6", q.Dispatched())
+	}
+}
+
+// TestCausalBatches checks that events scheduled during a batch — even
+// at the batch's own instant — run in a later batch, after the whole
+// producing batch finished.
+func TestCausalBatches(t *testing.T) {
+	q := New()
+	var got []string
+	q.At(1.0, 1, func() {
+		got = append(got, "b")
+	})
+	q.At(1.0, 0, func() {
+		got = append(got, "a")
+		// Same instant, lower proc than "b": would dispatch before "b"
+		// if it joined the current batch. It must not.
+		q.At(1.0, 0, func() { got = append(got, "a-child") })
+	})
+	if !q.Step() {
+		t.Fatal("Step() = false on non-empty queue")
+	}
+	want := []string{"a", "b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("first batch %v, want %v", got, want)
+	}
+	q.Run()
+	want = []string{"a", "b", "a-child"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("after run %v, want %v", got, want)
+	}
+}
+
+// TestStepEmpty checks Step on an empty queue.
+func TestStepEmpty(t *testing.T) {
+	q := New()
+	if q.Step() {
+		t.Fatal("Step() = true on empty queue")
+	}
+	if q.Len() != 0 || q.Now() != 0 {
+		t.Fatalf("empty queue Len=%d Now=%v", q.Len(), q.Now())
+	}
+}
+
+// TestPanics checks the scheduling guard rails.
+func TestPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(q *Queue)
+	}{
+		{"nan", func(q *Queue) { q.At(math.NaN(), 0, func() {}) }},
+		{"past", func(q *Queue) {
+			q.At(5, 0, func() {})
+			q.Step()
+			q.At(4, 0, func() {})
+		}},
+		{"negative-proc", func(q *Queue) { q.At(1, -1, func() {}) }},
+		{"nil-fn", func(q *Queue) { q.At(1, 0, nil) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", tc.name)
+				}
+			}()
+			tc.fn(New())
+		})
+	}
+}
+
+// TestSameInstantSchedulingAllowed checks that scheduling at exactly
+// Now() is legal (it forms the next batch), only strictly-past times
+// panic.
+func TestSameInstantSchedulingAllowed(t *testing.T) {
+	q := New()
+	ran := false
+	q.At(1, 0, func() {
+		q.At(1, 0, func() { ran = true })
+	})
+	q.Run()
+	if !ran {
+		t.Fatal("same-instant follow-up event did not run")
+	}
+}
+
+// dispatchKey is the observable identity of a dispatch, used to compare
+// event orders across runs.
+type dispatchKey struct {
+	Time float64
+	Proc int
+	Seq  uint64
+}
+
+// randomWorkload schedules a reproducible random cascade: root events
+// that reschedule follow-ups while running. Returns the dispatch order.
+func randomWorkload(seed int64) []dispatchKey {
+	rng := rand.New(rand.NewSource(seed))
+	q := New()
+	var order []dispatchKey
+	q.SetObserver(func(e Event) {
+		order = append(order, dispatchKey{e.Time, e.Proc, e.Seq})
+	})
+	var cascade func(depth int) func()
+	cascade = func(depth int) func() {
+		return func() {
+			if depth <= 0 {
+				return
+			}
+			k := rng.Intn(3)
+			for i := 0; i < k; i++ {
+				dt := float64(rng.Intn(4)) // 0 is legal: next batch
+				q.At(q.Now()+dt, rng.Intn(8), cascade(depth-1))
+			}
+		}
+	}
+	for i := 0; i < 32; i++ {
+		q.At(float64(rng.Intn(16)), rng.Intn(8), cascade(3))
+	}
+	q.Run()
+	return order
+}
+
+// TestDeterministicDispatch is the event-order determinism property:
+// identical scheduling decisions (same seed) produce identical dispatch
+// sequences, including cascades that schedule from inside events.
+func TestDeterministicDispatch(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		a := randomWorkload(seed)
+		b := randomWorkload(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: dispatch orders differ (%d vs %d events)", seed, len(a), len(b))
+		}
+	}
+}
+
+// FuzzDeterministicDispatch extends the determinism property to
+// arbitrary seeds under go test -fuzz.
+func FuzzDeterministicDispatch(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(-7))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		a := randomWorkload(seed)
+		b := randomWorkload(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: dispatch orders differ", seed)
+		}
+	})
+}
+
+// TestMonotoneTime checks that dispatch times never go backwards and
+// that ties dispatch in (proc, seq) order.
+func TestMonotoneTime(t *testing.T) {
+	order := randomWorkload(99)
+	for i := 1; i < len(order); i++ {
+		prev, cur := order[i-1], order[i]
+		if cur.Time < prev.Time {
+			t.Fatalf("time went backwards at %d: %v after %v", i, cur, prev)
+		}
+	}
+}
+
+func BenchmarkQueue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		q := New()
+		for j := 0; j < 1024; j++ {
+			q.At(float64(j%37), j%8, func() {})
+		}
+		q.Run()
+	}
+}

@@ -44,6 +44,29 @@ type RunConfig struct {
 	SpanOverride int  `json:"span_override,omitempty"`
 	NoRearrange  bool `json:"no_rearrange,omitempty"`
 	NoCooperate  bool `json:"no_cooperate,omitempty"`
+	// Theta is the Θ-model delay ratio for the multi-theta scheme:
+	// message delays are drawn in [distance, Θ·distance]. Must be a
+	// finite value >= 1; 0 leaves the scheme default (Θ = 1).
+	Theta float64 `json:"theta,omitempty"`
+	// ThetaSeed selects the deterministic delay draw sequence.
+	ThetaSeed uint64 `json:"theta_seed,omitempty"`
+}
+
+// schemeConfig maps the JSON config onto the registry's SchemeConfig —
+// the single translation used by both validation and execution, so the
+// daemon can never validate one tuple and run another.
+func (req RunRequest) schemeConfig() bsmp.SchemeConfig {
+	return bsmp.SchemeConfig{
+		Leaf: req.Config.Leaf,
+		Multi: bsmp.MultiOptions{
+			StripWidth:   req.Config.StripWidth,
+			SpanOverride: req.Config.SpanOverride,
+			NoRearrange:  req.Config.NoRearrange,
+			NoCooperate:  req.Config.NoCooperate,
+			Theta:        req.Config.Theta,
+			ThetaSeed:    req.Config.ThetaSeed,
+		},
+	}
 }
 
 // PhaseTime is one entry of the per-phase makespan attribution.
@@ -63,6 +86,9 @@ type RunResponse struct {
 	Steps  int    `json:"steps"`
 	Guest  string `json:"guest"`
 	Seed   uint64 `json:"seed"`
+	// Theta echoes the requested Θ-model delay ratio (0 when the run
+	// used the lockstep default).
+	Theta float64 `json:"theta,omitempty"`
 
 	// Time is the host's elapsed virtual time; PrepTime the one-time
 	// rearrangement cost (multiprocessor schemes).
@@ -149,7 +175,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "param", pe.Error(), pe)
 		return
 	}
-	if err := bsmp.ValidateParams(req.Scheme, req.D, req.N, req.P, req.M, req.Steps); err != nil {
+	if err := bsmp.ValidateParams(req.Scheme, req.D, req.N, req.P, req.M, req.Steps, req.schemeConfig()); err != nil {
 		var pe *bsmp.ParamError
 		if !errors.As(err, &pe) {
 			// Registry lookup failure: surface it on the scheme field.
@@ -256,10 +282,11 @@ func (s *Server) checkCaps(req RunRequest) *bsmp.ParamError {
 // guest, seed, and every SchemeConfig knob — so distinct runs never
 // alias.
 func cacheKey(req RunRequest) string {
-	return fmt.Sprintf("%s|d=%d|n=%d|p=%d|m=%d|steps=%d|g=%s|seed=%d|leaf=%d|sw=%d|so=%d|nr=%t|nc=%t",
+	return fmt.Sprintf("%s|d=%d|n=%d|p=%d|m=%d|steps=%d|g=%s|seed=%d|leaf=%d|sw=%d|so=%d|nr=%t|nc=%t|th=%g|ths=%d",
 		req.Scheme, req.D, req.N, req.P, req.M, req.Steps, req.Guest, req.Seed,
 		req.Config.Leaf, req.Config.StripWidth, req.Config.SpanOverride,
-		req.Config.NoRearrange, req.Config.NoCooperate)
+		req.Config.NoRearrange, req.Config.NoCooperate,
+		req.Config.Theta, req.Config.ThetaSeed)
 }
 
 // buildGuest constructs the requested workload with the grid geometry d
@@ -300,15 +327,7 @@ var ledgerCategories = []cost.Category{cost.Compute, cost.Access, cost.Transfer,
 // deadline, hard shutdown) stops it at its next checkpoint and /metrics
 // sees its live step counters while it runs.
 func (s *Server) execute(ctx context.Context, req RunRequest) (*RunResponse, error) {
-	cfg := bsmp.SchemeConfig{
-		Leaf: req.Config.Leaf,
-		Multi: bsmp.MultiOptions{
-			StripWidth:   req.Config.StripWidth,
-			SpanOverride: req.Config.SpanOverride,
-			NoRearrange:  req.Config.NoRearrange,
-			NoCooperate:  req.Config.NoCooperate,
-		},
-	}
+	cfg := req.schemeConfig()
 	prog := new(bsmp.Progress)
 	ctx = bsmp.WithProgress(ctx, prog)
 	var tr *bsmp.Tracer
@@ -318,7 +337,8 @@ func (s *Server) execute(ctx context.Context, req RunRequest) (*RunResponse, err
 	}
 	id := RequestIDFrom(ctx)
 	s.log.Info("run start", "id", id, "scheme", req.Scheme, "d", req.D,
-		"n", req.N, "p", req.P, "m", req.M, "steps", req.Steps, "traced", req.Trace)
+		"n", req.N, "p", req.P, "m", req.M, "steps", req.Steps,
+		"theta", req.Config.Theta, "traced", req.Trace)
 	s.inflightMu.Lock()
 	s.inflight[prog] = struct{}{}
 	s.inflightMu.Unlock()
@@ -339,6 +359,12 @@ func (s *Server) execute(ctx context.Context, req RunRequest) (*RunResponse, err
 		return nil, err
 	}
 	s.latHist.Observe(elapsed.Seconds())
+	if cfg.Multi.Theta != 0 {
+		// Θ-model runs get their own latency series: the event queue has a
+		// different cost profile than the lockstep barrier, and mixing the
+		// two in one histogram would hide a regression in either.
+		s.thetaHist.Observe(elapsed.Seconds())
+	}
 	s.sizeHist.Observe(float64(req.N) * float64(req.Steps))
 	s.log.Info("run done", "id", id, "scheme", req.Scheme,
 		"dur_ms", float64(elapsed.Nanoseconds())/1e6,
@@ -355,7 +381,7 @@ func (s *Server) execute(ctx context.Context, req RunRequest) (*RunResponse, err
 	}
 	resp := &RunResponse{
 		Scheme: req.Scheme, D: req.D, N: req.N, P: req.P, M: req.M, Steps: req.Steps,
-		Guest: req.Guest, Seed: req.Seed,
+		Guest: req.Guest, Seed: req.Seed, Theta: req.Config.Theta,
 		Time:       res.Time,
 		PrepTime:   res.PrepTime,
 		Bound:      bsmp.Slowdown(req.D, req.N, req.M, req.P),

@@ -23,6 +23,8 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 		"Time pool jobs spent queued before a worker picked them up.", s.waitHist)
 	writePromHist(w, "bsmpd_run_vertices",
 		"Guest size n*steps of completed simulations.", s.sizeHist)
+	writePromHist(w, "bsmpd_theta_run_latency_seconds",
+		"Execution latency of Θ-model (theta != 0) runs only.", s.thetaHist)
 	writePromMemoLevels(w)
 	s.vars.Do(func(kv expvar.KeyValue) {
 		// Non-scalar vars (the histogram snapshots above and the memo

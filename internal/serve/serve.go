@@ -122,9 +122,10 @@ type Server struct {
 
 	// Serving-quality histograms, exposed on /metrics (JSON snapshots)
 	// and /metrics.prom (Prometheus text format).
-	latHist  *obs.Histogram // end-to-end run execution latency, seconds
-	waitHist *obs.Histogram // pool queue wait, seconds
-	sizeHist *obs.Histogram // executed run size, guest vertices n*steps
+	latHist   *obs.Histogram // end-to-end run execution latency, seconds
+	waitHist  *obs.Histogram // pool queue wait, seconds
+	sizeHist  *obs.Histogram // executed run size, guest vertices n*steps
+	thetaHist *obs.Histogram // latency of Θ-model (theta != 0) runs only, seconds
 
 	// baseCtx is the server's lifetime context: every request context is
 	// tied to it, so cancelling baseCancel hard-stops every in-flight
@@ -155,9 +156,10 @@ func New(cfg Config) *Server {
 		inflight: make(map[*bsmp.Progress]struct{}),
 		log:      cfg.Logger,
 		bootID:   newBootID(),
-		latHist:  obs.NewHistogram(0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30),
-		waitHist: obs.NewHistogram(0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5),
-		sizeHist: obs.NewHistogram(1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8),
+		latHist:   obs.NewHistogram(0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30),
+		waitHist:  obs.NewHistogram(0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5),
+		sizeHist:  obs.NewHistogram(1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8),
+		thetaHist: obs.NewHistogram(0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.runScheme = s.execute
@@ -301,6 +303,7 @@ func (s *Server) registerGauges() {
 	s.vars.Set("run_latency_seconds", expvar.Func(func() any { return s.latHist.Snapshot() }))
 	s.vars.Set("queue_wait_seconds", expvar.Func(func() any { return s.waitHist.Snapshot() }))
 	s.vars.Set("run_vertices", expvar.Func(func() any { return s.sizeHist.Snapshot() }))
+	s.vars.Set("theta_run_latency_seconds", expvar.Func(func() any { return s.thetaHist.Snapshot() }))
 }
 
 // newBootID returns the random prefix of this process's request IDs, so

@@ -415,8 +415,46 @@ func TestSchemes(t *testing.T) {
 	if err := json.Unmarshal(w.Body.Bytes(), &list); err != nil {
 		t.Fatalf("decoding: %v", err)
 	}
-	if len(list) != 12 {
-		t.Fatalf("got %d schemes, want 12", len(list))
+	if len(list) != 15 {
+		t.Fatalf("got %d schemes, want 15", len(list))
+	}
+}
+
+// The Θ-model scheme serves through the same handler stack: the theta
+// config field reaches the engine (slower run, echoed back), distinct
+// Θ values never alias in the cache, and a sub-1 ratio is a 400 with a
+// typed param error before any execution.
+func TestRunThetaScheme(t *testing.T) {
+	s := New(Config{})
+	h := s.Handler()
+	base := postRun(t, h, `{"scheme": "multi-theta", "d": 1, "n": 64, "p": 4, "m": 4, "steps": 16}`)
+	if base.Code != http.StatusOK {
+		t.Fatalf("theta default: status = %d; body: %s", base.Code, base.Body)
+	}
+	slow := postRun(t, h, `{"scheme": "multi-theta", "d": 1, "n": 64, "p": 4, "m": 4, "steps": 16, "config": {"theta": 3, "theta_seed": 7}}`)
+	if slow.Code != http.StatusOK {
+		t.Fatalf("theta=3: status = %d; body: %s", slow.Code, slow.Body)
+	}
+	rb, rs := decodeRun(t, base), decodeRun(t, slow)
+	if rs.Theta != 3 {
+		t.Errorf("theta echo = %v, want 3", rs.Theta)
+	}
+	if rs.Cached {
+		t.Error("theta=3 run hit the cache of the theta-default run")
+	}
+	if rs.Time <= rb.Time {
+		t.Errorf("theta=3 Time %v not above default %v", rs.Time, rb.Time)
+	}
+	bad := postRun(t, h, `{"scheme": "multi-theta", "d": 1, "n": 64, "p": 4, "m": 4, "steps": 16, "config": {"theta": 0.5}}`)
+	if bad.Code != http.StatusBadRequest {
+		t.Fatalf("theta=0.5: status = %d, want 400; body: %s", bad.Code, bad.Body)
+	}
+	if eb := decodeError(t, bad); eb.Error.Param == nil || eb.Error.Param.Field != "theta" {
+		t.Errorf("theta=0.5 error = %+v, want param error on theta", eb)
+	}
+	lockBad := postRun(t, h, `{"scheme": "multi", "d": 1, "n": 64, "p": 4, "m": 4, "steps": 16, "config": {"theta": 2}}`)
+	if lockBad.Code != http.StatusBadRequest {
+		t.Fatalf("multi with theta: status = %d, want 400; body: %s", lockBad.Code, lockBad.Body)
 	}
 }
 

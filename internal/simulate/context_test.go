@@ -14,14 +14,18 @@ import (
 // small wall-clock bound instead of finishing the remaining (large)
 // simulation.
 func TestBlockedD2CancelMidRecursion(t *testing.T) {
-	prog := guest.AsNetwork{G: guest.MixCA{Seed: 3}, Side: 64}
+	// Sized so the recursion reports progress within the watch deadline
+	// even under the race detector (the previous 4096/steps=128 tuple
+	// spent its whole deadline in pre-recursion setup under -race), while
+	// still running long enough that cancellation lands mid-recursion.
+	prog := guest.AsNetwork{G: guest.MixCA{Seed: 3}, Side: 32}
 	var p Progress
 	ctx, cancel := context.WithCancel(WithProgress(context.Background(), &p))
 	defer cancel()
 
 	done := make(chan error, 1)
 	go func() {
-		_, err := BlockedD2Context(ctx, 4096, 4, 128, 0, prog)
+		_, err := BlockedD2Context(ctx, 1024, 4, 64, 0, prog)
 		done <- err
 	}()
 	// Wait until the run has demonstrably entered the recursion (the

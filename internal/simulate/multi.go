@@ -34,6 +34,33 @@ type MultiOptions struct {
 	// processor, which must pull the remote half of the preboundary —
 	// s·m memory words instead of s broadcast words.
 	NoCooperate bool
+	// Theta is the Θ-model bounded delay ratio: when > 0, the schedule
+	// is played by the event-driven engine (internal/sched) with every
+	// distance-proportional charge stretched by a seeded factor in
+	// [1, Θ]. 0 selects the lockstep barrier engine; 1 runs the event
+	// engine with every factor exactly 1, reproducing the lockstep
+	// virtual times bit-identically. Values in (0, 1), NaN and Inf are
+	// rejected with a typed ParamError.
+	Theta float64
+	// ThetaSeed seeds the Θ-model delay draws. Runs with equal
+	// (Theta, ThetaSeed) are deterministic, and a Θ-sweep at a fixed
+	// seed varies only the bound, never the draw — which is what makes
+	// the measured slowdown monotone non-decreasing in Θ.
+	ThetaSeed uint64
+}
+
+// delayModel builds the cost.DelayModel the options select: nil for the
+// lockstep engine (Theta 0), a seeded ThetaModel otherwise. Callers
+// validate Theta first (validateTheta), so construction cannot fail.
+func (o MultiOptions) delayModel() cost.DelayModel {
+	if o.Theta == 0 {
+		return nil
+	}
+	dm, err := cost.NewThetaModel(o.Theta, o.ThetaSeed)
+	if err != nil {
+		panic(err) // unreachable behind validateTheta
+	}
+	return dm
 }
 
 // Multi2Options configures the d = 2 multiprocessor model.
@@ -143,8 +170,12 @@ func MultiD1Context(ctx context.Context, n, p, m, steps int, prog network.Progra
 	if steps < 1 {
 		return MultiResult{}, perr("multi", "steps", "guest step count must be >= 1", steps)
 	}
+	if e := validateTheta("multi", opts.Theta); e != nil {
+		return MultiResult{}, e
+	}
 	if p == 1 {
-		// Degenerate case: Theorem 3's machinery.
+		// Degenerate case: Theorem 3's machinery. A single processor
+		// exchanges no messages, so the delay model is immaterial.
 		r, err := BlockedD1Context(ctx, n, m, steps, 0, prog)
 		return MultiResult{Result: r, StripWidth: n}, err
 	}
@@ -228,7 +259,7 @@ func MultiD1Context(ctx context.Context, n, p, m, steps int, prog network.Progra
 		stageExtra = kappa * multiGeomD1.faceSize(sf) * exchDist
 	}
 
-	bank, prep := playSchedule(ec.tr, p, multiSchedule{
+	bank, prep := playScheduleAuto(ec.tr, p, multiSchedule{
 		// Phase 0: rearrangement. n·m words move distance Θ(n) with
 		// p-fold parallelism: per processor, (n·m/p) words at average
 		// distance n/2.
@@ -240,7 +271,7 @@ func MultiD1Context(ctx context.Context, n, p, m, steps int, prog network.Progra
 		exch:         coop * stageExtra,
 		exchCat:      exchCat,
 		roundBarrier: true,
-	})
+	}, opts.delayModel())
 	elapsed := bank.MaxNow() - prep
 
 	// Functional execution (exact): the schedule above is a topological

@@ -354,6 +354,9 @@ func multiSpan(ctx context.Context, g *multiGeom, n, p, m, steps int, prog netwo
 	if steps < 1 {
 		return MultiResult{}, perr("multi", "steps", "guest step count must be >= 1", steps)
 	}
+	if e := validateTheta("multi", opts.Theta); e != nil {
+		return MultiResult{}, e
+	}
 	if e := g.checkShape(n); e != nil {
 		return MultiResult{}, e
 	}
@@ -402,13 +405,13 @@ func multiSpan(ctx context.Context, g *multiGeom, n, p, m, steps int, prog netwo
 
 	// Charge the chosen schedule into a bank for ledger and phase
 	// attribution.
-	bank, _ := playSchedule(ec.tr, p, multiSchedule{
+	bank, _ := playScheduleAuto(ec.tr, p, multiSchedule{
 		regime1: []float64{bestBreak[0]},
 		domains: 1,
 		exec:    bestBreak[1],
 		exch:    bestBreak[2],
 		exchCat: cost.Message,
-	})
+	}, opts.delayModel())
 
 	replay := ec.tr.Start("replay")
 	outs, mems, err := network.RunGuestPureHook(g.d, n, m, steps, prog, ec.hook())

@@ -37,10 +37,11 @@ type Scheme struct {
 	Description string
 	// Validate checks the scheme-specific parameter constraints beyond
 	// the common ones (positivity, p <= n, p | n, overflow); nil means
-	// no extra constraints. ValidateParams and Run both consult it, so
-	// no tuple reachable through the registry can panic an internal
-	// constructor.
-	Validate func(n, p, m, steps int) *ParamError
+	// no extra constraints. cfg carries the per-run knobs a scheme may
+	// additionally constrain (the multi-theta delay ratio Θ).
+	// ValidateParams and Run both consult it, so no tuple reachable
+	// through the registry can panic an internal constructor.
+	Validate func(n, p, m, steps int, cfg SchemeConfig) *ParamError
 	// Run executes the scheme on an n-node guest with density m for
 	// steps steps on p host processors, under ctx: every scheme polls
 	// cancellation cooperatively and reports progress to any attached
@@ -72,7 +73,7 @@ func withValidation(s Scheme) Scheme {
 			return MultiResult{}, e
 		}
 		if s.Validate != nil {
-			if e := s.Validate(n, p, m, steps); e != nil {
+			if e := s.Validate(n, p, m, steps, cfg); e != nil {
 				return MultiResult{}, e
 			}
 		}
@@ -85,7 +86,7 @@ func naiveScheme(d int) Scheme {
 	return Scheme{
 		Name: "naive", D: d, Multiproc: true,
 		Description: "step-by-step mimicry (Prop. 1), slowdown Θ((n/p)^(1+1/d))",
-		Validate: func(n, p, m, steps int) *ParamError {
+		Validate: func(n, p, m, steps int, _ SchemeConfig) *ParamError {
 			return validateNaiveShape(d, n, p)
 		},
 		Run: func(ctx context.Context, n, p, m, steps int, prog network.Program, _ SchemeConfig) (MultiResult, error) {
@@ -99,7 +100,7 @@ func unidcScheme(d int) Scheme {
 	return Scheme{
 		Name: "unidc", D: d, Multiproc: false,
 		Description: "uniprocessor divide-and-conquer for m = 1 (Thms. 2/5), slowdown Θ(n log n)",
-		Validate: func(n, p, m, steps int) *ParamError {
+		Validate: func(n, p, m, steps int, _ SchemeConfig) *ParamError {
 			if p != 1 {
 				return perr("unidc", "p", "uniprocessor scheme requires p = 1", p)
 			}
@@ -162,7 +163,10 @@ func multiScheme(d int) Scheme {
 	return Scheme{
 		Name: "multi", D: d, Multiproc: true,
 		Description: "multiprocessor rearrangement + cooperating mode (Thm. 4 / Thm. 1), slowdown Θ((n/p)·A(n, m, p))",
-		Validate: func(n, p, m, steps int) *ParamError {
+		Validate: func(n, p, m, steps int, cfg SchemeConfig) *ParamError {
+			if cfg.Multi.Theta != 0 {
+				return perrF("multi", "theta", "lockstep scheme takes no delay ratio; use scheme multi-theta", cfg.Multi.Theta)
+			}
 			return shapeError("multi", "n", d, n)
 		},
 		Run: func(ctx context.Context, n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error) {
@@ -178,18 +182,54 @@ func multiScheme(d int) Scheme {
 	}
 }
 
+// multiThetaScheme registers the Θ-model variant of multi: the same
+// Theorem 4 / Theorem 1 schedule, played by the event-driven scheduler
+// core with every distance-proportional charge stretched by a seeded
+// delay factor in [1, Θ] (cfg.Multi.Theta, default 1; cfg.Multi.ThetaSeed
+// picks the draw). At Θ = 1 every factor is exactly 1 and the virtual
+// times are bit-identical to the lockstep multi scheme — the golden
+// tests pin this — so the lockstep results are the Θ → 1 limit of this
+// scheme, not a separate model.
+func multiThetaScheme(d int) Scheme {
+	return Scheme{
+		Name: "multi-theta", D: d, Multiproc: true,
+		Description: "event-driven Θ-model multi: seeded delays in [dist, Θ·dist]; Θ = 1 recovers lockstep exactly",
+		Validate: func(n, p, m, steps int, cfg SchemeConfig) *ParamError {
+			if e := validateTheta("multi-theta", cfg.Multi.Theta); e != nil {
+				return e
+			}
+			return shapeError("multi-theta", "n", d, n)
+		},
+		Run: func(ctx context.Context, n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error) {
+			opts := cfg.Multi
+			if opts.Theta == 0 {
+				opts.Theta = 1
+			}
+			switch d {
+			case 1:
+				return MultiD1Context(ctx, n, p, m, steps, prog, opts)
+			case 2:
+				return MultiD2Context(ctx, n, p, m, steps, prog, opts)
+			default:
+				return MultiD3Context(ctx, n, p, m, steps, prog, opts)
+			}
+		},
+	}
+}
+
 // Schemes is the registry of named simulation schemes, one entry per
 // (algorithm, dimension) the repository implements: naive (d = 1, 2),
-// unidc and blocked and multi (d = 1, 2, 3). Callers — bsmp.RunScheme,
-// cmd/tradeoff, cmd/experiments, the E-REG experiment — select
-// simulations by name and dimension instead of hard-wiring function
-// calls.
+// unidc and blocked and multi and multi-theta (d = 1, 2, 3). Callers —
+// bsmp.RunScheme, cmd/tradeoff, cmd/experiments, the E-REG experiment —
+// select simulations by name and dimension instead of hard-wiring
+// function calls.
 var Schemes = []Scheme{
 	withValidation(naiveScheme(1)), withValidation(naiveScheme(2)),
 	withValidation(unidcScheme(1)), withValidation(unidcScheme(2)), withValidation(unidcScheme(3)),
 	withValidation(blockedScheme(1)), withValidation(blockedScheme(2)), withValidation(blockedScheme(3)),
 	withValidation(analyticScheme()),
 	withValidation(multiScheme(1)), withValidation(multiScheme(2)), withValidation(multiScheme(3)),
+	withValidation(multiThetaScheme(1)), withValidation(multiThetaScheme(2)), withValidation(multiThetaScheme(3)),
 }
 
 // SchemeByName returns the registered scheme for (name, d).
@@ -227,6 +267,9 @@ func RunSchemeContext(ctx context.Context, name string, d, n, p, m, steps int, p
 		sp.SetAttr("p", float64(p))
 		sp.SetAttr("m", float64(m))
 		sp.SetAttr("steps", float64(steps))
+		if cfg.Multi.Theta != 0 {
+			sp.SetAttr("theta", cfg.Multi.Theta)
+		}
 	}
 	res, err := s.Run(ctx, n, p, m, steps, prog, cfg)
 	if sp != nil {

@@ -14,6 +14,7 @@ func TestSchemesRegistryComplete(t *testing.T) {
 		"blocked":          {1, 2, 3},
 		"blocked-analytic": {1},
 		"multi":            {1, 2, 3},
+		"multi-theta":      {1, 2, 3},
 	}
 	seen := map[string]map[int]bool{}
 	for _, s := range Schemes {

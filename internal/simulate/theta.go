@@ -1,0 +1,132 @@
+package simulate
+
+import (
+	"bsmp/internal/cost"
+	"bsmp/internal/obs"
+	"bsmp/internal/sched"
+)
+
+// This file is the Θ-model execution engine: playScheduleEvents runs the
+// same multiSchedule as playSchedule, but on the event-driven scheduler
+// core (internal/sched) with a pluggable cost.DelayModel instead of the
+// lockstep phase barrier.
+//
+// Model semantics (the theta-model of the PSync line of work, and the
+// round-based full-information models it descends from): computation
+// proceeds in communication-closed waves — one per schedule segment —
+// and every distance-proportional charge (rearrangement and Regime 1
+// transfers, Regime 2 exchanges) takes an adversarially chosen but
+// bounded time in [d, Θ·d], drawn deterministically from (seed, proc,
+// seq). Compute charges are never stretched: bounded-speed propagation
+// delays messages, not local work. Each wave ends in a join that idles
+// stragglers to the wave's completion time, charging the wait to Sync —
+// the asynchronous analogue of the barrier, except that only processors
+// that are actually behind pay it.
+//
+// Why Θ = 1 recovers lockstep bit-identically: at Θ = 1 every delay
+// factor is exactly 1, so ChargeDelayed charges exactly the lockstep
+// values through the same Meter.Charge path — each processor sums the
+// same floats in the same order — and since the per-processor charges
+// of any multiSchedule wave are identical across processors, every join
+// finds all clocks already equal and idles nobody. The event queue then
+// dispatches each wave as a single batch in ascending processor order,
+// which is exactly the lockstep charge order. Virtual times, ledgers,
+// phase marks and the PhaseBreakdown all come out bit-identical to
+// playSchedule (pinned by TestMultiThetaGoldenAtOne).
+
+// playScheduleAuto selects the schedule engine: the lockstep barrier
+// player when no delay model is configured, the event-driven queue
+// player otherwise.
+func playScheduleAuto(tr *obs.Tracer, p int, sch multiSchedule, dm cost.DelayModel) (*cost.Bank, cost.Time) {
+	if dm == nil {
+		return playSchedule(tr, p, sch)
+	}
+	return playScheduleEvents(tr, p, sch, dm)
+}
+
+// playScheduleEvents charges sch into a fresh p-processor bank through
+// the event-driven scheduler under delay model dm, with the same phase
+// marks and span structure as playSchedule. It returns the bank and the
+// preprocessing finish time (0 without prep).
+func playScheduleEvents(tr *obs.Tracer, p int, sch multiSchedule, dm cost.DelayModel) (*cost.Bank, cost.Time) {
+	bank := cost.NewBank(p)
+	bank.SetDelayModel(dm)
+	q := sched.New()
+	schedSpan := tr.Start("schedule")
+
+	// wave runs one schedule segment: p charge events on the queue (at
+	// each processor's current clock — after a join these coincide, so
+	// the wave dispatches as one deterministic batch) followed by the
+	// join. A nil charge emits the mark and span only, like an empty
+	// lockstep phase.
+	wave := func(name string, charge func(i int)) {
+		bank.Mark(name)
+		sp := tr.Start("phase:" + name)
+		var at0 cost.Time
+		var l0 cost.Ledger
+		if sp != nil {
+			at0 = bank.MaxNow()
+			l0 = bank.Ledgers()
+		}
+		if charge != nil {
+			for i := 0; i < p; i++ {
+				i := i
+				q.At(bank.Proc(i).Now(), i, func() { charge(i) })
+			}
+			q.Run()
+			// Join: stragglers idle to the wave's completion, charged
+			// to Sync inside this phase's attribution interval. At
+			// Θ = 1 all clocks are already equal and this is a no-op.
+			t := bank.MaxNow()
+			for i := 0; i < p; i++ {
+				bank.Proc(i).Idle(t)
+			}
+		}
+		if sp != nil {
+			sp.SetAttr("vtime", bank.MaxNow()-at0)
+			l1 := bank.Ledgers()
+			delta := l1.Sub(&l0)
+			for _, c := range cost.Categories() {
+				if t := delta.Total(c); t != 0 {
+					sp.SetAttr(c.String(), t)
+				}
+			}
+			sp.End()
+		}
+	}
+
+	var prep cost.Time
+	if sch.hasPrep {
+		wave(cost.PhaseRearrange, func(i int) {
+			bank.ChargeDelayed(i, cost.Transfer, sch.prep)
+		})
+		prep = bank.MaxNow()
+	} else {
+		wave(cost.PhaseRearrange, nil)
+	}
+	if len(sch.regime1) > 0 {
+		wave(cost.PhaseRegime1, func(i int) {
+			for _, c := range sch.regime1 {
+				bank.ChargeDelayed(i, cost.Transfer, c)
+			}
+		})
+	} else {
+		wave(cost.PhaseRegime1, nil)
+	}
+	for r := 0; r < sch.domains; r++ {
+		wave(cost.PhaseRegime2Exec, func(i int) {
+			bank.Proc(i).Charge(cost.Compute, sch.exec)
+		})
+		wave(cost.PhaseRegime2Exchange, func(i int) {
+			bank.ChargeDelayed(i, sch.exchCat, sch.exch)
+		})
+	}
+	if schedSpan != nil {
+		schedSpan.SetAttr("vtime", bank.MaxNow())
+		schedSpan.SetAttr("domains", float64(sch.domains))
+		schedSpan.SetAttr("theta", dm.Theta())
+		schedSpan.SetAttr("events", float64(q.Dispatched()))
+		schedSpan.End()
+	}
+	return bank, prep
+}

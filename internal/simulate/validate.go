@@ -49,6 +49,26 @@ func perr(scheme, field, constraint string, got int) *ParamError {
 	return &ParamError{Scheme: scheme, Field: field, Constraint: constraint, Got: got}
 }
 
+// perrF builds a ParamError for scheme with a float Got (the Θ-model
+// delay ratio is the registry's only non-integer parameter).
+func perrF(scheme, field, constraint string, got float64) *ParamError {
+	return &ParamError{Scheme: scheme, Field: field, Constraint: constraint, Got: got}
+}
+
+// validateTheta checks the Θ-model delay ratio: 0 means unset (the
+// scheme default applies), any other value must be finite and >= 1 —
+// delays live in [distance, Θ·distance], so a ratio below 1 would mean
+// faster-than-bounded-speed propagation.
+func validateTheta(scheme string, theta float64) *ParamError {
+	if theta == 0 {
+		return nil
+	}
+	if math.IsNaN(theta) || math.IsInf(theta, 0) || theta < 1 {
+		return perrF(scheme, "theta", "delay ratio Θ must be finite and >= 1", theta)
+	}
+	return nil
+}
+
 // exactSqrt returns (√n, true) when n is a perfect square — the
 // error-returning sibling of analytic.IntSqrtExact for the validation
 // boundary, where a bad shape is caller input rather than an invariant.
@@ -192,8 +212,8 @@ func validateBlocked(d, n, m, steps int) *ParamError {
 }
 
 // uniprocOnly is the Validate hook shared by the p = 1 schemes.
-func uniprocOnly(scheme string, d int) func(n, p, m, steps int) *ParamError {
-	return func(n, p, m, steps int) *ParamError {
+func uniprocOnly(scheme string, d int) func(n, p, m, steps int, cfg SchemeConfig) *ParamError {
+	return func(n, p, m, steps int, cfg SchemeConfig) *ParamError {
 		if p != 1 {
 			return perr(scheme, "p", "uniprocessor scheme requires p = 1", p)
 		}
@@ -204,10 +224,16 @@ func uniprocOnly(scheme string, d int) func(n, p, m, steps int) *ParamError {
 // ValidateParams checks a full (scheme, d, n, p, m, steps) tuple against
 // the registered scheme's constraints without constructing anything,
 // returning nil or a typed *ParamError (or the registry's lookup error
-// for an unknown (name, d) pair). RunScheme calls it before dispatching,
-// so no parameter combination reachable through the registry can trip an
-// internal constructor panic.
-func ValidateParams(name string, d, n, p, m, steps int) error {
+// for an unknown (name, d) pair). The optional cfg carries the per-run
+// knobs some schemes constrain (the multi-theta delay ratio Θ); omitting
+// it validates against the zero config. RunScheme calls it before
+// dispatching, so no parameter combination reachable through the
+// registry can trip an internal constructor panic.
+func ValidateParams(name string, d, n, p, m, steps int, cfg ...SchemeConfig) error {
+	var c SchemeConfig
+	if len(cfg) > 0 {
+		c = cfg[0]
+	}
 	s, err := SchemeByName(name, d)
 	if err != nil {
 		return err
@@ -216,7 +242,7 @@ func ValidateParams(name string, d, n, p, m, steps int) error {
 		return e
 	}
 	if s.Validate != nil {
-		if e := s.Validate(n, p, m, steps); e != nil {
+		if e := s.Validate(n, p, m, steps, c); e != nil {
 			return e
 		}
 	}

@@ -51,6 +51,22 @@ echo "$PROM" | grep -q '^bsmpd_run_latency_seconds_bucket{le="+Inf"} ' || fail "
 echo "$PROM" | grep -qE '^bsmpd_run_latency_seconds_count [1-9]' || fail "latency histogram empty after a run"
 echo "$PROM" | grep -q '^# TYPE bsmpd_queue_wait_seconds histogram' || fail "queue-wait histogram missing"
 
+# Θ-model round trip: the multi-theta scheme accepts the theta config
+# field, echoes it, runs slower than its Θ = 1 default (same tuple,
+# distinct cache entries), and a sub-1 ratio answers a structured 400.
+THETA1='{"scheme": "multi-theta", "d": 1, "n": 256, "p": 8, "m": 16, "steps": 64}'
+THETA3='{"scheme": "multi-theta", "d": 1, "n": 256, "p": 8, "m": 16, "steps": 64, "config": {"theta": 3, "theta_seed": 7}}'
+T1=$(curl -fsS -X POST --data "$THETA1" "$BASE/v1/run") || fail "multi-theta default run errored"
+echo "$T1" | grep -q '"cached":false' || fail "multi-theta default unexpectedly cached: $T1"
+T3=$(curl -fsS -X POST --data "$THETA3" "$BASE/v1/run") || fail "multi-theta theta=3 run errored"
+echo "$T3" | grep -q '"theta":3' || fail "theta not echoed: $T3"
+echo "$T3" | grep -q '"cached":false' || fail "theta=3 aliased the default run's cache entry: $T3"
+TBAD="$(mktemp)"
+TSTATUS=$(curl -s -o "$TBAD" -w '%{http_code}' -X POST --data '{"scheme": "multi-theta", "d": 1, "n": 256, "p": 8, "m": 16, "steps": 64, "config": {"theta": 0.5}}' "$BASE/v1/run")
+[ "$TSTATUS" = 400 ] || fail "theta=0.5 got status $TSTATUS, want 400: $(cat "$TBAD")"
+grep -q '"field":"theta"' "$TBAD" || fail "400 body does not name field theta: $(cat "$TBAD")"
+curl -fsS "$BASE/metrics.prom" | grep -q '^bsmpd_theta_run_latency_seconds_bucket{le="+Inf"} ' || fail "theta latency histogram missing"
+
 # Traced run: ?trace=1 returns the span timeline inline and bypasses the
 # cache; tracecheck verifies children vtimes telescope to their parents
 # and a schedule span matches time + prep_time.
