@@ -153,6 +153,18 @@ func scanMeasurements(r io.Reader) ([]measurement, map[string]map[string]bool, e
 	return measured, seen, sc.Err()
 }
 
+// warnNoBaseline builds the summary warning for benchmarks that ran with
+// no baseline entry, or "" when there is nothing to warn about. With no
+// baseline file at all every measurement is uncompared by design, so the
+// warning only fires when a baseline was actually loaded.
+func warnNoBaseline(baseline string, names []string) string {
+	if baseline == "" || len(names) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("benchdiff: warning: %d benchmark(s) measured with no baseline entry in %s: %s",
+		len(names), baseline, strings.Join(names, ", "))
+}
+
 func main() {
 	baseline := flag.String("baseline", "", "baseline JSON (BENCH_pr*.json shape); empty = no time comparison")
 	maxRatio := flag.Float64("max-ratio", 0, "fail if measured ns/op exceeds baseline by this factor; 0 = report only")
@@ -201,6 +213,7 @@ func main() {
 
 	failed := false
 	usedBase := make([]bool, len(base))
+	var unbaselined []string
 	for _, name := range strings.Split(*require, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
@@ -225,6 +238,7 @@ func main() {
 			fmt.Printf("new      %-28s %12.0f ns/op (ambiguous baseline)\n", label, m.nsOp)
 		case !found:
 			fmt.Printf("new      %-28s %12.0f ns/op (no baseline)\n", label, m.nsOp)
+			unbaselined = append(unbaselined, label)
 		default:
 			ratio := m.nsOp / want
 			verdict := "ok"
@@ -234,6 +248,14 @@ func main() {
 			}
 			fmt.Printf("%-8s %-28s %12.0f ns/op  baseline %12.0f  ratio %5.2f\n", verdict, label, m.nsOp, want, ratio)
 		}
+	}
+	// Benchmarks that ran without a baseline entry are summarized as one
+	// labeled, non-fatal warning: a new benchmark must not wedge the gate
+	// (its entry only lands when the next BENCH_pr*.json is recorded), but
+	// a silently uncompared measurement is how regressions slip through —
+	// so the gap is called out explicitly instead of just line-by-line.
+	if w := warnNoBaseline(*baseline, unbaselined); w != "" {
+		fmt.Fprintln(os.Stderr, w)
 	}
 	// Baseline entries no measurement matched are informational, never a
 	// failure: benchmarks get renamed or retired across PRs, and a stale

@@ -118,3 +118,18 @@ func TestPkgMatches(t *testing.T) {
 		t.Error("different packages must not match")
 	}
 }
+
+func TestWarnNoBaseline(t *testing.T) {
+	if got := warnNoBaseline("", []string{"BenchmarkNew"}); got != "" {
+		t.Errorf("no baseline file: warning = %q, want none (everything is uncompared by design)", got)
+	}
+	if got := warnNoBaseline("BENCH_pr8.json", nil); got != "" {
+		t.Errorf("no unbaselined benchmarks: warning = %q, want none", got)
+	}
+	got := warnNoBaseline("BENCH_pr8.json", []string{"BenchmarkSweepStream", "BenchmarkNewThing"})
+	for _, want := range []string{"warning", "2 benchmark(s)", "BENCH_pr8.json", "BenchmarkSweepStream", "BenchmarkNewThing"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("warning %q missing %q", got, want)
+		}
+	}
+}

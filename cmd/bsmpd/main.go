@@ -3,6 +3,9 @@
 //
 //	POST /v1/run       run a simulation (cached, pooled, validated;
 //	                   ?trace=1 returns the span timeline inline)
+//	POST /v1/sweep     evaluate a parameter grid server-side, streaming
+//	                   NDJSON rows as points complete (?trace=1 merges
+//	                   per-row spans under one sweep root)
 //	GET  /v1/bounds    closed-form Theorem 1 quantities
 //	GET  /v1/schemes   scheme registry listing
 //	GET  /healthz      liveness (503 while draining)
@@ -42,6 +45,8 @@ func main() {
 	flag.IntVar(&cfg.MaxM, "max-m", 1<<12, "largest accepted memory density m")
 	flag.IntVar(&cfg.MaxSteps, "max-steps", 1<<12, "largest accepted step count")
 	flag.IntVar(&cfg.MemoCapacity, "memo-cap", 0, "unified memo store entry bound (kernels + subtree records); 0 = library default, negative disables memoization")
+	flag.IntVar(&cfg.MaxSweepPoints, "max-sweep-points", 4096, "largest grid one /v1/sweep may expand to")
+	flag.IntVar(&cfg.SweepParallel, "sweep-parallel", 0, "pool slots one sweep may occupy at once (0 = workers)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	debugAddr := flag.String("debug-addr", "", "listen address for net/http/pprof (empty = disabled)")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")

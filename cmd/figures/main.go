@@ -4,15 +4,146 @@
 // recursion, and the partition of the d = 2 domain — each checked for
 // exact coverage and the topological-partition property, and rendered as
 // ASCII art.
+//
+// With -sweep it instead reads /v1/sweep NDJSON rows on stdin and
+// renders the measured processor-time tradeoff surface as a sorted
+// table — the figures pipeline for server-swept grids:
+//
+//	curl -sN -d @grid.json localhost:8080/v1/sweep | figures -sweep
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"sort"
 
 	"bsmp/internal/exp"
 )
+
+// sweepRunRow mirrors the /v1/run response fields the table needs.
+type sweepRunRow struct {
+	Scheme string  `json:"scheme"`
+	D      int     `json:"d"`
+	N      int     `json:"n"`
+	P      int     `json:"p"`
+	M      int     `json:"m"`
+	Steps  int     `json:"steps"`
+	Theta  float64 `json:"theta"`
+	Time   float64 `json:"time"`
+	Bound  float64 `json:"theorem1_bound"`
+	Cached bool    `json:"cached"`
+}
+
+// sweepLine is one NDJSON line of a /v1/sweep response.
+type sweepLine struct {
+	Index  int          `json:"index"`
+	Result *sweepRunRow `json:"result"`
+	Error  *struct {
+		Message string `json:"message"`
+	} `json:"error"`
+	Done *bool `json:"done"`
+}
+
+// renderSweep reads sweep NDJSON from stdin and prints the tradeoff
+// table sorted by (scheme, d, n, p, m, steps, theta), plus — when more
+// than one scheme appears — the winning scheme per (n, p) cell.
+func renderSweep() error {
+	var rows []sweepRunRow
+	errs := 0
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var line sweepLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return fmt.Errorf("figures: line %q: %w", sc.Text(), err)
+		}
+		switch {
+		case line.Done != nil:
+			// summary line — totals already implicit in the table
+		case line.Error != nil:
+			errs++
+			fmt.Fprintf(os.Stderr, "figures: row %d errored: %s\n", line.Index, line.Error.Message)
+		case line.Result != nil:
+			rows = append(rows, *line.Result)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("figures: no sweep result rows on stdin")
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.Scheme != b.Scheme {
+			return a.Scheme < b.Scheme
+		}
+		if a.D != b.D {
+			return a.D < b.D
+		}
+		if a.N != b.N {
+			return a.N < b.N
+		}
+		if a.P != b.P {
+			return a.P < b.P
+		}
+		if a.M != b.M {
+			return a.M < b.M
+		}
+		if a.Steps != b.Steps {
+			return a.Steps < b.Steps
+		}
+		return a.Theta < b.Theta
+	})
+	fmt.Printf("%-12s %2s %7s %5s %5s %6s %6s %14s %14s %7s\n",
+		"scheme", "d", "n", "p", "m", "steps", "theta", "time", "bound", "t/bound")
+	schemes := map[string]bool{}
+	for _, r := range rows {
+		schemes[r.Scheme] = true
+		ratio := 0.0
+		if r.Bound > 0 {
+			ratio = r.Time / r.Bound
+		}
+		fmt.Printf("%-12s %2d %7d %5d %5d %6d %6.2f %14.1f %14.1f %7.2f\n",
+			r.Scheme, r.D, r.N, r.P, r.M, r.Steps, r.Theta, r.Time, r.Bound, ratio)
+	}
+	if len(schemes) > 1 {
+		type cell struct{ n, p int }
+		best := map[cell]sweepRunRow{}
+		for _, r := range rows {
+			c := cell{r.N, r.P}
+			if b, ok := best[c]; !ok || r.Time < b.Time {
+				best[c] = r
+			}
+		}
+		var cells []cell
+		for c := range best {
+			cells = append(cells, c)
+		}
+		sort.Slice(cells, func(i, j int) bool {
+			if cells[i].n != cells[j].n {
+				return cells[i].n < cells[j].n
+			}
+			return cells[i].p < cells[j].p
+		})
+		fmt.Printf("\nfastest scheme per (n, p):\n")
+		for _, c := range cells {
+			b := best[c]
+			fmt.Printf("  n=%-7d p=%-5d %-12s time %.1f\n", c.n, c.p, b.Scheme, b.Time)
+		}
+	}
+	if errs > 0 {
+		fmt.Fprintf(os.Stderr, "figures: %d sweep row(s) errored\n", errs)
+	}
+	return nil
+}
 
 func main() {
 	n := flag.Int("n", 24, "d=1 rendering size")
@@ -20,7 +151,15 @@ func main() {
 	s := flag.Int("s", 6, "diamond width for the zig-zag rendering")
 	side := flag.Int("side", 12, "d=2 rendering side")
 	slice := flag.Int("t", 4, "time slice for the Figure 4 rendering")
+	sweep := flag.Bool("sweep", false, "read /v1/sweep NDJSON rows on stdin and render the tradeoff table")
 	flag.Parse()
+
+	if *sweep {
+		if err := renderSweep(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	tabs, err := exp.Figures()
 	if err != nil {

@@ -163,6 +163,17 @@ func (t *Tracer) Roots() []*Span {
 	return t.roots
 }
 
+// Epoch returns the tracer's construction time — the zero point of its
+// spans' StartNS offsets. Mergers of multi-tracer timelines (the sweep
+// endpoint encloses per-row tracers under one root) rebase spans onto a
+// common epoch by shifting StartNS by the epoch difference.
+func (t *Tracer) Epoch() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.epoch
+}
+
 // Len reports the number of recorded spans.
 func (t *Tracer) Len() int {
 	if t == nil {

@@ -115,6 +115,11 @@ type RunResponse struct {
 	// Trace is the run's span timeline (?trace=1 only): nested spans
 	// with wall durations and virtual-time attributes.
 	Trace []*bsmp.Span `json:"trace,omitempty"`
+
+	// traceEpoch is the row tracer's construction time (zero point of
+	// Trace's StartNS offsets); the sweep endpoint uses it to rebase
+	// per-row timelines under one sweep root. Not serialized.
+	traceEpoch time.Time
 }
 
 // BoundsResponse is the closed-form Theorem 1 payload for /v1/bounds.
@@ -188,6 +193,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	req.Trace = r.URL.Query().Get("trace") == "1"
 
+	// Canonicalize AFTER validation: "theta": 1 spelled out and theta
+	// omitted are the same lockstep-equivalent simulation (and an unused
+	// theta_seed is inert), so they must share one cache entry and one
+	// execution instead of duplicating both.
+	req = req.canonical()
 	key := cacheKey(req)
 	if req.Trace {
 		// Traced runs bypass the cache in both directions — the timeline
@@ -236,29 +246,38 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// writeRunError maps an execution failure onto the HTTP surface.
-func (s *Server) writeRunError(w http.ResponseWriter, err error) {
+// classifyRunError maps an execution failure onto the HTTP surface — the
+// status code and structured error detail — and counts it. Shared by the
+// single-run handler (which writes it as the whole response) and the
+// sweep handler (which embeds it in the failing row).
+func (s *Server) classifyRunError(err error) (int, ErrorDetail) {
 	var pe *bsmp.ParamError
 	var pz *PanicError
 	switch {
 	case errors.As(err, &pz):
 		s.vars.Add("panics_recovered", 1)
-		writeError(w, http.StatusInternalServerError, "internal", err.Error(), nil)
+		return http.StatusInternalServerError, ErrorDetail{Kind: "internal", Message: err.Error()}
 	case errors.Is(err, ErrQueueFull):
 		s.vars.Add("queue_rejects", 1)
-		writeError(w, http.StatusTooManyRequests, "queue_full", err.Error(), nil)
+		return http.StatusTooManyRequests, ErrorDetail{Kind: "queue_full", Message: err.Error()}
 	case errors.Is(err, ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, "draining", err.Error(), nil)
+		return http.StatusServiceUnavailable, ErrorDetail{Kind: "draining", Message: err.Error()}
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		s.vars.Add("deadline_timeouts", 1)
-		writeError(w, http.StatusGatewayTimeout, "deadline", "request deadline exceeded", nil)
+		return http.StatusGatewayTimeout, ErrorDetail{Kind: "deadline", Message: "request deadline exceeded"}
 	case errors.As(err, &pe):
-		writeError(w, http.StatusBadRequest, "param", err.Error(), pe)
+		return http.StatusBadRequest, ErrorDetail{Kind: "param", Message: err.Error(), Param: pe}
 	default:
 		// Remaining failures are tuple/config mismatches reported by the
 		// scheme itself (e.g. a strip width that does not divide n/p).
-		writeError(w, http.StatusBadRequest, "param", err.Error(), nil)
+		return http.StatusBadRequest, ErrorDetail{Kind: "param", Message: err.Error()}
 	}
+}
+
+// writeRunError maps an execution failure onto the HTTP surface.
+func (s *Server) writeRunError(w http.ResponseWriter, err error) {
+	status, detail := s.classifyRunError(err)
+	writeError(w, status, detail.Kind, detail.Message, detail.Param)
 }
 
 // checkCaps enforces the server-side size limits — valid paper geometry
@@ -278,9 +297,37 @@ func (s *Server) checkCaps(req RunRequest) *bsmp.ParamError {
 	return nil
 }
 
+// canonical maps every spelling of the same simulation onto one request
+// value, so the cache key (and flight key) below cannot split
+// semantically identical requests into distinct entries. Applied AFTER
+// validation — validation judges the request as written (lockstep
+// schemes still reject an explicit theta), canonicalization only
+// collapses spellings the engines treat identically:
+//
+//   - guest "" is the documented mixca default;
+//   - theta 1 is exactly the lockstep default the multi-theta scheme
+//     normalizes an unset (0) theta to, bit-identical by the Θ = 1
+//     golden tests;
+//   - theta_seed selects delay draws only when a Θ-model is active
+//     (theta != 0 after the rule above), so under lockstep it is inert
+//     and resets to 0.
+func (req RunRequest) canonical() RunRequest {
+	if req.Guest == "" {
+		req.Guest = "mixca"
+	}
+	if req.Config.Theta == 1 {
+		req.Config.Theta = 0
+	}
+	if req.Config.Theta == 0 {
+		req.Config.ThetaSeed = 0
+	}
+	return req
+}
+
 // cacheKey serializes the full request tuple — scheme, dimension, sizes,
 // guest, seed, and every SchemeConfig knob — so distinct runs never
-// alias.
+// alias. Callers key canonical() requests: the tuple identifies the
+// simulation, not its JSON spelling.
 func cacheKey(req RunRequest) string {
 	return fmt.Sprintf("%s|d=%d|n=%d|p=%d|m=%d|steps=%d|g=%s|seed=%d|leaf=%d|sw=%d|so=%d|nr=%t|nc=%t|th=%g|ths=%d",
 		req.Scheme, req.D, req.N, req.P, req.M, req.Steps, req.Guest, req.Seed,
@@ -391,6 +438,7 @@ func (s *Server) execute(ctx context.Context, req RunRequest) (*RunResponse, err
 	}
 	if tr != nil {
 		resp.Trace = tr.Roots()
+		resp.traceEpoch = tr.Epoch()
 	}
 	return resp, nil
 }

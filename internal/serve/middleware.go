@@ -136,6 +136,14 @@ func (c *countingWriter) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the wrapped writer so streaming handlers (the
+// /v1/sweep NDJSON rows) can flush through the counting middleware.
+func (c *countingWriter) Flush() {
+	if f, ok := c.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 func (c *countingWriter) status() int {
 	if !c.wrote {
 		return http.StatusOK

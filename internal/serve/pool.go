@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -33,6 +34,13 @@ type Pool struct {
 	jobs chan poolJob
 	wg   sync.WaitGroup
 
+	// queued counts jobs enqueued and not yet settled — the queue-depth
+	// gauge. A job settles when a worker dequeues it OR when its
+	// requester gives up while it is still queued, whichever comes
+	// first, so an abandoned job leaves the gauge the moment nobody is
+	// waiting on it rather than when a worker eventually skips it.
+	queued atomic.Int64
+
 	mu          sync.Mutex
 	closed      bool
 	observeWait func(seconds float64)
@@ -47,6 +55,26 @@ type poolJob struct {
 	// so SetQueueWaitObserver never races a worker.
 	submitted   time.Time
 	observeWait func(seconds float64)
+	// queued points at the pool's depth gauge; settled guarantees the
+	// decrement + wait observation happen exactly once even though both
+	// the worker (at dequeue) and the requester (on cancellation while
+	// queued) race to settle the job.
+	queued  *atomic.Int64
+	settled *atomic.Bool
+}
+
+// settle ends the job's queue residency exactly once: it decrements the
+// depth gauge and observes the queue wait. Both the dequeuing worker and
+// a requester abandoning a still-queued job call it; the CAS makes the
+// second call a no-op.
+func (j *poolJob) settle() {
+	if !j.settled.CompareAndSwap(false, true) {
+		return
+	}
+	j.queued.Add(-1)
+	if j.observeWait != nil {
+		j.observeWait(time.Since(j.submitted).Seconds())
+	}
 }
 
 type poolResult struct {
@@ -83,11 +111,9 @@ func (p *Pool) SetQueueWaitObserver(f func(seconds float64)) {
 func (p *Pool) worker() {
 	defer p.wg.Done()
 	for j := range p.jobs {
-		// Queue wait is observed for every dequeued job — a requester
-		// that gave up while queued still waited.
-		if j.observeWait != nil {
-			j.observeWait(time.Since(j.submitted).Seconds())
-		}
+		// Queue residency ends at dequeue — unless the requester already
+		// settled the job when it gave up while queued.
+		j.settle()
 		// A job whose requester already gave up (deadline passed while
 		// queued) is skipped rather than computed for nobody.
 		if err := j.ctx.Err(); err != nil {
@@ -117,27 +143,44 @@ func runJob(ctx context.Context, fn func(ctx context.Context) (any, error)) (val
 // immediately; the buffered done channel lets the worker move on as soon
 // as the (now-cancelled) job unwinds.
 func (p *Pool) Do(ctx context.Context, fn func(ctx context.Context) (any, error)) (any, error) {
-	j := poolJob{ctx: ctx, fn: fn, done: make(chan poolResult, 1), submitted: time.Now()}
+	j := poolJob{
+		ctx: ctx, fn: fn, done: make(chan poolResult, 1), submitted: time.Now(),
+		queued: &p.queued, settled: new(atomic.Bool),
+	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return nil, ErrDraining
 	}
 	j.observeWait = p.observeWait
+	// The gauge covers the enqueue attempt itself so a worker dequeuing
+	// (and settling) the job immediately can never drive it negative.
+	p.queued.Add(1)
 	select {
 	case p.jobs <- j:
 		p.mu.Unlock()
 	default:
 		p.mu.Unlock()
+		p.queued.Add(-1)
 		return nil, ErrQueueFull
 	}
 	select {
 	case r := <-j.done:
 		return r.val, r.err
 	case <-ctx.Done():
+		// The requester abandons a possibly-still-queued job. The job
+		// keeps its channel slot until a worker drains it, but its queue
+		// residency — depth gauge and wait sample — is accounted here,
+		// exactly once, even if a worker dequeues it concurrently.
+		j.settle()
 		return nil, ctx.Err()
 	}
 }
+
+// QueueDepth reports the number of jobs currently waiting for a worker.
+// Abandoned jobs leave the count when their requester gives up, not when
+// a worker eventually drains them.
+func (p *Pool) QueueDepth() int64 { return p.queued.Load() }
 
 // Close stops accepting jobs and blocks until every queued and running
 // job has finished — the graceful-drain half of server shutdown.

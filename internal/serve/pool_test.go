@@ -126,6 +126,68 @@ func TestPoolCancelReleasesSlot(t *testing.T) {
 	}
 }
 
+// A request cancelled while its job is still queued (never started) must
+// still settle its queue accounting: the depth gauge decrements the
+// moment the requester gives up — not when a worker eventually drains
+// the abandoned slot — and the queue-wait observer fires exactly once
+// for the job, never twice (requester and worker racing to settle).
+func TestPoolQueuedCancelSettlesOnce(t *testing.T) {
+	p := NewPool(1, 2)
+	var waits atomic.Int64
+	p.SetQueueWaitObserver(func(float64) { waits.Add(1) })
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.Do(context.Background(), func(context.Context) (any, error) {
+			close(started)
+			<-release
+			return nil, nil
+		})
+	}()
+	<-started // the single worker is busy; its job settled at dequeue
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Do(ctx, func(context.Context) (any, error) { ran.Store(true); return nil, nil })
+		done <- err
+	}()
+	for p.QueueDepth() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel() // expire the job while it is still queued
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued-then-cancelled Do = %v, want Canceled", err)
+	}
+	// The gauge drops immediately — the worker is still busy and has not
+	// touched the abandoned job.
+	if d := p.QueueDepth(); d != 0 {
+		t.Fatalf("QueueDepth after queued cancel = %d, want 0", d)
+	}
+	if w := waits.Load(); w != 2 {
+		t.Fatalf("queue-wait observations = %d, want 2 (occupying job + cancelled job)", w)
+	}
+	close(release)
+	wg.Wait()
+	p.Close() // the worker drains (and skips) the abandoned slot
+	if ran.Load() {
+		t.Fatal("worker ran a job whose requester had already given up")
+	}
+	// The worker's dequeue of the abandoned job must NOT re-observe its
+	// wait or re-decrement the gauge.
+	if w := waits.Load(); w != 2 {
+		t.Fatalf("queue-wait observations after drain = %d, want 2 (abandoned job settled twice)", w)
+	}
+	if d := p.QueueDepth(); d != 0 {
+		t.Fatalf("QueueDepth after drain = %d, want 0", d)
+	}
+}
+
 func TestPoolSkipsExpiredQueuedJobs(t *testing.T) {
 	p := NewPool(1, 1)
 	release := make(chan struct{})

@@ -25,6 +25,8 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 		"Guest size n*steps of completed simulations.", s.sizeHist)
 	writePromHist(w, "bsmpd_theta_run_latency_seconds",
 		"Execution latency of Θ-model (theta != 0) runs only.", s.thetaHist)
+	writePromHist(w, "bsmpd_sweep_row_latency_seconds",
+		"Completion latency of executed /v1/sweep grid rows (cache hits excluded).", s.sweepRowHist)
 	writePromMemoLevels(w)
 	s.vars.Do(func(kv expvar.KeyValue) {
 		// Non-scalar vars (the histogram snapshots above and the memo

@@ -17,8 +17,9 @@
 //   - graceful shutdown: /healthz flips to 503 draining, in-flight
 //     simulations finish, then the listener closes.
 //
-// Endpoints: POST /v1/run, GET /v1/bounds, GET /v1/schemes,
-// GET /healthz, GET /metrics (expvar-style JSON).
+// Endpoints: POST /v1/run, POST /v1/sweep (NDJSON-streamed parameter
+// grids), GET /v1/bounds, GET /v1/schemes, GET /healthz, GET /metrics
+// (expvar-style JSON), GET /metrics.prom.
 package serve
 
 import (
@@ -66,6 +67,13 @@ type Config struct {
 	// (simulate.DefaultMemoCapacity); a negative value disables
 	// memoization entirely.
 	MemoCapacity int
+	// MaxSweepPoints caps how many grid points one /v1/sweep may expand
+	// to (default 4096); larger grids get a structured 400.
+	MaxSweepPoints int
+	// SweepParallel bounds how many grid points of a single sweep may
+	// occupy pool slots at once, so one sweep cannot monopolize the
+	// queue against interactive /v1/run traffic (default Workers).
+	SweepParallel int
 	// Logger receives the daemon's structured JSON records: one access
 	// line per request (with its generated request ID) and run
 	// start/done/failed lifecycle lines. Nil discards them.
@@ -96,6 +104,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSteps == 0 {
 		c.MaxSteps = 1 << 12
+	}
+	if c.MaxSweepPoints == 0 {
+		c.MaxSweepPoints = 4096
+	}
+	if c.SweepParallel < 1 {
+		c.SweepParallel = c.Workers
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
@@ -139,6 +153,14 @@ type Server struct {
 	inflightMu sync.Mutex
 	inflight   map[*bsmp.Progress]struct{}
 
+	// sweepsLive registers every streaming sweep for the live gauges;
+	// sweepSem bounds total sweep-held pool slots across all concurrent
+	// sweeps; sweepRowHist feeds bsmpd_sweep_row_latency_seconds.
+	sweepMu      sync.Mutex
+	sweepsLive   map[*sweepProgress]struct{}
+	sweepSem     chan struct{}
+	sweepRowHist *obs.Histogram
+
 	// runScheme executes a validated run request under ctx; tests
 	// substitute it to inject blocking or panicking work behind the full
 	// middleware, cache, and pool stack.
@@ -149,18 +171,22 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		cache:    NewCache(cfg.CacheEntries),
-		pool:     NewPool(cfg.Workers, cfg.QueueDepth),
-		vars:     new(expvar.Map).Init(),
-		inflight: make(map[*bsmp.Progress]struct{}),
-		log:      cfg.Logger,
-		bootID:   newBootID(),
+		cfg:       cfg,
+		cache:     NewCache(cfg.CacheEntries),
+		pool:      NewPool(cfg.Workers, cfg.QueueDepth),
+		vars:      new(expvar.Map).Init(),
+		inflight:  make(map[*bsmp.Progress]struct{}),
+		log:       cfg.Logger,
+		bootID:    newBootID(),
 		latHist:   obs.NewHistogram(0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30),
 		waitHist:  obs.NewHistogram(0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5),
 		sizeHist:  obs.NewHistogram(1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8),
 		thetaHist: obs.NewHistogram(0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30),
+
+		sweepsLive:   make(map[*sweepProgress]struct{}),
+		sweepRowHist: obs.NewHistogram(0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30),
 	}
+	s.sweepSem = make(chan struct{}, cfg.SweepParallel)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.runScheme = s.execute
 	if cfg.MemoCapacity != 0 {
@@ -171,6 +197,7 @@ func New(cfg Config) *Server {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/sweep", s.handleSweep)
 	mux.HandleFunc("/v1/bounds", s.handleBounds)
 	mux.HandleFunc("/v1/schemes", s.handleSchemes)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -260,6 +287,9 @@ func (s *Server) registerGauges() {
 		}
 		return v
 	}))
+	s.vars.Set("queue_depth", expvar.Func(func() any {
+		return s.pool.QueueDepth()
+	}))
 	s.vars.Set("kernel_cache_entries", expvar.Func(func() any {
 		e, _, _, _ := bsmp.KernelCacheStats()
 		return e
@@ -304,6 +334,23 @@ func (s *Server) registerGauges() {
 	s.vars.Set("queue_wait_seconds", expvar.Func(func() any { return s.waitHist.Snapshot() }))
 	s.vars.Set("run_vertices", expvar.Func(func() any { return s.sizeHist.Snapshot() }))
 	s.vars.Set("theta_run_latency_seconds", expvar.Func(func() any { return s.thetaHist.Snapshot() }))
+	s.vars.Set("sweep_row_latency_seconds", expvar.Func(func() any { return s.sweepRowHist.Snapshot() }))
+	// Live sweep progress: how many sweeps are streaming right now and
+	// how many of their grid points are still unresolved.
+	s.vars.Set("inflight_sweeps", expvar.Func(func() any {
+		s.sweepMu.Lock()
+		defer s.sweepMu.Unlock()
+		return len(s.sweepsLive)
+	}))
+	s.vars.Set("sweep_rows_pending", expvar.Func(func() any {
+		s.sweepMu.Lock()
+		defer s.sweepMu.Unlock()
+		var v int64
+		for p := range s.sweepsLive {
+			v += int64(p.total) - p.done.Load()
+		}
+		return v
+	}))
 }
 
 // newBootID returns the random prefix of this process's request IDs, so

@@ -94,6 +94,67 @@ func TestRunDistinctConfigsNotAliased(t *testing.T) {
 	}
 }
 
+// Regression: the cache key used to serialize the raw request tuple, so
+// semantically identical spellings — theta omitted vs explicitly 1,
+// theta_seed defaulted vs explicit 0, guest omitted vs "mixca" — split
+// into distinct cache entries and duplicate executions. Canonicalization
+// must collapse the whole equivalence class onto ONE entry and ONE
+// execution.
+func TestCacheKeyCanonicalizesDefaults(t *testing.T) {
+	s := New(Config{})
+	var calls atomic.Int64
+	s.runScheme = func(_ context.Context, req RunRequest) (*RunResponse, error) {
+		calls.Add(1)
+		return &RunResponse{Scheme: req.Scheme, Time: 42}, nil
+	}
+	spellings := []string{
+		`{"scheme": "multi-theta", "d": 1, "n": 64, "p": 4, "m": 4, "steps": 16}`,
+		`{"scheme": "multi-theta", "d": 1, "n": 64, "p": 4, "m": 4, "steps": 16, "config": {"theta": 1}}`,
+		`{"scheme": "multi-theta", "d": 1, "n": 64, "p": 4, "m": 4, "steps": 16, "config": {"theta": 1, "theta_seed": 0}}`,
+		// theta_seed only selects delay draws when a Θ-model is active;
+		// at the lockstep-equivalent Θ = 1 it is inert.
+		`{"scheme": "multi-theta", "d": 1, "n": 64, "p": 4, "m": 4, "steps": 16, "config": {"theta": 1, "theta_seed": 7}}`,
+		`{"scheme": "multi-theta", "d": 1, "n": 64, "p": 4, "m": 4, "steps": 16, "guest": "mixca"}`,
+	}
+	for i, body := range spellings {
+		w := postRun(t, s.Handler(), body)
+		if w.Code != http.StatusOK {
+			t.Fatalf("spelling %d: status = %d; body: %s", i, w.Code, w.Body)
+		}
+		resp := decodeRun(t, w)
+		if i == 0 && resp.Cached {
+			t.Fatal("first spelling marked cached")
+		}
+		if i > 0 && !resp.Cached {
+			t.Fatalf("spelling %d executed instead of hitting the canonical cache entry: %s", i, spellings[i])
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("executions = %d, want 1 for %d equivalent spellings", got, len(spellings))
+	}
+	if got := s.cache.Len(); got != 1 {
+		t.Fatalf("cache entries = %d, want 1 for %d equivalent spellings", got, len(spellings))
+	}
+	// A genuinely different theta still gets its own entry and run.
+	w := postRun(t, s.Handler(), `{"scheme": "multi-theta", "d": 1, "n": 64, "p": 4, "m": 4, "steps": 16, "config": {"theta": 2, "theta_seed": 7}}`)
+	if resp := decodeRun(t, w); resp.Cached {
+		t.Fatal("theta=2 aliased the lockstep-default entry")
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("executions after theta=2 = %d, want 2", got)
+	}
+	if got := s.cache.Len(); got != 2 {
+		t.Fatalf("cache entries after theta=2 = %d, want 2", got)
+	}
+	// Validation still judges the request as written: the lockstep multi
+	// scheme rejects an explicit theta even though canonicalization would
+	// have erased a theta of 1.
+	w = postRun(t, s.Handler(), `{"scheme": "multi", "d": 1, "n": 64, "p": 4, "m": 4, "steps": 16, "config": {"theta": 1}}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("lockstep multi with explicit theta: status = %d, want 400", w.Code)
+	}
+}
+
 func TestRunInvalidParams(t *testing.T) {
 	s := New(Config{})
 	cases := []struct {

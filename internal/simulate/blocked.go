@@ -83,7 +83,10 @@ func BlockedD1Context(ctx context.Context, n, m, steps, leafWidth int, prog netw
 	}
 	b := newBlockedExec(ctx, g, prog, m, iw, steps, leafWidth, geom)
 	root := g.Domain()
-	space := b.spaceNeeded(root)
+	space, err := b.spaceNeeded(root)
+	if err != nil {
+		return Result{}, err
+	}
 	var meter cost.Meter
 	b.mach = hram.New(space, hram.Standard(1, m), &meter, opts...)
 	if memoEnabled(ctx) {

@@ -79,7 +79,10 @@ func BlockedD3Context(ctx context.Context, n, m, steps, leafSpan int, prog netwo
 	}
 	b := newBlockedExec(ctx, g, prog, m, iw, steps, leafSpan, geom)
 	root := g.Domain()
-	space := b.spaceNeeded(root)
+	space, err := b.spaceNeeded(root)
+	if err != nil {
+		return Result{}, err
+	}
 	var meter cost.Meter
 	b.mach = hram.New(space, hram.Standard(3, m), &meter, opts...)
 	if memoEnabled(ctx) {

@@ -247,10 +247,16 @@ func (b *blockedExec) isLeaf(dom lattice.Domain) bool {
 }
 
 // spaceNeeded mirrors separator.SpaceNeeded for the two-kind value flow,
-// memoized per (comparable) domain value.
-func (b *blockedExec) spaceNeeded(dom lattice.Domain) int {
+// memoized per (comparable) domain value. The planning recursion visits
+// the entire domain tree before a single vertex executes — at large
+// (n, steps) that is seconds of work — so it polls cancellation at every
+// node; a caller that has already given up never reaches execution.
+func (b *blockedExec) spaceNeeded(dom lattice.Domain) (int, error) {
 	if s, ok := b.space[dom]; ok {
-		return s
+		return s, nil
+	}
+	if err := b.ec.poll(); err != nil {
+		return 0, err
 	}
 	spans := b.columns(dom)
 	in := b.inSize(dom, spans)
@@ -262,7 +268,11 @@ func (b *blockedExec) spaceNeeded(dom lattice.Domain) int {
 	} else {
 		smax, stage := 0, 0
 		for _, kid := range dom.Children() {
-			if s := b.spaceNeeded(kid); s > smax {
+			s, err := b.spaceNeeded(kid)
+			if err != nil {
+				return 0, err
+			}
+			if s > smax {
 				smax = s
 			}
 			stage += len(dag.LiveOut(b.g, kid)) + b.iw*len(b.columns(kid))
@@ -270,7 +280,7 @@ func (b *blockedExec) spaceNeeded(dom lattice.Domain) int {
 		out = smax + stage + in
 	}
 	b.space[dom] = out
-	return out
+	return out, nil
 }
 
 // exec implements the Proposition 2 recursion for the blocked value flow.
@@ -326,7 +336,10 @@ func (b *blockedExec) exec(dom lattice.Domain, space, depth int) error {
 		kidSpans := b.columns(kid)
 		kidGin := dag.Preboundary(b.g, kid)
 		live := dag.LiveOut(b.g, kid)
-		skid := b.spaceNeeded(kid)
+		skid, err := b.spaceNeeded(kid)
+		if err != nil {
+			return err
+		}
 
 		// Copy incoming data into the child's top slot: images first,
 		// then broadcast words. The override buffer is this depth's arena

@@ -49,6 +49,28 @@ func TestBlockedD2CancelMidRecursion(t *testing.T) {
 	}
 }
 
+// The planning recursion (spaceNeeded) walks the whole domain tree
+// before the first simulated vertex — seconds of work at this size. A
+// pre-cancelled context must abort out of planning, not only at the
+// first execution checkpoint after planning completes (which it did
+// once: ~12s of uncancellable setup for this very tuple).
+func TestBlockedPlanningCancellable(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	grid := guest.AsNetwork{G: guest.MixCA{Seed: 3}, Side: 64}
+	start := time.Now()
+	_, err := BlockedD2Context(ctx, 4096, 4, 513, 0, grid)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("BlockedD2Context with pre-cancelled ctx = %v, want context.Canceled", err)
+	}
+	// The fixed path unwinds in milliseconds; the bound is generous to
+	// absorb slow machines and -race, while still far below the seconds
+	// the unfixed planning recursion burned.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled planning took %v, want prompt unwind", elapsed)
+	}
+}
+
 // An already-cancelled context stops every engine at its first
 // checkpoint; none of them runs the simulation to completion.
 func TestPreCancelledContextStopsEveryEngine(t *testing.T) {

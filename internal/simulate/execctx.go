@@ -89,6 +89,23 @@ func (e *execCtx) hook() func(int) error {
 	return e.step
 }
 
+// poll is one unamortized, non-blocking cancellation check that counts
+// nothing: planning-phase recursions (spaceNeeded) run before the first
+// simulated vertex, where the per-node work dwarfs a channel poll, so a
+// cancelled run unwinds out of planning promptly instead of only after
+// the whole space computation completes.
+func (e *execCtx) poll() error {
+	if e.done == nil {
+		return nil
+	}
+	select {
+	case <-e.done:
+		return e.ctx.Err()
+	default:
+		return nil
+	}
+}
+
 // checkpoint marks a completed phase/recursion boundary: it counts the
 // phase, flushes pending vertices, and polls cancellation regardless of
 // the amortization window, so deep recursions with tiny leaves still

@@ -4,6 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
+
 	"bsmp/internal/cost"
 	"bsmp/internal/network"
 	"bsmp/internal/obs"
@@ -146,20 +149,67 @@ func progFingerprint(prog network.Program) string {
 	return fmt.Sprintf("%T:%+v", prog, prog)
 }
 
+// calFlight coalesces concurrent measurements of the same kernel key.
+// A server-side sweep fans a parameter grid across the worker pool; on a
+// cold cache every grid point sharing a (d, span, m, program) tuple
+// would otherwise launch its own identical calibration run. One leader
+// measures; concurrent duplicates wait for the stored value.
+var calFlight = struct {
+	mu sync.Mutex
+	m  map[kernelKey]chan struct{}
+}{m: make(map[kernelKey]chan struct{})}
+
+// calMeasurements counts actual calibration executions process-wide —
+// the observable the coalescing test pins (concurrent identical runs
+// must not multiply it).
+var calMeasurements atomic.Int64
+
 // kernel measures (or recalls) the per-domain execution kernel for span s
 // and density m: a real blocked-executor run of the dimension's span-cal,
 // cal-step calibration guest, halved, and volume-scaled when cal < s.
+// Concurrent requests for the same key coalesce onto one measurement.
 func (g *multiGeom) kernel(ctx context.Context, s, m int, prog network.Program) (float64, error) {
 	cal := g.calSpan(s)
 	calProg := g.calProg(cal, prog)
 	key := kernelKey{g.d, s, m, progFingerprint(calProg)}
-	if v, ok := kernelLoad(key); ok {
-		return v, nil
+	for {
+		if v, ok := kernelLoad(key); ok {
+			return v, nil
+		}
+		calFlight.mu.Lock()
+		if ch, ok := calFlight.m[key]; ok {
+			// Another goroutine is measuring this key: wait for it, then
+			// re-check the cache. A leader that failed (cancellation)
+			// stores nothing, and the retry elects a new leader under
+			// this goroutine's own context.
+			calFlight.mu.Unlock()
+			select {
+			case <-ch:
+				continue
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+		}
+		ch := make(chan struct{})
+		calFlight.m[key] = ch
+		calFlight.mu.Unlock()
+		v, err := g.measureKernel(ctx, key, cal, s, m, calProg)
+		calFlight.mu.Lock()
+		delete(calFlight.m, key)
+		calFlight.mu.Unlock()
+		close(ch)
+		return v, err
 	}
+}
+
+// measureKernel performs the actual calibration run for kernel() — the
+// leader's half of the coalescing protocol.
+func (g *multiGeom) measureKernel(ctx context.Context, key kernelKey, cal, s, m int, calProg network.Program) (float64, error) {
 	if s < 2 {
 		kernelStore(key, g.kernelFloor)
 		return g.kernelFloor, nil
 	}
+	calMeasurements.Add(1)
 	// Trace the actual measurement (cache hits return above without a
 	// span): calibration runs dominate a cold run's wall time, and the
 	// blocked executor the calibration drives nests its own "block"

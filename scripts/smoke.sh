@@ -9,6 +9,9 @@
 #   - a request that outlives its deadline answers 504 AND its worker
 #     stops: runs_cancelled increments, the inflight_runs gauge returns
 #     to zero (checked on a second daemon with a tiny -timeout);
+#   - a /v1/sweep grid streams one NDJSON row per point plus a done
+#     summary, the identical repeat is all cache hits, and a malformed
+#     grid answers a structured 400;
 #   - SIGTERM drains and exits cleanly.
 # Run from the repository root: scripts/smoke.sh [port]
 set -euo pipefail
@@ -87,6 +90,29 @@ grep -q '"field":"n"' "$ERRBODY" || fail "400 body does not name field n: $(cat 
 
 curl -fsS "$BASE/v1/bounds?d=1&n=4096&p=16&m=4" | grep -q '"slowdown"' || fail "bounds endpoint broken"
 curl -fsS "$BASE/healthz" >/dev/null || fail "daemon unhealthy after invalid request"
+
+# Sweep round trip: an 8-point grid (p range x m list) streams 8 result
+# rows plus a terminal done summary; the identical repeat is served
+# entirely from the result cache; a grid with a non-dividing p answers a
+# structured 400 naming the offending point.
+SWEEP='{"schemes": ["multi"], "d": 1, "n": [256], "p": {"from": 2, "to": 16, "mul": 2}, "m": [4, 16], "steps": 32}'
+S1="$(mktemp)"
+curl -fsS -N -X POST --data "$SWEEP" "$BASE/v1/sweep" > "$S1" || fail "sweep request errored"
+ROWS=$(grep -c '"result"' "$S1" || true)
+[ "$ROWS" = 8 ] || fail "sweep streamed $ROWS result rows, want 8: $(cat "$S1")"
+grep -q '"done":true' "$S1" || fail "sweep missing done summary: $(cat "$S1")"
+grep -q '"errors":0' "$S1" || fail "sweep reported errors: $(cat "$S1")"
+S2="$(mktemp)"
+curl -fsS -N -X POST --data "$SWEEP" "$BASE/v1/sweep" > "$S2" || fail "repeat sweep errored"
+HITS=$(grep -c '"cached":true' "$S2" || true)
+[ "$HITS" = 8 ] || fail "repeat sweep had $HITS cache hits, want 8: $(cat "$S2")"
+SBAD="$(mktemp)"
+SSTATUS=$(curl -s -o "$SBAD" -w '%{http_code}' -X POST --data '{"schemes": ["multi"], "d": 1, "n": [256], "p": [7], "m": [4], "steps": 32}' "$BASE/v1/sweep")
+[ "$SSTATUS" = 400 ] || fail "malformed grid got status $SSTATUS, want 400: $(cat "$SBAD")"
+grep -q '"kind":"param"' "$SBAD" || fail "sweep 400 not a structured param error: $(cat "$SBAD")"
+grep -q 'grid point' "$SBAD" || fail "sweep 400 does not name the offending grid point: $(cat "$SBAD")"
+curl -fsS "$BASE/metrics" | grep -q '"sweep_rows": 16' || fail "sweep_rows counter wrong after two sweeps"
+curl -fsS "$BASE/metrics.prom" | grep -q '^bsmpd_sweep_row_latency_seconds_bucket{le="+Inf"} ' || fail "sweep row latency histogram missing"
 
 # Deadline cancellation: a second daemon with a tiny request budget. The
 # expired request must answer 504 AND actually stop its worker — the
