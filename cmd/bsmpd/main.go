@@ -46,7 +46,7 @@ func main() {
 	flag.IntVar(&cfg.MaxSteps, "max-steps", 1<<12, "largest accepted step count")
 	flag.IntVar(&cfg.MemoCapacity, "memo-cap", 0, "unified memo store entry bound (kernels + subtree records); 0 = library default, negative disables memoization")
 	flag.IntVar(&cfg.MaxSweepPoints, "max-sweep-points", 4096, "largest grid one /v1/sweep may expand to")
-	flag.IntVar(&cfg.SweepParallel, "sweep-parallel", 0, "pool slots one sweep may occupy at once (0 = workers)")
+	flag.IntVar(&cfg.SweepParallel, "sweep-parallel", 0, "pool slots all concurrent sweeps combined may occupy at once (0 = workers)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	debugAddr := flag.String("debug-addr", "", "listen address for net/http/pprof (empty = disabled)")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")

@@ -262,9 +262,19 @@ func (s *Server) classifyRunError(err error) (int, ErrorDetail) {
 		return http.StatusTooManyRequests, ErrorDetail{Kind: "queue_full", Message: err.Error()}
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable, ErrorDetail{Kind: "draining", Message: err.Error()}
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+	case errors.Is(err, context.DeadlineExceeded):
 		s.vars.Add("deadline_timeouts", 1)
 		return http.StatusGatewayTimeout, ErrorDetail{Kind: "deadline", Message: "request deadline exceeded"}
+	case errors.Is(err, context.Canceled):
+		// A cancelled context is the caller abandoning the request (client
+		// disconnect, sweep abort, shutdown hard-stop), not a deadline:
+		// keep it out of deadline_timeouts — a disconnected sweep would
+		// otherwise inflate that counter once per in-flight grid point.
+		// Cancellation is already counted where it is detected
+		// (runs_cancelled in execute, sweeps_cancelled per sweep). The
+		// status follows the nginx 499 convention; the peer is usually
+		// gone before it is written.
+		return 499, ErrorDetail{Kind: "cancelled", Message: "request cancelled"}
 	case errors.As(err, &pe):
 		return http.StatusBadRequest, ErrorDetail{Kind: "param", Message: err.Error(), Param: pe}
 	default:

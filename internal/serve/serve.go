@@ -70,9 +70,11 @@ type Config struct {
 	// MaxSweepPoints caps how many grid points one /v1/sweep may expand
 	// to (default 4096); larger grids get a structured 400.
 	MaxSweepPoints int
-	// SweepParallel bounds how many grid points of a single sweep may
-	// occupy pool slots at once, so one sweep cannot monopolize the
-	// queue against interactive /v1/run traffic (default Workers).
+	// SweepParallel bounds how many grid points may occupy pool slots at
+	// once across ALL concurrent sweeps combined (one server-wide
+	// semaphore, not a per-sweep budget), so sweep traffic as a whole
+	// cannot monopolize the queue against interactive /v1/run traffic
+	// (default Workers).
 	SweepParallel int
 	// Logger receives the daemon's structured JSON records: one access
 	// line per request (with its generated request ID) and run

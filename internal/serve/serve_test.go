@@ -371,6 +371,25 @@ func TestRunDeadline504(t *testing.T) {
 	}
 }
 
+// A cancelled context (client disconnect, sweep abort) is not a missed
+// deadline: it must classify as "cancelled" and leave deadline_timeouts
+// untouched — a disconnected sweep would otherwise bump that counter
+// once per in-flight grid point.
+func TestClassifyCancelledNotDeadline(t *testing.T) {
+	s := New(Config{})
+	status, detail := s.classifyRunError(context.Canceled)
+	if status != 499 || detail.Kind != "cancelled" {
+		t.Fatalf("canceled -> (%d, %q), want (499, cancelled)", status, detail.Kind)
+	}
+	if v := s.vars.Get("deadline_timeouts"); v != nil && v.String() != "0" {
+		t.Fatalf("deadline_timeouts = %s after cancel, want 0", v)
+	}
+	status, detail = s.classifyRunError(context.DeadlineExceeded)
+	if status != http.StatusGatewayTimeout || detail.Kind != "deadline" {
+		t.Fatalf("deadline -> (%d, %q), want (504, deadline)", status, detail.Kind)
+	}
+}
+
 func TestGracefulDrain(t *testing.T) {
 	s := New(Config{Workers: 2})
 	release := make(chan struct{})

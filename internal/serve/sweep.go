@@ -267,12 +267,21 @@ func (s *Server) expandSweep(req SweepRequest) ([]sweepPoint, *ErrorDetail) {
 	if len(thetas) == 0 {
 		thetas = []float64{req.Config.Theta}
 	}
-	total := len(schemes) * len(req.N) * len(req.P) * len(req.M) * len(req.Steps) * len(thetas)
-	if total > s.cfg.MaxSweepPoints {
-		return nil, &ErrorDetail{Kind: "param",
-			Message: fmt.Sprintf("grid expands to %d points, server limit %d", total, s.cfg.MaxSweepPoints),
-			Param: &bsmp.ParamError{Field: "grid",
-				Constraint: fmt.Sprintf("at most %d points per sweep", s.cfg.MaxSweepPoints), Got: total}}
+	// Accumulate the grid size factor by factor, rejecting as soon as the
+	// running product exceeds the cap: the naive six-way product can wrap
+	// around int (four 65536-value axes multiply to exactly 0 on 64-bit)
+	// and slip past the guard into an effectively unbounded expansion
+	// loop. Checking after every multiply keeps each intermediate product
+	// ≤ MaxSweepPoints·(one axis length), far from overflow.
+	total := 1
+	for _, f := range []int{len(schemes), len(req.N), len(req.P), len(req.M), len(req.Steps), len(thetas)} {
+		total *= f
+		if total > s.cfg.MaxSweepPoints {
+			return nil, &ErrorDetail{Kind: "param",
+				Message: fmt.Sprintf("grid expands to at least %d points, server limit %d", total, s.cfg.MaxSweepPoints),
+				Param: &bsmp.ParamError{Field: "grid",
+					Constraint: fmt.Sprintf("at most %d points per sweep", s.cfg.MaxSweepPoints), Got: total}}
+		}
 	}
 	guest := req.Guest
 	if guest == "" {

@@ -184,6 +184,11 @@ func TestSweepMalformedGrid(t *testing.T) {
 		{"empty axis", `{"scheme": "multi", "d": 1, "n": 64, "p": 4, "m": 4, "steps": []}`, "param", "steps"},
 		{"invalid point", `{"scheme": "multi", "d": 1, "n": 64, "p": [4, 7], "m": 4, "steps": 16}`, "param", "p"},
 		{"grid too large", `{"scheme": "multi", "d": 1, "n": {"from": 2, "to": 65536, "mul": 2}, "p": 1, "m": [1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16], "steps": [1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16], "theta": [1,2]}`, "param", "grid"},
+		// Four maximal 65536-value range axes multiply to 65536^4 = 2^64,
+		// which wraps to exactly 0 in a naive int product and would slip
+		// past the MaxSweepPoints guard into an ~1.8e19-iteration
+		// expansion; the running-product check must reject it up front.
+		{"grid size overflows int", `{"scheme": "multi", "d": 1, "n": {"from": 1, "to": 65536, "add": 1}, "p": {"from": 1, "to": 65536, "add": 1}, "m": {"from": 1, "to": 65536, "add": 1}, "steps": {"from": 1, "to": 65536, "add": 1}, "skip_invalid": true}`, "param", "grid"},
 		{"bad axis syntax", `{"scheme": "multi", "d": 1, "n": "sixtyfour", "p": 4, "m": 4, "steps": 16}`, "body", ""},
 		{"range both steps", `{"scheme": "multi", "d": 1, "n": {"from": 2, "to": 8, "add": 2, "mul": 2}, "p": 1, "m": 4, "steps": 16}`, "body", ""},
 		{"unknown scheme", `{"scheme": "warp", "d": 1, "n": 64, "p": 4, "m": 4, "steps": 16}`, "param", "scheme"},
