@@ -36,6 +36,8 @@ package bsmp
 
 import (
 	"context"
+	"fmt"
+	"strings"
 
 	"bsmp/internal/analytic"
 	"bsmp/internal/cost"
@@ -85,6 +87,11 @@ type MultiOptions = simulate.MultiOptions
 
 // MultiResult extends Result with multiprocessor accounting.
 type MultiResult = simulate.MultiResult
+
+// FaultReport carries the fault-mask accounting of a multi-faulty run
+// (dead processors/cells, the effective sub-configuration, and the
+// planning stretch factors).
+type FaultReport = simulate.FaultReport
 
 // Multi2Options configures the d = 2 multiprocessor model.
 type Multi2Options = simulate.Multi2Options
@@ -280,6 +287,23 @@ type SchemeConfig = simulate.SchemeConfig
 
 // Schemes lists the registered (algorithm, dimension) entries.
 func Schemes() []Scheme { return simulate.Schemes }
+
+// SchemeTable renders the registry as an aligned text table (one row per
+// (name, d) entry, header first). It is the single rendering shared by
+// `experiments -schemes` and the unknown -scheme error message in
+// cmd/tradeoff, so both always agree with the registry.
+func SchemeTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-2s %-5s %s\n", "name", "d", "multi", "description")
+	for _, s := range Schemes() {
+		multi := "-"
+		if s.Multiproc {
+			multi = "p>1"
+		}
+		fmt.Fprintf(&b, "%-16s %-2d %-5s %s\n", s.Name, s.D, multi, s.Description)
+	}
+	return b.String()
+}
 
 // SchemeByName returns the registered scheme for (name, d).
 func SchemeByName(name string, d int) (Scheme, error) { return simulate.SchemeByName(name, d) }

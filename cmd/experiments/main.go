@@ -39,14 +39,7 @@ func main() {
 	}
 
 	if *schemes {
-		fmt.Printf("%-16s %-2s %-5s %s\n", "name", "d", "multi", "description")
-		for _, s := range bsmp.Schemes() {
-			multi := "-"
-			if s.Multiproc {
-				multi = "p>1"
-			}
-			fmt.Printf("%-16s %-2d %-5s %s\n", s.Name, s.D, multi, s.Description)
-		}
+		fmt.Print(bsmp.SchemeTable())
 		return
 	}
 

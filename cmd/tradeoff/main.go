@@ -38,6 +38,8 @@ func main() {
 	steps := flag.Int("steps", 64, "guest steps to simulate when measuring")
 	theta := flag.Float64("theta", 0, "Θ-model delay ratio for -scheme multi-theta: delays in [dist, Θ·dist] (0 = scheme default)")
 	thetaSeed := flag.Uint64("theta-seed", 0, "seed for the Θ-model delay draws")
+	faults := flag.Float64("faults", 0, "dead-component density in [0, 1) for -scheme multi-faulty (0 = fault-free)")
+	faultSeed := flag.Uint64("fault-seed", 0, "seed for the fault mask draws")
 	sweep := flag.Bool("sweep", false, "dyadic m sweep with an ASCII curve of A(n,m,p)")
 	csv := flag.Bool("csv", false, "emit CSV instead of the aligned table")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for -measure runs; on expiry report the rows that finished (0 = no limit)")
@@ -75,17 +77,20 @@ func main() {
 		mvals = append(mvals, v)
 	}
 
-	cfg := bsmp.SchemeConfig{Multi: bsmp.MultiOptions{Theta: *theta, ThetaSeed: *thetaSeed}}
+	cfg := bsmp.SchemeConfig{Multi: bsmp.MultiOptions{
+		Theta: *theta, ThetaSeed: *thetaSeed,
+		Faults: *faults, FaultSeed: *faultSeed,
+	}}
 	if *measure {
-		// Reject a bad scheme name (or a Θ the scheme refuses) before any
-		// analytic rows print, and answer a typo with the same registry
-		// table `experiments -schemes` shows.
+		// Reject a bad scheme name (or a config knob the scheme refuses)
+		// before any analytic rows print, and answer a typo with the same
+		// registry table `experiments -schemes` shows.
 		if _, err := bsmp.SchemeByName(*scheme, *d); err != nil {
-			log.Fatalf("%v\nregistered schemes:\n%s", err, schemeTable())
+			log.Fatalf("%v\nregistered schemes:\n%s", err, bsmp.SchemeTable())
 		}
 		if err := bsmp.ValidateParams(*scheme, *d, *n, *p, mvals[0], *steps, cfg); err != nil {
 			var pe *bsmp.ParamError
-			if errors.As(err, &pe) && pe.Field == "theta" {
+			if errors.As(err, &pe) && (pe.Field == "theta" || pe.Field == "faults") {
 				log.Fatal(err)
 			}
 			// Other tuple constraints surface per row from the scheme run.
@@ -200,21 +205,6 @@ func runSweep(d, n, p int, csv bool) {
 	if !csv {
 		fmt.Println("\n('|' marks a range boundary crossed since the previous row)")
 	}
-}
-
-// schemeTable renders the registry in the same aligned format as
-// `experiments -schemes`, for the unknown -scheme error message.
-func schemeTable() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "  %-16s %-2s %-5s %s\n", "name", "d", "multi", "description")
-	for _, s := range bsmp.Schemes() {
-		multi := "-"
-		if s.Multiproc {
-			multi = "p>1"
-		}
-		fmt.Fprintf(&b, "  %-16s %-2d %-5s %s\n", s.Name, s.D, multi, s.Description)
-	}
-	return b.String()
 }
 
 func rangeName(d, n, m, p int) string {

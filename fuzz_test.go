@@ -8,7 +8,7 @@ import (
 )
 
 // fuzzSchemes maps the fuzzed selector byte onto the registry names.
-var fuzzSchemes = []string{"naive", "unidc", "blocked", "multi"}
+var fuzzSchemes = []string{"naive", "unidc", "blocked", "multi", "multi-faulty"}
 
 // fuzzGuest builds the MixCA measurement guest with the grid geometry d
 // requires (mirrors cmd/tradeoff's guestProg).

@@ -54,6 +54,7 @@ func TestQuickExperimentsRun(t *testing.T) {
 		"T1D2": T1D2, "D3": D3, "MM": MM, "SStar": SStar, "Ablations": Ablations,
 		"Pipe": Pipe, "MPrime": MPrime, "Coop": Coop, "Levels": Levels, "ISA": ISA,
 		"T3D2": T3D2, "D3Multi": D3Multi, "Brent": Brent,
+		"Theta": Theta, "Fault": Fault,
 	} {
 		tab, err := f(context.Background(), s)
 		if err != nil {

@@ -51,10 +51,10 @@ func RunGuestEvents(ma *Machine, prog Program, steps int) ([]hram.Word, cost.Tim
 		}
 	}
 
-	nbr := make([][]int, n)
-	for v := 0; v < n; v++ {
-		nbr[v] = ma.Neighbors(v, nil)
-	}
+	// Adjacency and spacing come straight from the machine's topology —
+	// the event engine never does its own mesh math.
+	topo := ma.Topo()
+	nbr := neighborLists(topo, n)
 
 	// cnt[v][t&1] counts the deliveries still missing before v can run
 	// step t. Neighbor skew is at most one step (step t needs the
@@ -67,7 +67,7 @@ func RunGuestEvents(ma *Machine, prog Program, steps int) ([]hram.Word, cost.Tim
 
 	q := sched.New()
 	ops := make([]hram.Word, 0, 7)
-	spacing := ma.Spacing()
+	spacing := topo.Spacing()
 
 	var deliver func(w, t int) func()
 	var exec func(v, t int)

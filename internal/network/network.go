@@ -19,6 +19,7 @@ import (
 
 	"bsmp/internal/cost"
 	"bsmp/internal/hram"
+	"bsmp/internal/topology"
 )
 
 // Machine is an Md(n, p, m).
@@ -39,8 +40,14 @@ type Machine struct {
 	// Nodes holds one H-RAM per node, sharing the Bank's meters.
 	Nodes []*hram.Machine
 
-	side    int     // sqrt(P) for D = 2, else P
-	spacing float64 // (N/P)^(1/D): geometric distance between neighbors
+	// topo is the host interconnection geometry. Every geometric method
+	// of the machine (Coord/Index/Distance/Neighbors/Spacing/Side)
+	// delegates here, so engines that hold a Machine consume the
+	// topology seam without knowing it.
+	topo topology.Topology
+	// spacing caches topo.Spacing() for the per-vertex Message charge in
+	// the guest executors (one interface call per vertex adds up).
+	spacing float64
 }
 
 // New constructs Md(n, p, m). Constraints: d in {1, 2, 3}; 1 <= p <= n;
@@ -59,10 +66,8 @@ func New(d, n, p, m int, opts ...hram.Option) *Machine {
 	if n%p != 0 {
 		panic(fmt.Sprintf("network: p=%d must divide n=%d", p, n))
 	}
-	side := p
 	if d == 2 {
-		side = intSqrt(p)
-		if side*side != p {
+		if s := intSqrt(p); s*s != p {
 			panic(fmt.Sprintf("network: d=2 needs square p, got %d", p))
 		}
 		if s := intSqrt(n); s*s != n {
@@ -70,13 +75,27 @@ func New(d, n, p, m int, opts ...hram.Option) *Machine {
 		}
 	}
 	if d == 3 {
-		side = intCbrt(p)
-		if side*side*side != p {
+		if s := intCbrt(p); s*s*s != p {
 			panic(fmt.Sprintf("network: d=3 needs cubic p, got %d", p))
 		}
 		if s := intCbrt(n); s*s*s != n {
 			panic(fmt.Sprintf("network: d=3 needs cubic n, got %d", n))
 		}
+	}
+	return NewOn(topology.NewMesh(d, n, p), n, m, opts...)
+}
+
+// NewOn constructs a machine over an explicit topology — the seam the
+// fault-masked and future bus/partitioned interconnections plug into.
+// The node count, dimension and spacing come from the topology; n is
+// the machine volume (p | n required) and m the memory density.
+func NewOn(topo topology.Topology, n, m int, opts ...hram.Option) *Machine {
+	d, p := topo.Dim(), topo.Nodes()
+	if p < 1 || n < p || n%p != 0 {
+		panic(fmt.Sprintf("network: need 1 <= p <= n with p | n, got p=%d n=%d", p, n))
+	}
+	if m < 1 {
+		panic(fmt.Sprintf("network: density m=%d < 1", m))
 	}
 	bank := cost.NewBank(p)
 	nodes := make([]*hram.Machine, p)
@@ -88,10 +107,13 @@ func New(d, n, p, m int, opts ...hram.Option) *Machine {
 	return &Machine{
 		D: d, N: n, P: p, M: m,
 		Bank: bank, Nodes: nodes,
-		side:    side,
-		spacing: math.Pow(float64(n)/float64(p), 1/float64(d)),
+		topo:    topo,
+		spacing: topo.Spacing(),
 	}
 }
+
+// Topo exposes the machine's interconnection geometry.
+func (ma *Machine) Topo() topology.Topology { return ma.topo }
 
 // NodeMemory reports the per-node memory size mn/p.
 func (ma *Machine) NodeMemory() int { return ma.M * (ma.N / ma.P) }
@@ -100,84 +122,40 @@ func (ma *Machine) NodeMemory() int { return ma.M * (ma.N / ma.P) }
 func (ma *Machine) Spacing() float64 { return ma.spacing }
 
 // Side reports the mesh side sqrt(p) for d = 2, or p for d = 1.
-func (ma *Machine) Side() int { return ma.side }
+func (ma *Machine) Side() int { return ma.topo.Side() }
 
 // Coord maps node index i to grid coordinates: (i, 0) for d = 1,
 // (i mod side, i div side) for d = 2. For d = 3 use Coord3.
-func (ma *Machine) Coord(i int) (gx, gy int) {
-	if ma.D == 1 {
-		return i, 0
-	}
-	return i % ma.side, (i / ma.side) % ma.side
-}
+func (ma *Machine) Coord(i int) (gx, gy int) { return ma.topo.Coord(i) }
 
 // Coord3 maps node index i to full grid coordinates for any dimension.
-func (ma *Machine) Coord3(i int) (gx, gy, gz int) {
-	switch ma.D {
-	case 1:
-		return i, 0, 0
-	case 2:
-		return i % ma.side, i / ma.side, 0
-	default:
-		return i % ma.side, (i / ma.side) % ma.side, i / (ma.side * ma.side)
-	}
-}
+func (ma *Machine) Coord3(i int) (gx, gy, gz int) { return ma.topo.Coord3(i) }
 
 // Index maps grid coordinates to the node index; inverse of Coord.
-func (ma *Machine) Index(gx, gy int) int {
-	if ma.D == 1 {
-		return gx
-	}
-	return gy*ma.side + gx
-}
+func (ma *Machine) Index(gx, gy int) int { return ma.topo.Index(gx, gy) }
 
 // Index3 maps full grid coordinates to the node index; inverse of Coord3.
-func (ma *Machine) Index3(gx, gy, gz int) int {
-	switch ma.D {
-	case 1:
-		return gx
-	case 2:
-		return gy*ma.side + gx
-	default:
-		return (gz*ma.side+gy)*ma.side + gx
-	}
-}
+func (ma *Machine) Index3(gx, gy, gz int) int { return ma.topo.Index3(gx, gy, gz) }
 
 // Distance reports the geometric distance between nodes i and j
 // (Manhattan grid distance times the node spacing, the routed wire length).
-func (ma *Machine) Distance(i, j int) float64 {
-	xi, yi, zi := ma.Coord3(i)
-	xj, yj, zj := ma.Coord3(j)
-	return float64(abs(xi-xj)+abs(yi-yj)+abs(zi-zj)) * ma.spacing
-}
+func (ma *Machine) Distance(i, j int) float64 { return ma.topo.Dist(i, j) }
 
 // Neighbors appends the node indices adjacent to i (d = 1: left, right;
 // d = 2: plus south, north; d = 3: plus down, up), clipped to the machine.
-func (ma *Machine) Neighbors(i int, buf []int) []int {
-	gx, gy, gz := ma.Coord3(i)
-	if gx > 0 {
-		buf = append(buf, ma.Index3(gx-1, gy, gz))
+func (ma *Machine) Neighbors(i int, buf []int) []int { return ma.topo.Neighbors(i, buf) }
+
+// neighborLists materializes every node's neighbor list once. The guest
+// executors are per-vertex hot loops; enumerating adjacency up front
+// replaces a topology call per vertex per step with a slice read, and
+// the lists are identical every step (the geometry is static), so
+// outputs and charges are unchanged.
+func neighborLists(topo topology.Topology, n int) [][]int {
+	nbr := make([][]int, n)
+	for v := 0; v < n; v++ {
+		nbr[v] = topo.Neighbors(v, nil)
 	}
-	if gx < ma.side-1 {
-		buf = append(buf, ma.Index3(gx+1, gy, gz))
-	}
-	if ma.D >= 2 {
-		if gy > 0 {
-			buf = append(buf, ma.Index3(gx, gy-1, gz))
-		}
-		if gy < ma.side-1 {
-			buf = append(buf, ma.Index3(gx, gy+1, gz))
-		}
-	}
-	if ma.D >= 3 {
-		if gz > 0 {
-			buf = append(buf, ma.Index3(gx, gy, gz-1))
-		}
-		if gz < ma.side-1 {
-			buf = append(buf, ma.Index3(gx, gy, gz+1))
-		}
-	}
-	return buf
+	return nbr
 }
 
 // Send transmits words from node i to node j, charging bounded-speed
@@ -236,7 +214,7 @@ func RunGuest(ma *Machine, prog Program, steps int) ([]hram.Word, cost.Time) {
 		}
 	}
 	prevB := make([]hram.Word, ma.P)
-	var nbuf []int
+	nbr := neighborLists(ma.topo, ma.P)
 	ops := make([]hram.Word, 0, 5)
 	for t := 1; t <= steps; t++ {
 		copy(prevB, b)
@@ -245,8 +223,7 @@ func RunGuest(ma *Machine, prog Program, steps int) ([]hram.Word, cost.Time) {
 			cell := ma.Nodes[v].Read(addr)
 			ops = ops[:0]
 			ops = append(ops, prevB[v])
-			nbuf = ma.Neighbors(v, nbuf[:0])
-			for _, u := range nbuf {
+			for _, u := range nbr[v] {
 				ops = append(ops, prevB[u])
 			}
 			out, cellOut := prog.Step(v, t, cell, ops)
@@ -304,7 +281,7 @@ func RunGuestHook(ma *Machine, prog Program, steps int, hook StepHook) ([]hram.W
 		}
 	}
 	prevB := make([]hram.Word, ma.P)
-	var nbuf []int
+	nbr := neighborLists(ma.topo, ma.P)
 	ops := make([]hram.Word, 0, 5)
 	for t := 1; t <= steps; t++ {
 		if err := hook(ma.P); err != nil {
@@ -316,8 +293,7 @@ func RunGuestHook(ma *Machine, prog Program, steps int, hook StepHook) ([]hram.W
 			cell := ma.Nodes[v].Read(addr)
 			ops = ops[:0]
 			ops = append(ops, prevB[v])
-			nbuf = ma.Neighbors(v, nbuf[:0])
-			for _, u := range nbuf {
+			for _, u := range nbr[v] {
 				ops = append(ops, prevB[u])
 			}
 			out, cellOut := prog.Step(v, t, cell, ops)
@@ -364,6 +340,7 @@ func RunGuestParallel(ma *Machine, prog Program, steps, workers int) ([]hram.Wor
 		}
 	}
 	prevB := make([]hram.Word, ma.P)
+	nbr := neighborLists(ma.topo, ma.P)
 	chunk := (ma.P + workers - 1) / workers
 	var wg sync.WaitGroup
 	for t := 1; t <= steps; t++ {
@@ -380,15 +357,13 @@ func RunGuestParallel(ma *Machine, prog Program, steps, workers int) ([]hram.Wor
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
-				var nbuf []int
 				ops := make([]hram.Word, 0, 7)
 				for v := lo; v < hi; v++ {
 					addr := prog.Address(v, t, memSize)
 					cell := ma.Nodes[v].Read(addr)
 					ops = ops[:0]
 					ops = append(ops, prevB[v])
-					nbuf = ma.Neighbors(v, nbuf[:0])
-					for _, u := range nbuf {
+					for _, u := range nbr[v] {
 						ops = append(ops, prevB[u])
 					}
 					out, cellOut := prog.Step(v, t, cell, ops)
@@ -407,10 +382,12 @@ func RunGuestParallel(ma *Machine, prog Program, steps, workers int) ([]hram.Wor
 
 // RunGuestPure executes prog functionally with no cost accounting — the
 // ground truth against which hosted simulations are verified. It returns
-// the final broadcast values and final per-node memories.
+// the final broadcast values and final per-node memories. Adjacency
+// comes from a bare topology mesh: no machine (and no O(n·m) H-RAM
+// memory) is ever built for the functional replay.
 func RunGuestPure(d, n, m, steps int, prog Program) ([]hram.Word, [][]hram.Word) {
-	ref := New(d, n, n, m)
-	memSize := ref.NodeMemory()
+	nbr := neighborLists(topology.NewMesh(d, n, n), n)
+	memSize := m // NodeMemory of the fully parallel machine: m·(n/n)
 	mems := make([][]hram.Word, n)
 	b := make([]hram.Word, n)
 	for i := 0; i < n; i++ {
@@ -418,7 +395,6 @@ func RunGuestPure(d, n, m, steps int, prog Program) ([]hram.Word, [][]hram.Word)
 		b[i] = prog.Init(i, mems[i])
 	}
 	prevB := make([]hram.Word, n)
-	var nbuf []int
 	ops := make([]hram.Word, 0, 5)
 	for t := 1; t <= steps; t++ {
 		copy(prevB, b)
@@ -426,8 +402,7 @@ func RunGuestPure(d, n, m, steps int, prog Program) ([]hram.Word, [][]hram.Word)
 			addr := prog.Address(v, t, memSize)
 			ops = ops[:0]
 			ops = append(ops, prevB[v])
-			nbuf = ref.Neighbors(v, nbuf[:0])
-			for _, u := range nbuf {
+			for _, u := range nbr[v] {
 				ops = append(ops, prevB[u])
 			}
 			out, cellOut := prog.Step(v, t, mems[v][addr], ops)
@@ -452,8 +427,8 @@ func RunGuestPureHook(d, n, m, steps int, prog Program, hook StepHook) ([]hram.W
 		b, mems := RunGuestPure(d, n, m, steps, prog)
 		return b, mems, nil
 	}
-	ref := New(d, n, n, m)
-	memSize := ref.NodeMemory()
+	nbr := neighborLists(topology.NewMesh(d, n, n), n)
+	memSize := m // NodeMemory of the fully parallel machine: m·(n/n)
 	mems := make([][]hram.Word, n)
 	b := make([]hram.Word, n)
 	for i := 0; i < n; i++ {
@@ -461,7 +436,6 @@ func RunGuestPureHook(d, n, m, steps int, prog Program, hook StepHook) ([]hram.W
 		b[i] = prog.Init(i, mems[i])
 	}
 	prevB := make([]hram.Word, n)
-	var nbuf []int
 	ops := make([]hram.Word, 0, 5)
 	for t := 1; t <= steps; t++ {
 		if err := hook(n); err != nil {
@@ -472,8 +446,7 @@ func RunGuestPureHook(d, n, m, steps int, prog Program, hook StepHook) ([]hram.W
 			addr := prog.Address(v, t, memSize)
 			ops = ops[:0]
 			ops = append(ops, prevB[v])
-			nbuf = ref.Neighbors(v, nbuf[:0])
-			for _, u := range nbuf {
+			for _, u := range nbr[v] {
 				ops = append(ops, prevB[u])
 			}
 			out, cellOut := prog.Step(v, t, mems[v][addr], ops)
@@ -482,13 +455,6 @@ func RunGuestPureHook(d, n, m, steps int, prog Program, hook StepHook) ([]hram.W
 		}
 	}
 	return b, mems, nil
-}
-
-func abs(a int) int {
-	if a < 0 {
-		return -a
-	}
-	return a
 }
 
 func intSqrt(n int) int {

@@ -195,15 +195,13 @@ func TestRunGuestFinalMemoriesMatch(t *testing.T) {
 }
 
 // Property: Distance is a metric on node indices (symmetry, identity,
-// triangle inequality) for both dimensions.
+// triangle inequality) for all three dimensions. The machine delegates
+// to its topology, so this pins the seam; the topology package runs the
+// same property over the bare meshes and the FaultMask decorator.
 func TestPropertyDistanceMetric(t *testing.T) {
-	f := func(raw [3]uint8, d2 bool) bool {
-		var ma *Machine
-		if d2 {
-			ma = New(2, 64, 16, 1)
-		} else {
-			ma = New(1, 16, 16, 1)
-		}
+	machines := []*Machine{New(1, 16, 16, 1), New(2, 64, 16, 1), New(3, 512, 64, 1)}
+	f := func(raw [3]uint8, which uint8) bool {
+		ma := machines[int(which)%len(machines)]
 		i := int(raw[0]) % ma.P
 		j := int(raw[1]) % ma.P
 		k := int(raw[2]) % ma.P

@@ -50,6 +50,13 @@ type RunConfig struct {
 	Theta float64 `json:"theta,omitempty"`
 	// ThetaSeed selects the deterministic delay draw sequence.
 	ThetaSeed uint64 `json:"theta_seed,omitempty"`
+	// Faults is the static fault density for the multi-faulty scheme:
+	// the fraction of processors and memory cells sampled dead. Must lie
+	// in [0, 1); 0 means fault-free (and is the only value the
+	// fault-free schemes accept).
+	Faults float64 `json:"faults,omitempty"`
+	// FaultSeed selects the deterministic fault sample.
+	FaultSeed uint64 `json:"fault_seed,omitempty"`
 }
 
 // schemeConfig maps the JSON config onto the registry's SchemeConfig —
@@ -65,6 +72,8 @@ func (req RunRequest) schemeConfig() bsmp.SchemeConfig {
 			NoCooperate:  req.Config.NoCooperate,
 			Theta:        req.Config.Theta,
 			ThetaSeed:    req.Config.ThetaSeed,
+			Faults:       req.Config.Faults,
+			FaultSeed:    req.Config.FaultSeed,
 		},
 	}
 }
@@ -89,6 +98,11 @@ type RunResponse struct {
 	// Theta echoes the requested Θ-model delay ratio (0 when the run
 	// used the lockstep default).
 	Theta float64 `json:"theta,omitempty"`
+	// Faults echoes the requested fault density (0 = fault-free), and
+	// FaultReport carries the sampled mask's accounting for a
+	// multi-faulty run.
+	Faults      float64           `json:"faults,omitempty"`
+	FaultReport *bsmp.FaultReport `json:"fault_report,omitempty"`
 
 	// Time is the host's elapsed virtual time; PrepTime the one-time
 	// rearrangement cost (multiprocessor schemes).
@@ -320,7 +334,10 @@ func (s *Server) checkCaps(req RunRequest) *bsmp.ParamError {
 //     golden tests;
 //   - theta_seed selects delay draws only when a Θ-model is active
 //     (theta != 0 after the rule above), so under lockstep it is inert
-//     and resets to 0.
+//     and resets to 0;
+//   - fault_seed selects fault draws only when the density is nonzero
+//     (a zero-density mask kills nothing for every seed, bit-identical
+//     by the fault golden tests), so it resets to 0 with faults 0.
 func (req RunRequest) canonical() RunRequest {
 	if req.Guest == "" {
 		req.Guest = "mixca"
@@ -331,6 +348,9 @@ func (req RunRequest) canonical() RunRequest {
 	if req.Config.Theta == 0 {
 		req.Config.ThetaSeed = 0
 	}
+	if req.Config.Faults == 0 {
+		req.Config.FaultSeed = 0
+	}
 	return req
 }
 
@@ -339,11 +359,12 @@ func (req RunRequest) canonical() RunRequest {
 // alias. Callers key canonical() requests: the tuple identifies the
 // simulation, not its JSON spelling.
 func cacheKey(req RunRequest) string {
-	return fmt.Sprintf("%s|d=%d|n=%d|p=%d|m=%d|steps=%d|g=%s|seed=%d|leaf=%d|sw=%d|so=%d|nr=%t|nc=%t|th=%g|ths=%d",
+	return fmt.Sprintf("%s|d=%d|n=%d|p=%d|m=%d|steps=%d|g=%s|seed=%d|leaf=%d|sw=%d|so=%d|nr=%t|nc=%t|th=%g|ths=%d|fl=%g|fls=%d",
 		req.Scheme, req.D, req.N, req.P, req.M, req.Steps, req.Guest, req.Seed,
 		req.Config.Leaf, req.Config.StripWidth, req.Config.SpanOverride,
 		req.Config.NoRearrange, req.Config.NoCooperate,
-		req.Config.Theta, req.Config.ThetaSeed)
+		req.Config.Theta, req.Config.ThetaSeed,
+		req.Config.Faults, req.Config.FaultSeed)
 }
 
 // buildGuest constructs the requested workload with the grid geometry d
@@ -439,6 +460,7 @@ func (s *Server) execute(ctx context.Context, req RunRequest) (*RunResponse, err
 	resp := &RunResponse{
 		Scheme: req.Scheme, D: req.D, N: req.N, P: req.P, M: req.M, Steps: req.Steps,
 		Guest: req.Guest, Seed: req.Seed, Theta: req.Config.Theta,
+		Faults: req.Config.Faults, FaultReport: res.Faults,
 		Time:       res.Time,
 		PrepTime:   res.PrepTime,
 		Bound:      bsmp.Slowdown(req.D, req.N, req.M, req.P),

@@ -115,6 +115,9 @@ func TestCacheKeyCanonicalizesDefaults(t *testing.T) {
 		// at the lockstep-equivalent Θ = 1 it is inert.
 		`{"scheme": "multi-theta", "d": 1, "n": 64, "p": 4, "m": 4, "steps": 16, "config": {"theta": 1, "theta_seed": 7}}`,
 		`{"scheme": "multi-theta", "d": 1, "n": 64, "p": 4, "m": 4, "steps": 16, "guest": "mixca"}`,
+		// fault_seed only selects fault draws when the density is
+		// nonzero; at the default faults = 0 it is inert.
+		`{"scheme": "multi-theta", "d": 1, "n": 64, "p": 4, "m": 4, "steps": 16, "config": {"fault_seed": 9}}`,
 	}
 	for i, body := range spellings {
 		w := postRun(t, s.Handler(), body)
@@ -495,8 +498,8 @@ func TestSchemes(t *testing.T) {
 	if err := json.Unmarshal(w.Body.Bytes(), &list); err != nil {
 		t.Fatalf("decoding: %v", err)
 	}
-	if len(list) != 15 {
-		t.Fatalf("got %d schemes, want 15", len(list))
+	if len(list) != 18 {
+		t.Fatalf("got %d schemes, want 18", len(list))
 	}
 }
 
@@ -535,6 +538,119 @@ func TestRunThetaScheme(t *testing.T) {
 	lockBad := postRun(t, h, `{"scheme": "multi", "d": 1, "n": 64, "p": 4, "m": 4, "steps": 16, "config": {"theta": 2}}`)
 	if lockBad.Code != http.StatusBadRequest {
 		t.Fatalf("multi with theta: status = %d, want 400; body: %s", lockBad.Code, lockBad.Body)
+	}
+}
+
+// The fault-masked scheme serves through the same handler stack: the
+// faults config reaches the engine (echoed back with a fault report,
+// slower run), a zero-density run reproduces the lockstep multi times
+// bit-identically, distinct densities never alias in the cache, and a
+// density outside [0, 1) is a 400 with a typed param error before any
+// execution — as is a density handed to a fault-free scheme.
+func TestRunFaultyScheme(t *testing.T) {
+	s := New(Config{})
+	h := s.Handler()
+	lock := decodeRun(t, postRun(t, h, validRun))
+	base := postRun(t, h, `{"scheme": "multi-faulty", "d": 1, "n": 64, "p": 4, "m": 4, "steps": 16}`)
+	if base.Code != http.StatusOK {
+		t.Fatalf("faults default: status = %d; body: %s", base.Code, base.Body)
+	}
+	rb := decodeRun(t, base)
+	if rb.Time != lock.Time || rb.PrepTime != lock.PrepTime {
+		t.Errorf("zero-fault multi-faulty (%v, %v) != multi (%v, %v)", rb.Time, rb.PrepTime, lock.Time, lock.PrepTime)
+	}
+	if rb.FaultReport == nil || rb.FaultReport.DeadProcs != 0 || rb.FaultReport.EffectiveP != 4 {
+		t.Errorf("zero-fault report = %+v, want all-alive identity", rb.FaultReport)
+	}
+	faulty := postRun(t, h, `{"scheme": "multi-faulty", "d": 1, "n": 64, "p": 4, "m": 4, "steps": 16, "config": {"faults": 0.25, "fault_seed": 3}}`)
+	if faulty.Code != http.StatusOK {
+		t.Fatalf("faults=0.25: status = %d; body: %s", faulty.Code, faulty.Body)
+	}
+	rf := decodeRun(t, faulty)
+	if rf.Faults != 0.25 {
+		t.Errorf("faults echo = %v, want 0.25", rf.Faults)
+	}
+	if rf.Cached {
+		t.Error("faults=0.25 run hit the cache of the zero-fault run")
+	}
+	if rf.Time <= rb.Time {
+		t.Errorf("faults=0.25 Time %v not above fault-free %v", rf.Time, rb.Time)
+	}
+	if rf.FaultReport == nil || (rf.FaultReport.DeadProcs == 0 && rf.FaultReport.DeadCells == 0) {
+		t.Errorf("faults=0.25 report = %+v, want sampled faults", rf.FaultReport)
+	}
+	bad := postRun(t, h, `{"scheme": "multi-faulty", "d": 1, "n": 64, "p": 4, "m": 4, "steps": 16, "config": {"faults": 1.5}}`)
+	if bad.Code != http.StatusBadRequest {
+		t.Fatalf("faults=1.5: status = %d, want 400; body: %s", bad.Code, bad.Body)
+	}
+	if eb := decodeError(t, bad); eb.Error.Param == nil || eb.Error.Param.Field != "faults" {
+		t.Errorf("faults=1.5 error = %+v, want param error on faults", eb)
+	}
+	lockBad := postRun(t, h, `{"scheme": "multi", "d": 1, "n": 64, "p": 4, "m": 4, "steps": 16, "config": {"faults": 0.1}}`)
+	if lockBad.Code != http.StatusBadRequest {
+		t.Fatalf("multi with faults: status = %d, want 400; body: %s", lockBad.Code, lockBad.Body)
+	}
+}
+
+// Chaos satellite: a fault-masked run cancelled mid-flight upholds the
+// cancellation contract — the simulation stops at its next checkpoint,
+// runs_cancelled counts it, the inflight gauge drains to zero, and the
+// pool slot is released for the next request.
+func TestRunFaultyCancelMidRun(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// A heavy fault-masked run: the d = 2 span calibrations plus the
+	// 4096-node replay keep it in flight long enough to cancel.
+	body := `{"scheme": "multi-faulty", "d": 2, "n": 4096, "p": 4, "m": 4, "steps": 256, "config": {"faults": 0.25, "fault_seed": 7}}`
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/v1/run", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	// Wait until the run is actually in flight, then disconnect.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var inflight int
+		fmt.Sscanf(expvarInt(t, srv.URL, "inflight_runs"), "%d", &inflight)
+		if inflight >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("fault-masked run never showed up in inflight_runs")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	<-done
+	for {
+		var cancelled, inflight int
+		fmt.Sscanf(expvarInt(t, srv.URL, "runs_cancelled"), "%d", &cancelled)
+		fmt.Sscanf(expvarInt(t, srv.URL, "inflight_runs"), "%d", &inflight)
+		if cancelled >= 1 && inflight == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancellation not reflected: runs_cancelled=%d inflight_runs=%d", cancelled, inflight)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// The single worker slot must be free again: a fresh run completes.
+	w := postRun(t, s.Handler(), validRun)
+	if w.Code != http.StatusOK {
+		t.Fatalf("run after cancelled fault run: status %d, body %s", w.Code, w.Body)
+	}
+	if got := s.pool.QueueDepth(); got != 0 {
+		t.Fatalf("queue depth after cancel = %d, want 0", got)
 	}
 }
 

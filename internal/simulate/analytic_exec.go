@@ -3,10 +3,10 @@ package simulate
 import (
 	"context"
 	"fmt"
-	"math"
 	"sort"
 
 	"bsmp/internal/cost"
+	"bsmp/internal/hram"
 	"bsmp/internal/lattice"
 	"bsmp/internal/network"
 )
@@ -46,7 +46,7 @@ type analyticExec struct {
 	n, m, iw, steps, leafSpan int
 	prog                      network.Program
 	meter                     *cost.Meter
-	fm                        float64
+	fn                        hram.AccessFunc
 	ec                        *execCtx
 
 	bcast map[lattice.Point]int
@@ -60,8 +60,14 @@ type analyticExec struct {
 	replayed int
 }
 
-// f mirrors hram.Standard(1, m) exactly.
-func (a *analyticExec) f(x int) float64 { return math.Max(1, float64(x)/a.fm) }
+// f is the host access function — hram.Standard(1, m) itself rather
+// than a local re-derivation, so the d = 1 assumption lives in the hram
+// layer, not here. The engine's address-as-distance accounting is valid
+// because the guest M1(n, n, m) has topology spacing exactly 1 (a
+// Mesh1 with p = n), so address deltas ARE geometric distances; a
+// d >= 2 analytic engine would draw its access function and spacing
+// from the corresponding mesh the same way.
+func (a *analyticExec) f(x int) float64 { return a.fn(x) }
 
 // access mirrors Machine.Read / Machine.Write.
 func (a *analyticExec) access(addr int) { a.meter.Charge(cost.Access, a.f(addr)) }
@@ -596,7 +602,7 @@ func AnalyticBlockedD1Context(ctx context.Context, n, m, steps, leafWidth int, p
 	var meter cost.Meter
 	a := &analyticExec{
 		n: n, m: m, iw: iw, steps: steps, leafSpan: leafWidth,
-		prog: prog, meter: &meter, fm: float64(m),
+		prog: prog, meter: &meter, fn: hram.Standard(1, m),
 		ec:    newExecCtx(ctx),
 		bcast: make(map[lattice.Point]int), mem: make(map[lattice.Point]int),
 		space: make(map[lattice.Diamond]int), classSpace: make(map[subtreeKey]int),

@@ -8,6 +8,7 @@ import (
 	"bsmp/internal/hram"
 	"bsmp/internal/lattice"
 	"bsmp/internal/network"
+	"bsmp/internal/topology"
 )
 
 // BlockedD2 is the d = 2 analogue of BlockedD1: Theorem 3's blocked
@@ -53,10 +54,15 @@ func BlockedD2Context(ctx context.Context, n, m, steps, leafSpan int, prog netwo
 	if err != nil {
 		return Result{}, err
 	}
+	// Node id ↔ coordinate maps come from the guest mesh topology; only
+	// the dag-layer predecessor stencil below stays lattice-local (its
+	// clipped W, E, S, N order mirrors topology Neighbors order).
+	mesh := topology.NewMesh2(n, n)
 	geom := blockedGeom{
-		nodeIndex: func(p lattice.Point) int { return p.Y*side + p.X },
+		nodeIndex: func(p lattice.Point) int { return mesh.Index(p.X, p.Y) },
 		nodePos: func(node int) lattice.Point {
-			return lattice.Point{X: node % side, Y: node / side}
+			gx, gy := mesh.Coord(node)
+			return lattice.Point{X: gx, Y: gy}
 		},
 		netPreds: func(p lattice.Point, buf []lattice.Point) []lattice.Point {
 			// Operands in network order: self, W, E, S, N (clipped).

@@ -8,6 +8,7 @@ import (
 	"bsmp/internal/hram"
 	"bsmp/internal/lattice"
 	"bsmp/internal/network"
+	"bsmp/internal/topology"
 )
 
 // BlockedD3 completes the d = 3 extension for general m: the blocked
@@ -46,10 +47,15 @@ func BlockedD3Context(ctx context.Context, n, m, steps, leafSpan int, prog netwo
 	if err != nil {
 		return Result{}, err
 	}
+	// Node id ↔ coordinate maps come from the guest mesh topology; only
+	// the dag-layer predecessor stencil below stays lattice-local (its
+	// clipped W, E, S, N, D, U order mirrors topology Neighbors order).
+	mesh := topology.NewMesh3(n, n)
 	geom := blockedGeom{
-		nodeIndex: func(p lattice.Point) int { return (p.Z*side+p.Y)*side + p.X },
+		nodeIndex: func(p lattice.Point) int { return mesh.Index3(p.X, p.Y, p.Z) },
 		nodePos: func(node int) lattice.Point {
-			return lattice.Point{X: node % side, Y: (node / side) % side, Z: node / (side * side)}
+			gx, gy, gz := mesh.Coord3(node)
+			return lattice.Point{X: gx, Y: gy, Z: gz}
 		},
 		netPreds: func(p lattice.Point, buf []lattice.Point) []lattice.Point {
 			// Operands in network order: self, then the six cube neighbors

@@ -47,6 +47,40 @@ type MultiOptions struct {
 	// seed varies only the bound, never the draw — which is what makes
 	// the measured slowdown monotone non-decreasing in Θ.
 	ThetaSeed uint64
+	// Faults is the static fault density for the multi-faulty scheme:
+	// the fraction of processors and memory cells sampled dead at
+	// construction (topology.FaultMask). Must lie in [0, 1); 0 means
+	// fault-free. The fault-free schemes reject a nonzero value with a
+	// typed ParamError — faults change the planned distances, so a
+	// silent ignore would misattribute every charge.
+	Faults float64
+	// FaultSeed seeds the fault draws. Sampling is threshold-based, so
+	// a density sweep at a fixed seed has NESTED dead sets and the
+	// measured extra slowdown is monotone in Faults (E-FAULT pins this).
+	FaultSeed uint64
+
+	// faultDistMul and faultMemMul are the planning stretch factors the
+	// multi-faulty scheme derives from its sampled mask (DetourFactor,
+	// MemOverhead) and threads into the cost formulas below; 0 means
+	// unset and reads as 1. Unexported: callers select faults via
+	// Faults/FaultSeed, never by injecting raw multipliers.
+	faultDistMul float64
+	faultMemMul  float64
+}
+
+// faultMuls resolves the fault stretch factors, mapping the zero value
+// to exactly 1.0 — every fault-free cost formula multiplies by these,
+// and x * 1.0 == x in IEEE arithmetic, so the fault-free virtual times
+// stay bit-identical (the golden contract).
+func (o MultiOptions) faultMuls() (distMul, memMul float64) {
+	distMul, memMul = o.faultDistMul, o.faultMemMul
+	if distMul == 0 {
+		distMul = 1
+	}
+	if memMul == 0 {
+		memMul = 1
+	}
+	return distMul, memMul
 }
 
 // delayModel builds the cost.DelayModel the options select: nil for the
@@ -90,6 +124,9 @@ type MultiResult struct {
 	// entry times sum to Time + PrepTime (up to float regrouping). Nil
 	// for the degenerate p = 1 fallback, which runs no phased schedule.
 	Phases cost.PhaseBreakdown
+	// Faults carries the fault-mask accounting of a multi-faulty run;
+	// nil for every fault-free scheme.
+	Faults *FaultReport
 }
 
 // Multi2Result reports the d = 2 multiprocessor run.
@@ -213,9 +250,15 @@ func MultiD1Context(ctx context.Context, n, p, m, steps int, prog network.Progra
 	// MaxAdjacentDisplacement = q/p strips apart (property 1), i.e.
 	// (q/p)·s = n/p guest distance — the p-fold reduction from the raw
 	// Θ(n) scale. The ablated scheme forgoes it.
-	relocDist := float64(pi.MaxAdjacentDisplacement() * s)
+	//
+	// Under a fault mask, every distance-proportional charge stretches
+	// by the mask's detour bound and every image traversal by its memory
+	// packing overhead; both factors are exactly 1.0 fault-free, keeping
+	// the fault-free times bit-identical (see faultMuls).
+	distMul, memMul := opts.faultMuls()
+	relocDist := float64(pi.MaxAdjacentDisplacement()*s) * distMul
 	if opts.NoRearrange {
-		relocDist = nf
+		relocDist = nf * distMul
 	}
 
 	// Phase 1 quantities: Regime 1 relocation levels. Level k moves
@@ -229,7 +272,7 @@ func MultiD1Context(ctx context.Context, n, p, m, steps int, prog network.Progra
 	if s < n/p {
 		levels = int(math.Round(math.Log2(nf / (pf * sf))))
 	}
-	perLevelPerProc := kappa * nf * mf * relocDist / pf
+	perLevelPerProc := kappa * nf * (mf * memMul) * relocDist / pf
 	regime1 := make([]float64, levels)
 	for k := range regime1 {
 		regime1[k] = perLevelPerProc
@@ -239,9 +282,9 @@ func MultiD1Context(ctx context.Context, n, p, m, steps int, prog network.Progra
 	// each: p-1 solo, p cooperating.
 	cells := lattice.DiamondGrid(n, steps+1, p*s)
 	numDomains := len(cells)
-	exchDist := float64(pi.MaxAdjacentDisplacement() * s)
+	exchDist := float64(pi.MaxAdjacentDisplacement()*s) * distMul
 	if opts.NoRearrange {
-		exchDist = nf / 2
+		exchDist = nf / 2 * distMul
 	}
 	solo := float64(p - 1)
 	coop := float64(p)
@@ -250,7 +293,7 @@ func MultiD1Context(ctx context.Context, n, p, m, steps int, prog network.Progra
 	if opts.NoCooperate {
 		// Solo execution of shared diamonds: pull s·m remote words
 		// through memory, each paying the exchange distance.
-		stageExtra = kappa * multiGeomD1.faceSize(sf) * mf * exchDist
+		stageExtra = kappa * multiGeomD1.faceSize(sf) * (mf * memMul) * exchDist
 		exchCat = cost.Transfer
 	} else {
 		// Exchange Θ(s) broadcast values over the link, each paying
@@ -262,8 +305,9 @@ func MultiD1Context(ctx context.Context, n, p, m, steps int, prog network.Progra
 	bank, prep := playScheduleAuto(ec.tr, p, multiSchedule{
 		// Phase 0: rearrangement. n·m words move distance Θ(n) with
 		// p-fold parallelism: per processor, (n·m/p) words at average
-		// distance n/2.
-		prep:         kappa * nf * mf / pf * nf / 2,
+		// distance n/2 — stretched by the fault detour and packing
+		// factors like every other transfer.
+		prep:         kappa * nf * (mf * memMul) / pf * (nf * distMul) / 2,
 		hasPrep:      true,
 		regime1:      regime1,
 		domains:      numDomains,

@@ -7,6 +7,7 @@ import (
 	"bsmp/internal/analytic"
 	"bsmp/internal/guest"
 	"bsmp/internal/network"
+	"bsmp/internal/topology"
 )
 
 // multiGeomD2 is the d = 2 geometry spec consumed by the shared
@@ -39,12 +40,17 @@ var multiGeomD2 = &multiGeom{
 	},
 	// Scale by dag volume (cal²·cal -> σ²·σ); the per-vertex cost is
 	// span-dominated and grows ~linearly, so scale that too.
+	// The distance geometry is the mesh's, via the dimension-matched
+	// root (topology.Root keeps the historical math.Sqrt form exactly):
+	// region side = per-processor spacing scale (n/p)^(1/2), the
+	// rearrangement's distance reduction p^(1/2), the raw exchange
+	// distance n^(1/2)/2.
 	scaleExp:      4,
 	checkShape:    func(n int) *ParamError { return shapeError("multi", "n", 2, n) },
-	regionSideInt: func(n, p int) int { return int(math.Sqrt(float64(n) / float64(p))) },
-	regionSide:    func(nf, pf float64) float64 { return math.Sqrt(nf / pf) },
-	distRed:       func(pf float64) float64 { return math.Sqrt(pf) },
-	rawExchDist:   func(nf float64) float64 { return math.Sqrt(nf) / 2 },
+	regionSideInt: func(n, p int) int { return int(topology.Root(2, float64(n)/float64(p))) },
+	regionSide:    func(nf, pf float64) float64 { return topology.Root(2, nf/pf) },
+	distRed:       func(pf float64) float64 { return topology.Root(2, pf) },
+	rawExchDist:   func(nf float64) float64 { return topology.Root(2, nf) / 2 },
 	relocCoeff:    3,
 	kernelCoeff:   4,
 	kernelVol:     func(sf float64) float64 { return sf * sf * sf },

@@ -7,6 +7,7 @@ import (
 	"bsmp/internal/analytic"
 	"bsmp/internal/guest"
 	"bsmp/internal/network"
+	"bsmp/internal/topology"
 )
 
 // multiGeomD3 is the d = 3 geometry spec consumed by the shared
@@ -34,12 +35,15 @@ var multiGeomD3 = &multiGeom{
 	calRun: func(ctx context.Context, cal, m int, prog network.Program) (Result, error) {
 		return BlockedD3Context(ctx, cal*cal*cal, m, cal, 0, prog)
 	},
+	// Distance geometry via the dimension-matched root (topology.Root
+	// keeps the historical math.Cbrt form exactly — NOT math.Pow, which
+	// differs in the last ulp); see the multiGeomD2 note.
 	scaleExp:      5,
 	checkShape:    func(n int) *ParamError { return shapeError("multi", "n", 3, n) },
-	regionSideInt: func(n, p int) int { return int(math.Cbrt(float64(n) / float64(p))) },
-	regionSide:    func(nf, pf float64) float64 { return math.Cbrt(nf / pf) },
-	distRed:       func(pf float64) float64 { return math.Cbrt(pf) },
-	rawExchDist:   func(nf float64) float64 { return math.Cbrt(nf) / 2 },
+	regionSideInt: func(n, p int) int { return int(topology.Root(3, float64(n)/float64(p))) },
+	regionSide:    func(nf, pf float64) float64 { return topology.Root(3, nf/pf) },
+	distRed:       func(pf float64) float64 { return topology.Root(3, pf) },
+	rawExchDist:   func(nf float64) float64 { return topology.Root(3, nf) / 2 },
 	relocCoeff:    4,
 	kernelCoeff:   5,
 	kernelVol:     func(sf float64) float64 { return sf * sf * sf * sf },

@@ -351,8 +351,13 @@ func playSchedule(tr *obs.Tracer, p int, sch multiSchedule) (*cost.Bank, cost.Ti
 // the total per-processor time, the Regime 1 level count, and the
 // (relocation, execution, exchange) breakdown. The formulas are the
 // d-generic Theorem 1 shape; see the per-dimension doc comments for their
-// derivations.
-func multiSpanCost(ctx context.Context, g *multiGeom, n, p, m, steps, s int, noRearrange bool) (float64, int, [3]float64, error) {
+// derivations. The options' fault stretch factors multiply the
+// distance-proportional (detour) and image-traversal (packing) terms;
+// fault-free both are exactly 1.0 and the products are bit-identical to
+// the unstretched formulas (see MultiOptions.faultMuls).
+func multiSpanCost(ctx context.Context, g *multiGeom, n, p, m, steps, s int, opts MultiOptions) (float64, int, [3]float64, error) {
+	noRearrange := opts.NoRearrange
+	distMul, memMul := opts.faultMuls()
 	nf, pf, mf, sf := float64(n), float64(p), float64(m), float64(s)
 	vol := nf * float64(steps+1)
 	regionSide := g.regionSide(nf, pf)
@@ -377,13 +382,13 @@ func multiSpanCost(ctx context.Context, g *multiGeom, n, p, m, steps, s int, noR
 	if noRearrange {
 		distRed = 1
 	}
-	reloc := float64(levels) * kap * g.relocCoeff * vol * mf / (distRed * pf)
+	reloc := float64(levels) * kap * g.relocCoeff * vol * (mf * memMul) * distMul / (distRed * pf)
 
 	numKernelsPerProc := g.kernelCoeff * vol / g.kernelVol(sf) / pf
 	exec := numKernelsPerProc * kernel
-	exchDist := regionSide
+	exchDist := regionSide * distMul
 	if noRearrange {
-		exchDist = g.rawExchDist(nf)
+		exchDist = g.rawExchDist(nf) * distMul
 	}
 	exch := numKernelsPerProc * kap * g.faceSize(sf) * exchDist
 
@@ -439,7 +444,7 @@ func multiSpan(ctx context.Context, g *multiGeom, n, p, m, steps int, prog netwo
 		if err := ec.checkpoint(); err != nil {
 			return MultiResult{}, err
 		}
-		total, levels, brk, err := multiSpanCost(ctx, g, n, p, m, steps, s, opts.NoRearrange)
+		total, levels, brk, err := multiSpanCost(ctx, g, n, p, m, steps, s, opts)
 		if err != nil {
 			return MultiResult{}, err
 		}

@@ -6,6 +6,7 @@ import (
 	"bsmp/internal/analytic"
 	"bsmp/internal/hram"
 	"bsmp/internal/network"
+	"bsmp/internal/topology"
 )
 
 // Naive runs the naive simulation of Proposition 1 (p = 1) and its
@@ -46,18 +47,20 @@ func NaiveContext(ctx context.Context, d, n, p, m, steps int, prog network.Progr
 	b := make([]hram.Word, n)
 	prevB := make([]hram.Word, n)
 
+	// Guest adjacency and coordinates live on the guest's own mesh, not
+	// the host's — a bare topology, since no guest machine is built.
+	guest := topology.NewMesh(d, n, n)
+
 	// regionOf maps a guest node to (host index, local index).
 	var regionOf func(v int) (hostIdx, local int)
-	var guestSide, patch int
+	var patch int
 	if d == 1 {
 		regionOf = func(v int) (int, int) { return v / perHost, v % perHost }
 	} else {
-		guestSide = analytic.IntSqrtExact(n)
 		patch = analytic.IntSqrtExact(perHost)
-		hostSide := host.Side()
 		regionOf = func(v int) (int, int) {
-			gx, gy := v%guestSide, v/guestSide
-			hi := (gy/patch)*hostSide + gx/patch
+			gx, gy := guest.Coord(v)
+			hi := host.Index(gx/patch, gy/patch)
 			local := (gy%patch)*patch + gx%patch
 			return hi, local
 		}
@@ -81,8 +84,6 @@ func NaiveContext(ctx context.Context, d, n, p, m, steps int, prog network.Progr
 		host.Nodes[hi].Poke(base+m, b[v])
 	}
 
-	// Guest adjacency (on the guest's own grid, not the host's).
-	guest := network.New(d, n, n, 1)
 	var nbuf []int
 	ops := make([]hram.Word, 0, 5)
 

@@ -167,6 +167,9 @@ func multiScheme(d int) Scheme {
 			if cfg.Multi.Theta != 0 {
 				return perrF("multi", "theta", "lockstep scheme takes no delay ratio; use scheme multi-theta", cfg.Multi.Theta)
 			}
+			if cfg.Multi.Faults != 0 {
+				return perrF("multi", "faults", "fault-free scheme takes no fault density; use scheme multi-faulty", cfg.Multi.Faults)
+			}
 			return shapeError("multi", "n", d, n)
 		},
 		Run: func(ctx context.Context, n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error) {
@@ -198,6 +201,9 @@ func multiThetaScheme(d int) Scheme {
 			if e := validateTheta("multi-theta", cfg.Multi.Theta); e != nil {
 				return e
 			}
+			if cfg.Multi.Faults != 0 {
+				return perrF("multi-theta", "faults", "fault-free scheme takes no fault density; use scheme multi-faulty", cfg.Multi.Faults)
+			}
 			return shapeError("multi-theta", "n", d, n)
 		},
 		Run: func(ctx context.Context, n, p, m, steps int, prog network.Program, cfg SchemeConfig) (MultiResult, error) {
@@ -219,10 +225,10 @@ func multiThetaScheme(d int) Scheme {
 
 // Schemes is the registry of named simulation schemes, one entry per
 // (algorithm, dimension) the repository implements: naive (d = 1, 2),
-// unidc and blocked and multi and multi-theta (d = 1, 2, 3). Callers —
-// bsmp.RunScheme, cmd/tradeoff, cmd/experiments, the E-REG experiment —
-// select simulations by name and dimension instead of hard-wiring
-// function calls.
+// unidc and blocked and multi and multi-theta and multi-faulty
+// (d = 1, 2, 3). Callers — bsmp.RunScheme, cmd/tradeoff,
+// cmd/experiments, the E-REG experiment — select simulations by name
+// and dimension instead of hard-wiring function calls.
 var Schemes = []Scheme{
 	withValidation(naiveScheme(1)), withValidation(naiveScheme(2)),
 	withValidation(unidcScheme(1)), withValidation(unidcScheme(2)), withValidation(unidcScheme(3)),
@@ -230,6 +236,7 @@ var Schemes = []Scheme{
 	withValidation(analyticScheme()),
 	withValidation(multiScheme(1)), withValidation(multiScheme(2)), withValidation(multiScheme(3)),
 	withValidation(multiThetaScheme(1)), withValidation(multiThetaScheme(2)), withValidation(multiThetaScheme(3)),
+	withValidation(multiFaultyScheme(1)), withValidation(multiFaultyScheme(2)), withValidation(multiFaultyScheme(3)),
 }
 
 // SchemeByName returns the registered scheme for (name, d).

@@ -27,7 +27,7 @@ type ParamError struct {
 	// (empty when the violation precedes scheme lookup).
 	Scheme string `json:"scheme,omitempty"`
 	// Field names the offending parameter: "scheme", "d", "n", "p",
-	// "m" or "steps".
+	// "m", "steps", "theta" or "faults".
 	Field string `json:"field"`
 	// Constraint states the violated requirement in words.
 	Constraint string `json:"constraint"`
@@ -65,6 +65,20 @@ func validateTheta(scheme string, theta float64) *ParamError {
 	}
 	if math.IsNaN(theta) || math.IsInf(theta, 0) || theta < 1 {
 		return perrF(scheme, "theta", "delay ratio Θ must be finite and >= 1", theta)
+	}
+	return nil
+}
+
+// validateFaults checks the static fault density: 0 means fault-free
+// (and is the only value the fault-free schemes accept), any other
+// value must lie in [0, 1) — a density of 1 or more leaves no live
+// processor by construction, and NaN orders with nothing.
+func validateFaults(scheme string, f float64) *ParamError {
+	if f == 0 {
+		return nil
+	}
+	if math.IsNaN(f) || f < 0 || f >= 1 {
+		return perrF(scheme, "faults", "fault density must lie in [0, 1)", f)
 	}
 	return nil
 }

@@ -1,0 +1,256 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+)
+
+// FaultMask decorates a Topology with static faults in the style of
+// Chlebus–Gasieniec–Pelc (PRAM with static processor and memory
+// faults): a seeded, density-parameterized set of dead processors and
+// dead memory cells, fixed at construction and never changing during a
+// run. The mask is a Topology — geometric distance is unchanged (wires
+// do not move, so Dist stays the base metric), while Neighbors drops
+// links into dead nodes — plus the planning quantities the fault-masked
+// schemes charge: the routing detour bound around dead regions and the
+// memory packing overhead of squeezing images into the surviving cells.
+//
+// Sampling is threshold-based: every processor and every cell draws one
+// fixed uniform in [0, 1) from a splitmix64 hash of (seed, identity)
+// and is dead iff its draw falls below the density. Draws do not depend
+// on the density, so the dead sets at densities f1 <= f2 are NESTED —
+// which is what makes the measured extra slowdown monotone in the
+// density at a fixed seed (E-FAULT pins this). Density 0 kills nothing
+// and every derived stretch factor is exactly 1.0, so a zero-fault plan
+// is bit-identical to the fault-free one (x * 1.0 == x in IEEE).
+type FaultMask struct {
+	base     Topology
+	density  float64
+	seed     uint64
+	cellsPer int
+
+	dead      []bool // per node: processor dead
+	deadCells []int  // per node: dead cell count (counted for every node)
+	alive     int    // live processor count
+	deadCellN int    // total dead cells on live nodes
+	maxDetour int    // max hop distance from any dead node to a live one
+	memOver   float64
+}
+
+// NewFaultMask samples a fault mask over base at the given density with
+// cellsPerNode memory cells per node. Density must lie in [0, 1); a
+// node whose cells all die is counted as a dead processor (a memory
+// module with no live cell cannot hold any state). An error is returned
+// only when the mask leaves no live processor.
+func NewFaultMask(base Topology, density float64, seed uint64, cellsPerNode int) (*FaultMask, error) {
+	if math.IsNaN(density) || density < 0 || density >= 1 {
+		return nil, fmt.Errorf("topology: fault density %v not in [0, 1)", density)
+	}
+	if cellsPerNode < 1 {
+		return nil, fmt.Errorf("topology: cells per node %d < 1", cellsPerNode)
+	}
+	p := base.Nodes()
+	fm := &FaultMask{
+		base: base, density: density, seed: seed, cellsPer: cellsPerNode,
+		dead:      make([]bool, p),
+		deadCells: make([]int, p),
+		memOver:   1,
+	}
+	for i := 0; i < p; i++ {
+		if density > 0 {
+			if faultUnit(seed, procSalt, uint64(i)) < density {
+				fm.dead[i] = true
+			}
+			d := 0
+			for c := 0; c < cellsPerNode; c++ {
+				if faultUnit(seed, cellSalt, uint64(i)<<32|uint64(c)) < density {
+					d++
+				}
+			}
+			fm.deadCells[i] = d
+			if d == cellsPerNode {
+				fm.dead[i] = true
+			}
+		}
+		if !fm.dead[i] {
+			fm.alive++
+			fm.deadCellN += fm.deadCells[i]
+		}
+	}
+	if fm.alive == 0 {
+		return nil, fmt.Errorf("topology: fault density %v with seed %d left no live processor", density, seed)
+	}
+	// Memory packing overhead: a module that lost D of its C cells holds
+	// its share in C-D cells, stretching every image traversal by
+	// C/(C-D). The max is taken over ALL modules with a live cell — not
+	// just live processors — so it grows monotonically with the nested
+	// dead sets (a shrinking max could otherwise dip when the worst
+	// module's processor dies). An upper bound, in the paper's spirit.
+	for i := 0; i < p; i++ {
+		if d := fm.deadCells[i]; d > 0 && d < cellsPerNode {
+			if ov := float64(cellsPerNode) / float64(cellsPerNode-d); ov > fm.memOver {
+				fm.memOver = ov
+			}
+		}
+	}
+	fm.maxDetour = fm.computeDetour()
+	return fm, nil
+}
+
+// computeDetour runs a multi-source BFS from the live set over the base
+// mesh and returns the maximum hop distance from any dead node to its
+// nearest live node — deterministic (plain queue over ascending seeds),
+// O(p) time and space.
+func (fm *FaultMask) computeDetour() int {
+	if fm.alive == fm.base.Nodes() {
+		return 0
+	}
+	p := fm.base.Nodes()
+	dist := make([]int, p)
+	queue := make([]int, 0, p)
+	for i := 0; i < p; i++ {
+		if fm.dead[i] {
+			dist[i] = -1
+		} else {
+			queue = append(queue, i)
+		}
+	}
+	max := 0
+	var buf []int
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		buf = fm.base.Neighbors(v, buf[:0])
+		for _, u := range buf {
+			if dist[u] == -1 {
+				dist[u] = dist[v] + 1
+				if dist[u] > max {
+					max = dist[u]
+				}
+				queue = append(queue, u)
+			}
+		}
+	}
+	// Dead nodes unreachable from any live node (a fully dead mesh
+	// cannot occur: alive >= 1 and the mesh is connected).
+	return max
+}
+
+// --- Topology implementation ---
+
+// Dim reports the base dimension.
+func (fm *FaultMask) Dim() int { return fm.base.Dim() }
+
+// Nodes reports the base node count (dead nodes keep their indices).
+func (fm *FaultMask) Nodes() int { return fm.base.Nodes() }
+
+// Side reports the base mesh side.
+func (fm *FaultMask) Side() int { return fm.base.Side() }
+
+// Spacing reports the base near-neighbor spacing.
+func (fm *FaultMask) Spacing() float64 { return fm.base.Spacing() }
+
+// Coord delegates to the base geometry.
+func (fm *FaultMask) Coord(i int) (gx, gy int) { return fm.base.Coord(i) }
+
+// Coord3 delegates to the base geometry.
+func (fm *FaultMask) Coord3(i int) (gx, gy, gz int) { return fm.base.Coord3(i) }
+
+// Index delegates to the base geometry.
+func (fm *FaultMask) Index(gx, gy int) int { return fm.base.Index(gx, gy) }
+
+// Index3 delegates to the base geometry.
+func (fm *FaultMask) Index3(gx, gy, gz int) int { return fm.base.Index3(gx, gy, gz) }
+
+// Dist is the base geometric distance: faults kill processors, not
+// wire length, so the metric properties are inherited unchanged. The
+// routing stretch of steering around dead regions is accounted by
+// DetourFactor, not folded into the metric.
+func (fm *FaultMask) Dist(i, j int) float64 { return fm.base.Dist(i, j) }
+
+// Neighbors appends the LIVE neighbors of i in base order: links into a
+// dead node carry no traffic.
+func (fm *FaultMask) Neighbors(i int, buf []int) []int {
+	n := len(buf)
+	buf = fm.base.Neighbors(i, buf)
+	w := n
+	for _, u := range buf[n:] {
+		if !fm.dead[u] {
+			buf[w] = u
+			w++
+		}
+	}
+	return buf[:w]
+}
+
+// --- fault accounting ---
+
+// Density reports the sampling density.
+func (fm *FaultMask) Density() float64 { return fm.density }
+
+// Seed reports the sampling seed.
+func (fm *FaultMask) Seed() uint64 { return fm.seed }
+
+// DeadProc reports whether node i's processor is dead.
+func (fm *FaultMask) DeadProc(i int) bool { return fm.dead[i] }
+
+// Alive reports the live processor count.
+func (fm *FaultMask) Alive() int { return fm.alive }
+
+// DeadProcs reports the dead processor count.
+func (fm *FaultMask) DeadProcs() int { return fm.base.Nodes() - fm.alive }
+
+// DeadCells reports node i's dead cell count.
+func (fm *FaultMask) DeadCells(i int) int { return fm.deadCells[i] }
+
+// TotalDeadCells reports the dead cells summed over live nodes (dead
+// processors take their whole module down with them).
+func (fm *FaultMask) TotalDeadCells() int { return fm.deadCellN }
+
+// CellsPerNode reports the per-node cell count the mask sampled over.
+func (fm *FaultMask) CellsPerNode() int { return fm.cellsPer }
+
+// MaxDetour reports the maximum hop distance from any dead node to its
+// nearest live node — the radius of the worst dead region.
+func (fm *FaultMask) MaxDetour() int { return fm.maxDetour }
+
+// DetourFactor bounds the routing stretch around dead regions: a
+// straight route hop landing on a dead node is replaced by at most
+// 1 + 2·MaxDetour live hops (out to the nearest live node and back),
+// so every distance-proportional charge stretches by at most this
+// factor. Exactly 1.0 when nothing is dead.
+func (fm *FaultMask) DetourFactor() float64 {
+	if fm.maxDetour == 0 {
+		return 1
+	}
+	return 1 + 2*float64(fm.maxDetour)
+}
+
+// MemOverhead bounds the memory packing stretch: the worst surviving
+// module holds its image in C-D of C cells, so image traversals pay at
+// most C/(C-D) more. Exactly 1.0 when no cell is dead.
+func (fm *FaultMask) MemOverhead() float64 { return fm.memOver }
+
+// Salts separate the processor and cell draw streams of one seed.
+const (
+	procSalt uint64 = 0x70726f63 // "proc"
+	cellSalt uint64 = 0x63656c6c // "cell"
+)
+
+// faultUnit hashes (seed, salt, id) to a uniform in [0, 1) with the
+// splitmix64 finalizer — the same idiom as the Θ-model's delay draws
+// (cost.ThetaModel), kept local so topology stays dependency-free.
+func faultUnit(seed, salt, id uint64) float64 {
+	x := seed ^ mix64(salt) ^ mix64(id+0x9e3779b97f4a7c15)
+	return float64(mix64(x)>>11) / (1 << 53)
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,250 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// meshes under test: one per dimension, plus fault-masked variants.
+func testMeshes(t *testing.T) map[string]Topology {
+	t.Helper()
+	m1 := NewMesh1(16, 16)
+	m2 := NewMesh2(64, 16)
+	m3 := NewMesh3(512, 64)
+	out := map[string]Topology{"mesh1": m1, "mesh2": m2, "mesh3": m3}
+	for name, base := range map[string]Topology{"mesh1": m1, "mesh2": m2, "mesh3": m3} {
+		fm, err := NewFaultMask(base, 0.25, 7, 4)
+		if err != nil {
+			t.Fatalf("NewFaultMask(%s): %v", name, err)
+		}
+		out["fault-"+name] = fm
+	}
+	return out
+}
+
+// Property: Dist is a metric (symmetry, identity, triangle inequality)
+// for every canonical mesh AND under the FaultMask decorator — the
+// topology-level half of network's TestPropertyDistanceMetric.
+func TestPropertyDistMetric(t *testing.T) {
+	for name, topo := range testMeshes(t) {
+		topo := topo
+		f := func(raw [3]uint16) bool {
+			i := int(raw[0]) % topo.Nodes()
+			j := int(raw[1]) % topo.Nodes()
+			k := int(raw[2]) % topo.Nodes()
+			dij, dji := topo.Dist(i, j), topo.Dist(j, i)
+			if dij != dji {
+				return false
+			}
+			if (i == j) != (dij == 0) {
+				return false
+			}
+			return topo.Dist(i, k) <= dij+topo.Dist(j, k)+1e-9
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// Property: Index3/Coord3 are inverse bijections on every mesh.
+func TestPropertyIndexCoordInverse(t *testing.T) {
+	for name, topo := range testMeshes(t) {
+		for i := 0; i < topo.Nodes(); i++ {
+			gx, gy, gz := topo.Coord3(i)
+			if got := topo.Index3(gx, gy, gz); got != i {
+				t.Fatalf("%s: Index3(Coord3(%d)) = %d", name, i, got)
+			}
+			if topo.Dim() < 3 { // Coord drops gz; d = 3 uses Coord3
+				cx, cy := topo.Coord(i)
+				if got := topo.Index(cx, cy); got != i {
+					t.Fatalf("%s: Index(Coord(%d)) = %d", name, i, got)
+				}
+			}
+		}
+	}
+}
+
+// The mesh spacing is the machine constructor's exact expression.
+func TestSpacingExpression(t *testing.T) {
+	for _, tc := range []struct{ d, n, p int }{{1, 64, 4}, {2, 256, 16}, {3, 512, 8}} {
+		topo := NewMesh(tc.d, tc.n, tc.p)
+		want := math.Pow(float64(tc.n)/float64(tc.p), 1/float64(tc.d))
+		if got := topo.Spacing(); got != want {
+			t.Errorf("d=%d: spacing %v, want %v", tc.d, got, want)
+		}
+	}
+}
+
+// Neighbors enumerate in -x, +x, -y, +y, -z, +z order, clipped; the
+// fault mask preserves that order while dropping dead nodes.
+func TestNeighborsOrder(t *testing.T) {
+	m2 := NewMesh2(64, 16) // side 4
+	c := m2.Index(1, 1)
+	want := []int{m2.Index(0, 1), m2.Index(2, 1), m2.Index(1, 0), m2.Index(1, 2)}
+	got := m2.Neighbors(c, nil)
+	if len(got) != len(want) {
+		t.Fatalf("neighbor count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("neighbor order %v, want %v", got, want)
+		}
+	}
+	fm, err := NewFaultMask(m2, 0.4, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masked := fm.Neighbors(c, nil)
+	j := 0
+	for _, u := range got {
+		if fm.DeadProc(u) {
+			continue
+		}
+		if j >= len(masked) || masked[j] != u {
+			t.Fatalf("masked neighbors %v not the live subsequence of %v", masked, got)
+		}
+		j++
+	}
+	if j != len(masked) {
+		t.Fatalf("masked neighbors %v carry extra entries beyond %v", masked, got)
+	}
+}
+
+// Zero density is the identity decoration: nothing dead, every stretch
+// factor exactly 1.0 (the bit-identity anchor of the zero-fault golden).
+func TestFaultMaskZeroDensityIdentity(t *testing.T) {
+	base := NewMesh1(64, 8)
+	fm, err := NewFaultMask(base, 0, 12345, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fm.Alive() != 8 || fm.DeadProcs() != 0 || fm.TotalDeadCells() != 0 {
+		t.Fatalf("zero density killed something: alive=%d deadProcs=%d deadCells=%d",
+			fm.Alive(), fm.DeadProcs(), fm.TotalDeadCells())
+	}
+	if fm.DetourFactor() != 1 || fm.MemOverhead() != 1 {
+		t.Fatalf("zero density stretch factors %v/%v, want exactly 1/1",
+			fm.DetourFactor(), fm.MemOverhead())
+	}
+	for i := 0; i < 8; i++ {
+		got := fm.Neighbors(i, nil)
+		want := base.Neighbors(i, nil)
+		if len(got) != len(want) {
+			t.Fatalf("node %d: masked neighbors %v, want %v", i, got, want)
+		}
+	}
+}
+
+// Dead sets are nested across densities at a fixed seed (threshold
+// sampling), which is what makes E-FAULT's slowdown monotone.
+func TestFaultMaskNestedAcrossDensity(t *testing.T) {
+	base := NewMesh2(256, 64)
+	var prev *FaultMask
+	for _, density := range []float64{0.05, 0.1, 0.2, 0.4, 0.6} {
+		fm, err := NewFaultMask(base, density, 99, 8)
+		if err != nil {
+			t.Fatalf("density %v: %v", density, err)
+		}
+		if prev != nil {
+			for i := 0; i < base.Nodes(); i++ {
+				if prev.DeadProc(i) && !fm.DeadProc(i) {
+					t.Fatalf("node %d dead at lower density but alive at %v", i, density)
+				}
+				if prev.DeadCells(i) > fm.DeadCells(i) {
+					t.Fatalf("node %d dead cells shrank at %v", i, density)
+				}
+			}
+			if fm.MaxDetour() < prev.MaxDetour() {
+				t.Fatalf("max detour shrank: %d -> %d at %v", prev.MaxDetour(), fm.MaxDetour(), density)
+			}
+			if fm.MemOverhead() < prev.MemOverhead() {
+				t.Fatalf("mem overhead shrank: %v -> %v at %v", prev.MemOverhead(), fm.MemOverhead(), density)
+			}
+		}
+		prev = fm
+	}
+}
+
+// Same (density, seed) reproduces the same mask; a different seed a
+// different one (statistically: some node differs at density 0.5).
+func TestFaultMaskDeterministic(t *testing.T) {
+	base := NewMesh1(128, 128)
+	a, err := NewFaultMask(base, 0.5, 42, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewFaultMask(base, 0.5, 42, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewFaultMask(base, 0.5, 43, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	for i := 0; i < 128; i++ {
+		if a.DeadProc(i) != b.DeadProc(i) || a.DeadCells(i) != b.DeadCells(i) {
+			t.Fatalf("node %d: same seed, different mask", i)
+		}
+		if a.DeadProc(i) != c.DeadProc(i) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("seeds 42 and 43 produced identical processor masks")
+	}
+}
+
+// Construction rejects bad densities and an all-dead mesh.
+func TestFaultMaskErrors(t *testing.T) {
+	base := NewMesh1(4, 4)
+	for _, bad := range []float64{-0.1, 1, 1.5, math.NaN()} {
+		if _, err := NewFaultMask(base, bad, 1, 4); err == nil {
+			t.Errorf("density %v accepted", bad)
+		}
+	}
+	// A density close to 1 on a tiny mesh eventually kills everyone for
+	// some seed; find one and assert the constructor reports it.
+	found := false
+	for seed := uint64(0); seed < 5000; seed++ {
+		if _, err := NewFaultMask(base, 0.999, seed, 1); err != nil {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no seed in 0..5000 killed all 4 processors at density 0.999")
+	}
+}
+
+// The detour bound covers the worst dead region: killing an interior
+// node of a line yields detour 1, factor 3.
+func TestFaultMaskDetour(t *testing.T) {
+	base := NewMesh1(8, 8)
+	// Find a seed that kills exactly one interior node.
+	for seed := uint64(0); seed < 20000; seed++ {
+		fm, err := NewFaultMask(base, 0.1, seed, 4)
+		if err != nil {
+			continue
+		}
+		if fm.DeadProcs() != 1 {
+			continue
+		}
+		dead := -1
+		for i := 0; i < 8; i++ {
+			if fm.DeadProc(i) {
+				dead = i
+			}
+		}
+		if fm.MaxDetour() != 1 {
+			t.Fatalf("seed %d: single dead node %d, detour %d, want 1", seed, dead, fm.MaxDetour())
+		}
+		if fm.DetourFactor() != 3 {
+			t.Fatalf("seed %d: detour factor %v, want 3", seed, fm.DetourFactor())
+		}
+		return
+	}
+	t.Skip("no seed with exactly one dead node found")
+}

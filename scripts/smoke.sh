@@ -12,6 +12,8 @@
 #   - a /v1/sweep grid streams one NDJSON row per point plus a done
 #     summary, the identical repeat is all cache hits, and a malformed
 #     grid answers a structured 400;
+#   - a multi-faulty run echoes the fault density with a fault report,
+#     keys its own cache entry, and rejects densities outside [0, 1);
 #   - SIGTERM drains and exits cleanly.
 # Run from the repository root: scripts/smoke.sh [port]
 set -euo pipefail
@@ -69,6 +71,23 @@ TSTATUS=$(curl -s -o "$TBAD" -w '%{http_code}' -X POST --data '{"scheme": "multi
 [ "$TSTATUS" = 400 ] || fail "theta=0.5 got status $TSTATUS, want 400: $(cat "$TBAD")"
 grep -q '"field":"theta"' "$TBAD" || fail "400 body does not name field theta: $(cat "$TBAD")"
 curl -fsS "$BASE/metrics.prom" | grep -q '^bsmpd_theta_run_latency_seconds_bucket{le="+Inf"} ' || fail "theta latency histogram missing"
+
+# Fault-regime round trip: the multi-faulty scheme accepts the faults
+# config field, echoes it together with a fault report, keys a distinct
+# cache entry from the fault-free run on the same tuple, and an
+# out-of-range density answers a structured 400.
+FAULT0='{"scheme": "multi-faulty", "d": 1, "n": 256, "p": 8, "m": 16, "steps": 64}'
+FAULT1='{"scheme": "multi-faulty", "d": 1, "n": 256, "p": 8, "m": 16, "steps": 64, "config": {"faults": 0.25, "fault_seed": 3}}'
+F0=$(curl -fsS -X POST --data "$FAULT0" "$BASE/v1/run") || fail "multi-faulty zero-fault run errored"
+echo "$F0" | grep -q '"cached":false' || fail "multi-faulty zero-fault unexpectedly cached: $F0"
+F1=$(curl -fsS -X POST --data "$FAULT1" "$BASE/v1/run") || fail "multi-faulty faults=0.25 run errored"
+echo "$F1" | grep -q '"faults":0.25' || fail "fault density not echoed: $F1"
+echo "$F1" | grep -q '"fault_report":' || fail "fault report missing: $F1"
+echo "$F1" | grep -q '"cached":false' || fail "faults=0.25 aliased the zero-fault cache entry: $F1"
+FBAD="$(mktemp)"
+FSTATUS=$(curl -s -o "$FBAD" -w '%{http_code}' -X POST --data '{"scheme": "multi-faulty", "d": 1, "n": 256, "p": 8, "m": 16, "steps": 64, "config": {"faults": 1.5}}' "$BASE/v1/run")
+[ "$FSTATUS" = 400 ] || fail "faults=1.5 got status $FSTATUS, want 400: $(cat "$FBAD")"
+grep -q '"field":"faults"' "$FBAD" || fail "400 body does not name field faults: $(cat "$FBAD")"
 
 # Traced run: ?trace=1 returns the span timeline inline and bypasses the
 # cache; tracecheck verifies children vtimes telescope to their parents
