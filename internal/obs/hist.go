@@ -59,6 +59,49 @@ type HistSnapshot struct {
 	Sum    float64 `json:"sum"`
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution from the bucket counts, interpolating linearly within
+// the winning bucket — the same estimator Prometheus's
+// histogram_quantile applies server-side, so the _quantile gauges on
+// /metrics.prom agree with dashboard-side computation on the raw
+// buckets. Conventions, matching Prometheus:
+//
+//   - the target rank is q·Count, resolved to the first bucket whose
+//     cumulative count reaches it;
+//   - the winning bucket's lower edge is the previous bound (0 for the
+//     first bucket), its upper edge its own bound;
+//   - ranks landing in the +Inf bucket return the highest finite bound
+//     (the distribution's tail is unbounded, so the last finite edge is
+//     the only defensible point estimate);
+//   - an empty histogram, a histogram with no finite bounds, or a q
+//     outside [0, 1] returns NaN.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 || math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, b := range s.Bounds {
+		prev := cum
+		cum += s.Counts[i]
+		if float64(cum) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = s.Bounds[i-1]
+			}
+			if s.Counts[i] == 0 {
+				return b
+			}
+			frac := (rank - float64(prev)) / float64(s.Counts[i])
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (b-lower)*frac
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 // Snapshot reads the current bucket counts and sum. Buckets are read
 // without a global lock, so a snapshot taken during a burst may be off
 // by in-flight observations — fine for monitoring.

@@ -69,6 +69,63 @@ func TestHistogramSnapshotMarshals(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantilePinned(t *testing.T) {
+	// Uniform 1..40 over bounds {10, 20, 30, 40}: ten observations per
+	// bucket, so linear interpolation recovers the exact empirical
+	// quantiles.
+	h := NewHistogram(10, 20, 30, 40)
+	for v := 1; v <= 40; v++ {
+		h.Observe(float64(v))
+	}
+	s := h.Snapshot()
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 20},    // rank 20 tops out bucket (10, 20]
+		{0.95, 38},   // rank 38: 8/10 into (30, 40]
+		{0.99, 39.6}, // rank 39.6: 9.6/10 into (30, 40]
+		{0.25, 10},   // rank 10 exactly fills the first bucket
+		{1, 40},
+	} {
+		if got := s.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+
+	// First bucket interpolates from lower edge 0.
+	lo := NewHistogram(8)
+	for i := 0; i < 4; i++ {
+		lo.Observe(1)
+	}
+	if got := lo.Snapshot().Quantile(0.5); math.Abs(got-4) > 1e-9 {
+		t.Errorf("first-bucket Quantile(0.5) = %v, want 4 (half of (0, 8])", got)
+	}
+
+	// Ranks landing in the +Inf bucket clamp to the highest finite
+	// bound, the Prometheus convention.
+	inf := NewHistogram(1)
+	inf.Observe(100)
+	inf.Observe(200)
+	if got := inf.Snapshot().Quantile(0.99); got != 1 {
+		t.Errorf("+Inf-bucket Quantile(0.99) = %v, want 1", got)
+	}
+
+	// Degenerate inputs answer NaN instead of inventing a value.
+	empty := NewHistogram(1, 2)
+	if got := empty.Snapshot().Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty Quantile(0.5) = %v, want NaN", got)
+	}
+	if got := s.Quantile(-0.1); !math.IsNaN(got) {
+		t.Errorf("Quantile(-0.1) = %v, want NaN", got)
+	}
+	if got := s.Quantile(1.5); !math.IsNaN(got) {
+		t.Errorf("Quantile(1.5) = %v, want NaN", got)
+	}
+	noBounds := NewHistogram()
+	noBounds.Observe(5)
+	if got := noBounds.Snapshot().Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("boundless Quantile(0.5) = %v, want NaN", got)
+	}
+}
+
 func TestHistogramConcurrentObserve(t *testing.T) {
 	h := NewHistogram(10, 100)
 	var wg sync.WaitGroup

@@ -1,0 +1,488 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the run registry and flight recorder: per-run lifecycle
+// records for the serving layer. A record is created when a run is
+// admitted (queued), transitions to running when a worker picks it up,
+// and lands in one of four terminal states. Live records sit in a
+// mutex-guarded map keyed by run ID; terminal records move to a bounded
+// lock-free ring (the flight recorder), where the oldest completed
+// record is overwritten first — an in-flight run can never be evicted
+// because it is not in the ring yet.
+//
+// The registry follows the package's read-only sampling discipline:
+// progress and phase labels are *sampled* from the run's Progress
+// atomics and Tracer span stack through caller-supplied closures, never
+// charged to a cost meter, so a registered run's virtual times are
+// bit-identical to an unregistered one.
+
+// Run lifecycle states. Queued and Running are the live states; the
+// rest are terminal.
+const (
+	RunQueued    = "queued"
+	RunRunning   = "running"
+	RunDone      = "done"
+	RunCancelled = "cancelled"
+	RunFailed    = "failed"
+	RunShed      = "shed"
+)
+
+// TerminalRunState reports whether s is a terminal lifecycle state.
+func TerminalRunState(s string) bool {
+	return s != RunQueued && s != RunRunning
+}
+
+// PhaseSummary is one entry of a terminal record's per-phase makespan
+// attribution: the phase's virtual-time share and, when span tracing
+// captured it, its wall duration.
+type PhaseSummary struct {
+	Name   string  `json:"name"`
+	VTime  float64 `json:"vtime"`
+	WallMS float64 `json:"wall_ms,omitempty"`
+}
+
+// RunInfo is the serializable snapshot of one run record — the payload
+// of the introspection endpoints.
+type RunInfo struct {
+	ID     string `json:"id"`
+	Source string `json:"source"` // "run" or "sweep"
+	State  string `json:"state"`
+	Scheme string `json:"scheme"`
+	// Params carries the run's canonical request tuple as the serving
+	// layer defined it; the registry treats it as opaque.
+	Params  any       `json:"params,omitempty"`
+	Created time.Time `json:"created"`
+	// QueueMS is admission-to-execution latency; WallMS execution wall
+	// time (live records report elapsed-so-far).
+	QueueMS float64 `json:"queue_ms"`
+	WallMS  float64 `json:"wall_ms"`
+
+	// Vertices/Phases are the progress counters sampled from the run's
+	// Progress meter; Span labels the innermost open span of a live run.
+	Vertices int64  `json:"vertices"`
+	Phases   int64  `json:"phases"`
+	Span     string `json:"span,omitempty"`
+
+	// CacheHits counts how many later requests were answered from this
+	// record's cached result.
+	CacheHits int64 `json:"cache_hits,omitempty"`
+
+	// Terminal-state accounting: virtual times, per-phase attribution,
+	// the cost-category ledger, and the failure message if any.
+	Time       float64            `json:"time,omitempty"`
+	PrepTime   float64            `json:"prep_time,omitempty"`
+	PhaseTimes []PhaseSummary     `json:"phase_times,omitempty"`
+	Ledger     map[string]float64 `json:"ledger,omitempty"`
+	Error      string             `json:"error,omitempty"`
+
+	// Trace is the run's span timeline; populated only on full-record
+	// snapshots (Snapshot with includeTrace), never in listings.
+	Trace []*Span `json:"trace,omitempty"`
+}
+
+// RunHandle is the live, mutable side of one run record. The serving
+// layer holds it across the run's execution; readers snapshot it. All
+// methods are no-ops (or zero values) on a nil handle, so call sites
+// need no registry-enabled branches.
+type RunHandle struct {
+	reg *Registry
+
+	// sample/current read the run's Progress atomics and Tracer span
+	// stack; both are optional and must be safe for concurrent use.
+	sample  func() (vertices, phases int64)
+	current func() string
+
+	done chan struct{} // closed at the terminal transition
+
+	mu       sync.Mutex
+	info     RunInfo
+	started  time.Time // wall clock of the Running transition
+	beginSeq uint64    // admission order, for newest-first listings
+	doneSeq  uint64    // completion order, for ring ordering
+}
+
+// Registry tracks live runs and retains a bounded ring of completed
+// records. The zero number of retained records is ring capacity; live
+// runs are unbounded (they are bounded by the serving layer's pool).
+type Registry struct {
+	mu   sync.Mutex
+	live map[string]*RunHandle
+	seq  atomic.Uint64
+
+	// ring is the flight recorder: completion-ordered slots, overwritten
+	// oldest-first once full. Slot stores are atomic so listings read
+	// without the registry lock.
+	ring []atomic.Pointer[RunHandle]
+	head atomic.Uint64
+
+	// Lifetime terminal-state counters.
+	doneRuns, cancelledRuns, failedRuns, shedRuns atomic.Uint64
+
+	// phaseHists aggregates wall durations of completed schedule phases
+	// across runs, keyed by phase name.
+	histMu     sync.Mutex
+	phaseHists map[string]*Histogram
+}
+
+// DefaultRegistryCapacity is the flight-recorder ring size when the
+// caller passes a non-positive capacity.
+const DefaultRegistryCapacity = 256
+
+// NewRegistry builds a registry retaining up to capacity completed
+// records (capacity < 1 selects DefaultRegistryCapacity).
+func NewRegistry(capacity int) *Registry {
+	if capacity < 1 {
+		capacity = DefaultRegistryCapacity
+	}
+	return &Registry{
+		live:       make(map[string]*RunHandle),
+		ring:       make([]atomic.Pointer[RunHandle], capacity),
+		phaseHists: make(map[string]*Histogram),
+	}
+}
+
+// Begin admits a run: a record in state queued, registered live. The
+// sampler and current-span closures may be nil; set them later with
+// SetSamplers once the run's Progress/Tracer exist. Nil registry
+// returns a nil handle.
+func (r *Registry) Begin(id, source, scheme string, params any) *RunHandle {
+	if r == nil {
+		return nil
+	}
+	h := &RunHandle{
+		reg:  r,
+		done: make(chan struct{}),
+		info: RunInfo{
+			ID: id, Source: source, State: RunQueued, Scheme: scheme,
+			Params: params, Created: time.Now(),
+		},
+		beginSeq: r.seq.Add(1),
+	}
+	r.mu.Lock()
+	r.live[id] = h
+	r.mu.Unlock()
+	return h
+}
+
+// SetSamplers attaches the read-only progress and current-span probes.
+func (h *RunHandle) SetSamplers(sample func() (vertices, phases int64), current func() string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.sample = sample
+	h.current = current
+	h.mu.Unlock()
+}
+
+// Running marks the queued→running transition and fixes the record's
+// queue latency.
+func (h *RunHandle) Running() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.info.State == RunQueued {
+		h.info.State = RunRunning
+		h.started = time.Now()
+		h.info.QueueMS = float64(h.started.Sub(h.info.Created).Nanoseconds()) / 1e6
+	}
+	h.mu.Unlock()
+}
+
+// Finish moves the record to terminal state, applies fill (which may
+// populate times, phases, ledger, error, and trace under the record
+// lock), samples the final progress counters, retires the record to the
+// flight-recorder ring, and closes Done. Repeated Finish calls are
+// no-ops; a non-terminal state is coerced to RunFailed.
+func (h *RunHandle) Finish(state string, fill func(*RunInfo)) {
+	if h == nil {
+		return
+	}
+	if !TerminalRunState(state) {
+		state = RunFailed
+	}
+	h.mu.Lock()
+	if TerminalRunState(h.info.State) {
+		h.mu.Unlock()
+		return
+	}
+	now := time.Now()
+	if h.started.IsZero() {
+		// Never ran (shed, or cancelled while queued): the whole lifetime
+		// was queue wait.
+		h.info.QueueMS = float64(now.Sub(h.info.Created).Nanoseconds()) / 1e6
+	} else {
+		h.info.WallMS = float64(now.Sub(h.started).Nanoseconds()) / 1e6
+	}
+	h.info.State = state
+	if h.sample != nil {
+		h.info.Vertices, h.info.Phases = h.sample()
+	}
+	h.info.Span = ""
+	if fill != nil {
+		fill(&h.info)
+	}
+	phases := h.info.PhaseTimes
+	id := h.info.ID
+	reg := h.reg
+	h.mu.Unlock()
+
+	// Retire: out of the live map first, then into the ring. The handle
+	// lock is released before the registry lock is taken (ActiveCounts
+	// and List acquire them in the opposite order), so between delete and
+	// ring store the record is briefly invisible to Get/List — callers
+	// that hold the handle (the SSE watcher) are unaffected, and the
+	// serving layer only hands out IDs after Finish returns.
+	reg.mu.Lock()
+	delete(reg.live, id)
+	reg.mu.Unlock()
+	seq := reg.head.Add(1)
+	h.doneSeq = seq // published by the atomic ring store below
+	reg.ring[(seq-1)%uint64(len(reg.ring))].Store(h)
+	close(h.done)
+
+	switch state {
+	case RunDone:
+		reg.doneRuns.Add(1)
+	case RunCancelled:
+		reg.cancelledRuns.Add(1)
+	case RunShed:
+		reg.shedRuns.Add(1)
+	default:
+		reg.failedRuns.Add(1)
+	}
+	reg.observePhases(phases)
+}
+
+// observePhases feeds completed phase wall durations into the per-phase
+// histograms backing bsmpd_run_phase_seconds.
+func (r *Registry) observePhases(phases []PhaseSummary) {
+	r.histMu.Lock()
+	defer r.histMu.Unlock()
+	for _, ph := range phases {
+		if ph.WallMS <= 0 {
+			continue
+		}
+		hist := r.phaseHists[ph.Name]
+		if hist == nil {
+			hist = NewHistogram(0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30)
+			r.phaseHists[ph.Name] = hist
+		}
+		hist.Observe(ph.WallMS / 1e3)
+	}
+}
+
+// AddCacheHit attributes one cache-served response to this record.
+func (h *RunHandle) AddCacheHit() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.info.CacheHits++
+	h.mu.Unlock()
+}
+
+// ID returns the run ID ("" on nil).
+func (h *RunHandle) ID() string {
+	if h == nil {
+		return ""
+	}
+	return h.info.ID
+}
+
+// Done returns a channel closed at the terminal transition. Nil handles
+// return a closed channel so selects never block on a disabled
+// registry.
+func (h *RunHandle) Done() <-chan struct{} {
+	if h == nil {
+		return closedChan
+	}
+	return h.done
+}
+
+var closedChan = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
+
+// Terminal reports whether the record has reached a terminal state.
+func (h *RunHandle) Terminal() bool {
+	if h == nil {
+		return true
+	}
+	select {
+	case <-h.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Snapshot returns a point-in-time copy of the record. Live records get
+// freshly sampled progress counters, the innermost open span label, and
+// elapsed wall time; the trace tree rides along only when includeTrace
+// is set (listings stay small, the full-record endpoint gets it).
+func (h *RunHandle) Snapshot(includeTrace bool) RunInfo {
+	if h == nil {
+		return RunInfo{}
+	}
+	h.mu.Lock()
+	info := h.info
+	if !TerminalRunState(info.State) {
+		if h.sample != nil {
+			info.Vertices, info.Phases = h.sample()
+		}
+		if h.current != nil {
+			info.Span = h.current()
+		}
+		if !h.started.IsZero() {
+			info.WallMS = float64(time.Since(h.started).Nanoseconds()) / 1e6
+		}
+	}
+	if !includeTrace {
+		info.Trace = nil
+	}
+	// PhaseTimes/Ledger are written once at Finish and read-only after;
+	// sharing the slices with the caller is safe.
+	h.mu.Unlock()
+	return info
+}
+
+// Get returns the handle for id — live or retained — or nil.
+func (r *Registry) Get(id string) *RunHandle {
+	if r == nil || id == "" {
+		return nil
+	}
+	r.mu.Lock()
+	h := r.live[id]
+	r.mu.Unlock()
+	if h != nil {
+		return h
+	}
+	for i := range r.ring {
+		if h := r.ring[i].Load(); h != nil && h.info.ID == id {
+			return h
+		}
+	}
+	return nil
+}
+
+// List returns every known handle, newest first: live runs in reverse
+// admission order, then retained completed runs in reverse completion
+// order.
+func (r *Registry) List() []*RunHandle {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]*RunHandle, 0, len(r.live)+len(r.ring))
+	for _, h := range r.live {
+		out = append(out, h)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].beginSeq > out[j].beginSeq })
+	nLive := len(out)
+	for i := range r.ring {
+		if h := r.ring[i].Load(); h != nil {
+			out = append(out, h)
+		}
+	}
+	completed := out[nLive:]
+	// doneSeq is written before the handle is published to the ring and
+	// immutable after, so reading it unlocked here is safe.
+	sort.Slice(completed, func(i, j int) bool { return completed[i].doneSeq > completed[j].doneSeq })
+	return out
+}
+
+// ActiveCount is one (state, scheme) cell of the live-run gauge matrix.
+type ActiveCount struct {
+	State, Scheme string
+	Count         int
+}
+
+// ActiveCounts aggregates live runs by (state, scheme) for the
+// bsmpd_runs_active gauges, in deterministic order.
+func (r *Registry) ActiveCounts() []ActiveCount {
+	if r == nil {
+		return nil
+	}
+	type key struct{ state, scheme string }
+	counts := make(map[key]int)
+	r.mu.Lock()
+	for _, h := range r.live {
+		h.mu.Lock()
+		k := key{h.info.State, h.info.Scheme}
+		h.mu.Unlock()
+		if TerminalRunState(k.state) {
+			// Finish marks the record terminal before unlinking it from the
+			// live map; skip the sliver in between.
+			continue
+		}
+		counts[k]++
+	}
+	r.mu.Unlock()
+	out := make([]ActiveCount, 0, len(counts))
+	for k, n := range counts {
+		out = append(out, ActiveCount{State: k.state, Scheme: k.scheme, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].State != out[j].State {
+			return out[i].State < out[j].State
+		}
+		return out[i].Scheme < out[j].Scheme
+	})
+	return out
+}
+
+// CompletedCounts returns the lifetime terminal-state counters.
+func (r *Registry) CompletedCounts() map[string]uint64 {
+	if r == nil {
+		return nil
+	}
+	return map[string]uint64{
+		RunDone:      r.doneRuns.Load(),
+		RunCancelled: r.cancelledRuns.Load(),
+		RunFailed:    r.failedRuns.Load(),
+		RunShed:      r.shedRuns.Load(),
+	}
+}
+
+// PhaseHists snapshots the per-phase wall-duration histograms, keyed by
+// phase name.
+func (r *Registry) PhaseHists() map[string]HistSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.histMu.Lock()
+	defer r.histMu.Unlock()
+	out := make(map[string]HistSnapshot, len(r.phaseHists))
+	for name, h := range r.phaseHists {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// Len reports the live-run count and the number of retained completed
+// records.
+func (r *Registry) Len() (live, completed int) {
+	if r == nil {
+		return 0, 0
+	}
+	r.mu.Lock()
+	live = len(r.live)
+	r.mu.Unlock()
+	if n := r.head.Load(); n < uint64(len(r.ring)) {
+		completed = int(n)
+	} else {
+		completed = len(r.ring)
+	}
+	return live, completed
+}

@@ -174,6 +174,23 @@ func (t *Tracer) Epoch() time.Time {
 	return t.epoch
 }
 
+// Current returns the name of the innermost open span, or "" when no
+// span is open (or on a nil tracer). It is safe to call concurrently
+// with the traced run: the run registry samples it to label a live
+// run's position ("phase:regime1", "block", ...) without waiting for
+// the timeline.
+func (t *Tracer) Current() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cur == nil {
+		return ""
+	}
+	return t.cur.Name
+}
+
 // Len reports the number of recorded spans.
 func (t *Tracer) Len() int {
 	if t == nil {

@@ -165,3 +165,27 @@ func TestTracerConcurrentSafety(t *testing.T) {
 		t.Errorf("Len = %d, want 800", tr.Len())
 	}
 }
+
+func TestTracerCurrent(t *testing.T) {
+	var nilT *Tracer
+	if got := nilT.Current(); got != "" {
+		t.Errorf("nil Current() = %q", got)
+	}
+	tr := NewTracer()
+	if got := tr.Current(); got != "" {
+		t.Errorf("empty Current() = %q", got)
+	}
+	outer := tr.Start("scheme:multi")
+	inner := tr.Start("phase:regime1")
+	if got := tr.Current(); got != "phase:regime1" {
+		t.Errorf("Current() = %q, want phase:regime1", got)
+	}
+	inner.End()
+	if got := tr.Current(); got != "scheme:multi" {
+		t.Errorf("Current() after inner End = %q, want scheme:multi", got)
+	}
+	outer.End()
+	if got := tr.Current(); got != "" {
+		t.Errorf("Current() after all End = %q, want empty", got)
+	}
+}

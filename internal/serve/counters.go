@@ -1,0 +1,52 @@
+package serve
+
+// counterNames is the canonical list of every expvar counter the
+// serving layer bumps with vars.Add. Each is pre-declared at server
+// construction so it renders (as 0) on /metrics and /metrics.prom from
+// boot instead of materializing on its first increment — dashboards and
+// alerts can rely on the full series set existing, and
+// scripts/promlint.sh cross-checks this list against the Add call sites
+// so a new counter cannot silently drift off the Prometheus surface.
+//
+// Gauges (expvar.Func) are not listed: they are registered eagerly in
+// registerGauges and cannot drift.
+var counterNames = []string{
+	// request middleware
+	"requests",
+	"responses_2xx",
+	"responses_4xx",
+	"responses_5xx",
+	"panics_recovered",
+
+	// /v1/run lifecycle
+	"runs",
+	"runs_cancelled",
+	"traced_runs",
+	"cache_hits",
+	"cache_misses",
+	"coalesced",
+	"queue_rejects",
+	"deadline_timeouts",
+
+	// /v1/sweep lifecycle
+	"sweeps",
+	"sweeps_cancelled",
+	"sweep_rows",
+	"sweep_rows_cached",
+	"sweep_rows_deduped",
+	"sweep_row_errors",
+	"sweep_queue_retries",
+
+	// run registry / flight recorder
+	"run_events_streams",
+
+	// shutdown
+	"draining",
+}
+
+// declareCounters materializes every known counter at zero.
+func (s *Server) declareCounters() {
+	for _, name := range counterNames {
+		s.vars.Add(name, 0)
+	}
+}

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"bsmp"
 	"bsmp/internal/cost"
+	"bsmp/internal/obs"
 
 	"encoding/json"
 )
@@ -121,6 +123,13 @@ type RunResponse struct {
 	// Ledger attributes Time by cost category.
 	Ledger map[string]float64 `json:"ledger"`
 
+	// RunID names this execution's record in the run registry; join it
+	// against GET /v1/runs/{id} for the full lifecycle record (queue and
+	// wall timings, per-phase spans, progress counters). Cached responses
+	// carry the ORIGINAL execution's ID — the record that actually ran.
+	// Empty when the registry is disabled.
+	RunID string `json:"run_id,omitempty"`
+
 	// Cached reports an LRU hit; Coalesced that this response shares a
 	// concurrent identical query's execution.
 	Cached    bool `json:"cached"`
@@ -224,6 +233,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			s.vars.Add("cache_hits", 1)
 			resp := *v.(*RunResponse)
 			resp.Cached = true
+			// Attribute the hit to the execution whose result this is; the
+			// response keeps that original run's ID, so the client can still
+			// join the row to the record that actually ran.
+			s.registry.Get(resp.RunID).AddCacheHit()
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
@@ -237,16 +250,24 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	stop := context.AfterFunc(s.baseCtx, cancel)
 	defer stop()
 	v, err, shared := s.flight.Do(ctx, key, func() (any, error) {
-		return s.pool.Do(ctx, func(jctx context.Context) (any, error) {
-			resp, err := s.runScheme(jctx, req)
+		// One registry record per execution, created inside the flight
+		// closure: coalesced followers share the leader's record.
+		rec := s.beginRun(req, "run")
+		v, err := s.pool.Do(ctx, func(jctx context.Context) (any, error) {
+			rec.h.Running()
+			resp, err := s.runScheme(rec.attach(jctx), req)
 			if err == nil {
 				s.vars.Add("runs", 1)
+				resp.RunID = rec.h.ID()
 				if !req.Trace {
 					s.cache.Add(key, resp)
 				}
 			}
 			return resp, err
 		})
+		resp, _ := v.(*RunResponse)
+		s.finishRun(rec, resp, err)
+		return v, err
 	})
 	if shared {
 		s.vars.Add("coalesced", 1)
@@ -399,6 +420,118 @@ func buildGuest(req RunRequest) bsmp.Program {
 // ledgerCategories is the cost-category order reported in responses.
 var ledgerCategories = []cost.Category{cost.Compute, cost.Access, cost.Transfer, cost.Message, cost.Sync}
 
+// registrySpanCap bounds the span tracer attached to untraced runs for
+// the flight recorder: enough for the scheme/calibrate/schedule/phase
+// skeleton every record wants, without the per-domain span flood a
+// deep blocked recursion emits (?trace=1 runs keep the full default
+// cap).
+const registrySpanCap = 256
+
+// runRecord bundles one execution's registry handle with its telemetry
+// sources (progress meter + span tracer) from admission to the
+// terminal transition.
+type runRecord struct {
+	h    *obs.RunHandle
+	prog *bsmp.Progress
+	tr   *bsmp.Tracer
+}
+
+// beginRun admits one execution into the run registry: a queued record
+// under a fresh run ID, with read-only samplers over the run's
+// Progress atomics and Tracer span stack — the record (and the SSE
+// stream polling it) observes the simulation without ever touching a
+// cost meter, so registered runs stay bit-identical to bare ones.
+// With the registry disabled the record handle is nil (all its methods
+// no-ops) but the progress meter still feeds the inflight gauges.
+func (s *Server) beginRun(req RunRequest, source string) *runRecord {
+	rec := &runRecord{prog: new(bsmp.Progress)}
+	if req.Trace {
+		rec.tr = bsmp.NewTracer()
+	} else if s.registry != nil {
+		rec.tr = obs.NewTracerCap(registrySpanCap)
+	}
+	if s.registry != nil {
+		id := fmt.Sprintf("r-%s-%d", s.bootID, s.runSeq.Add(1))
+		// req is the canonical tuple; Trace is json:"-" so the stored
+		// params serialize exactly like the request body.
+		rec.h = s.registry.Begin(id, source, req.Scheme, req)
+		prog, tr := rec.prog, rec.tr
+		rec.h.SetSamplers(
+			func() (int64, int64) { return prog.Vertices.Load(), prog.Phases.Load() },
+			tr.Current,
+		)
+	}
+	return rec
+}
+
+// attach injects the record's telemetry into the job context; execute
+// picks both up instead of allocating its own.
+func (rec *runRecord) attach(ctx context.Context) context.Context {
+	ctx = bsmp.WithProgress(ctx, rec.prog)
+	if rec.tr != nil {
+		ctx = bsmp.WithTracer(ctx, rec.tr)
+	}
+	return ctx
+}
+
+// finishRun lands the execution's terminal record: lifecycle state from
+// the error classification, virtual times, per-phase attribution with
+// wall durations joined from the span timeline, the cost ledger, and
+// the span tree itself for the full-record endpoint.
+func (s *Server) finishRun(rec *runRecord, resp *RunResponse, err error) {
+	if rec == nil || rec.h == nil {
+		return
+	}
+	var state string
+	switch {
+	case err == nil:
+		state = obs.RunDone
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		state = obs.RunShed
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		state = obs.RunCancelled
+	default:
+		state = obs.RunFailed
+	}
+	roots := rec.tr.Roots()
+	rec.h.Finish(state, func(info *obs.RunInfo) {
+		if err != nil {
+			info.Error = err.Error()
+		}
+		info.Trace = roots
+		if resp == nil {
+			return
+		}
+		info.Time = resp.Time
+		info.PrepTime = resp.PrepTime
+		info.Ledger = resp.Ledger
+		info.PhaseTimes = phaseSummaries(resp.Phases, roots)
+	})
+}
+
+// phaseSummaries joins the response's virtual-time phase attribution
+// with wall durations summed from the matching "phase:" spans.
+func phaseSummaries(phases []PhaseTime, roots []*bsmp.Span) []obs.PhaseSummary {
+	wall := make(map[string]float64)
+	var walk func(sp *bsmp.Span)
+	walk = func(sp *bsmp.Span) {
+		if name, ok := strings.CutPrefix(sp.Name, "phase:"); ok {
+			wall[name] += float64(sp.DurNS) / 1e6
+		}
+		for _, c := range sp.Children {
+			walk(c)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	out := make([]obs.PhaseSummary, 0, len(phases))
+	for _, ph := range phases {
+		out = append(out, obs.PhaseSummary{Name: ph.Name, VTime: ph.Time, WallMS: wall[ph.Name]})
+	}
+	return out
+}
+
 // execute runs a validated request through the scheme registry — the
 // production runScheme implementation. The simulation runs under ctx
 // with a registered Progress, so cancelling ctx (client disconnect,
@@ -406,10 +539,17 @@ var ledgerCategories = []cost.Category{cost.Compute, cost.Access, cost.Transfer,
 // sees its live step counters while it runs.
 func (s *Server) execute(ctx context.Context, req RunRequest) (*RunResponse, error) {
 	cfg := req.schemeConfig()
-	prog := new(bsmp.Progress)
-	ctx = bsmp.WithProgress(ctx, prog)
-	var tr *bsmp.Tracer
-	if req.Trace {
+	// The run-registry wrapper (beginRun.attach) usually supplies the
+	// progress meter and tracer so the record samples the same telemetry
+	// the engines feed; allocate them here only when execute is driven
+	// directly (registry disabled, or tests calling runScheme).
+	prog := bsmp.ProgressFrom(ctx)
+	if prog == nil {
+		prog = new(bsmp.Progress)
+		ctx = bsmp.WithProgress(ctx, prog)
+	}
+	tr := bsmp.TracerFrom(ctx)
+	if tr == nil && req.Trace {
 		tr = bsmp.NewTracer()
 		ctx = bsmp.WithTracer(ctx, tr)
 	}
@@ -468,7 +608,10 @@ func (s *Server) execute(ctx context.Context, req RunRequest) (*RunResponse, err
 		Regime1Levels: res.Regime1Levels, Domains: res.Domains,
 		Phases: phases, Ledger: ledger,
 	}
-	if tr != nil {
+	// The inline timeline stays opt-in: untraced runs may still carry a
+	// registry tracer for the flight recorder, but their responses (and
+	// cache entries) must not grow a span tree nobody asked for.
+	if req.Trace && tr != nil {
 		resp.Trace = tr.Roots()
 		resp.traceEpoch = tr.Epoch()
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 
 	"bsmp"
@@ -28,6 +29,7 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 	writePromHist(w, "bsmpd_sweep_row_latency_seconds",
 		"Completion latency of executed /v1/sweep grid rows (cache hits excluded).", s.sweepRowHist)
 	writePromMemoLevels(w)
+	writePromRegistry(w, s.registry)
 	s.vars.Do(func(kv expvar.KeyValue) {
 		// Non-scalar vars (the histogram snapshots above and the memo
 		// level breakdown) don't parse and are skipped; they already have
@@ -68,19 +70,72 @@ func writePromMemoLevels(w io.Writer) {
 	}
 }
 
-// writePromHist renders one histogram: cumulative buckets, sum, count.
+// writePromRegistry renders the run registry's Prometheus surface:
+// live-run gauges by (state, scheme), lifetime terminal-state
+// counters, and the per-phase wall-duration histograms aggregated from
+// completed records. No-op on a disabled (nil) registry.
+func writePromRegistry(w io.Writer, r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	fmt.Fprint(w, "# HELP bsmpd_runs_active Live runs in the registry by lifecycle state and scheme.\n# TYPE bsmpd_runs_active gauge\n")
+	for _, ac := range r.ActiveCounts() {
+		fmt.Fprintf(w, "bsmpd_runs_active{state=%q,scheme=%q} %d\n", ac.State, ac.Scheme, ac.Count)
+	}
+	fmt.Fprint(w, "# HELP bsmpd_runs_completed_total Lifetime completed runs by terminal state.\n# TYPE bsmpd_runs_completed_total counter\n")
+	completed := r.CompletedCounts()
+	for _, state := range []string{obs.RunDone, obs.RunCancelled, obs.RunFailed, obs.RunShed} {
+		fmt.Fprintf(w, "bsmpd_runs_completed_total{state=%q} %d\n", state, completed[state])
+	}
+	phases := r.PhaseHists()
+	if len(phases) == 0 {
+		return
+	}
+	names := make([]string, 0, len(phases))
+	for name := range phases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	const phaseMetric = "bsmpd_run_phase_seconds"
+	fmt.Fprintf(w, "# HELP %s Wall duration of completed schedule phases, by phase, derived from run-registry records.\n# TYPE %s histogram\n", phaseMetric, phaseMetric)
+	for _, name := range names {
+		snap := phases[name]
+		writePromBuckets(w, phaseMetric, fmt.Sprintf("phase=%q,", name), snap)
+	}
+}
+
+// writePromHist renders one histogram: cumulative buckets, sum, count,
+// plus p50/p95/p99 estimates as companion _quantile gauges (linear
+// interpolation within the winning bucket; omitted while empty).
 func writePromHist(w io.Writer, name, help string, h *obs.Histogram) {
 	snap := h.Snapshot()
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	writePromBuckets(w, name, "", snap)
+	if snap.Count > 0 {
+		fmt.Fprintf(w, "# TYPE %s_quantile gauge\n", name)
+		for _, q := range [...]float64{0.5, 0.95, 0.99} {
+			fmt.Fprintf(w, "%s_quantile{q=%q} %s\n", name, promFloat(q), promFloat(snap.Quantile(q)))
+		}
+	}
+}
+
+// writePromBuckets renders one histogram series — cumulative buckets,
+// sum, count — with extraLabels (either empty or `label="v",`) spliced
+// into every label set.
+func writePromBuckets(w io.Writer, name, extraLabels string, snap obs.HistSnapshot) {
 	var cum int64
 	for i, b := range snap.Bounds {
 		cum += snap.Counts[i]
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(b), cum)
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, extraLabels, promFloat(b), cum)
 	}
 	cum += snap.Counts[len(snap.Bounds)]
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(snap.Sum))
-	fmt.Fprintf(w, "%s_count %d\n", name, snap.Count)
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, extraLabels, cum)
+	if extraLabels == "" {
+		fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, promFloat(snap.Sum), name, snap.Count)
+	} else {
+		labels := extraLabels[:len(extraLabels)-1] // drop the trailing comma
+		fmt.Fprintf(w, "%s_sum{%s} %s\n%s_count{%s} %d\n", name, labels, promFloat(snap.Sum), name, labels, snap.Count)
+	}
 }
 
 func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -18,8 +18,9 @@
 //     simulations finish, then the listener closes.
 //
 // Endpoints: POST /v1/run, POST /v1/sweep (NDJSON-streamed parameter
-// grids), GET /v1/bounds, GET /v1/schemes, GET /healthz, GET /metrics
-// (expvar-style JSON), GET /metrics.prom.
+// grids), GET /v1/runs (+ /v1/runs/{id}, /v1/runs/{id}/events — the run
+// registry's introspection surface), GET /v1/bounds, GET /v1/schemes,
+// GET /healthz, GET /metrics (expvar-style JSON), GET /metrics.prom.
 package serve
 
 import (
@@ -76,6 +77,13 @@ type Config struct {
 	// cannot monopolize the queue against interactive /v1/run traffic
 	// (default Workers).
 	SweepParallel int
+	// RegistryCapacity bounds the run registry's flight recorder — how
+	// many completed run records /v1/runs retains (live runs are always
+	// tracked). 0 selects the default (obs.DefaultRegistryCapacity); a
+	// negative value disables the registry entirely, turning the
+	// introspection endpoints into 404s and removing the per-run
+	// record-keeping from the hot path.
+	RegistryCapacity int
 	// Logger receives the daemon's structured JSON records: one access
 	// line per request (with its generated request ID) and run
 	// start/done/failed lifecycle lines. Nil discards them.
@@ -136,6 +144,12 @@ type Server struct {
 	bootID string
 	reqSeq atomic.Uint64
 
+	// registry is the run registry + flight recorder behind /v1/runs;
+	// nil when Config.RegistryCapacity < 0 (every obs call site is
+	// nil-safe). runSeq numbers run IDs within this boot.
+	registry *obs.Registry
+	runSeq   atomic.Uint64
+
 	// Serving-quality histograms, exposed on /metrics (JSON snapshots)
 	// and /metrics.prom (Prometheus text format).
 	latHist   *obs.Histogram // end-to-end run execution latency, seconds
@@ -191,15 +205,22 @@ func New(cfg Config) *Server {
 	s.sweepSem = make(chan struct{}, cfg.SweepParallel)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.runScheme = s.execute
+	if cfg.RegistryCapacity >= 0 {
+		s.registry = obs.NewRegistry(cfg.RegistryCapacity)
+	}
 	if cfg.MemoCapacity != 0 {
 		bsmp.SetMemoCapacity(cfg.MemoCapacity)
 	}
 	s.pool.SetQueueWaitObserver(s.waitHist.Observe)
+	s.declareCounters()
 	s.registerGauges()
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.handleRun)
 	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/runs", s.handleRuns)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleRunRecord)
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleRunEvents)
 	mux.HandleFunc("/v1/bounds", s.handleBounds)
 	mux.HandleFunc("/v1/schemes", s.handleSchemes)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -337,6 +358,18 @@ func (s *Server) registerGauges() {
 	s.vars.Set("run_vertices", expvar.Func(func() any { return s.sizeHist.Snapshot() }))
 	s.vars.Set("theta_run_latency_seconds", expvar.Func(func() any { return s.thetaHist.Snapshot() }))
 	s.vars.Set("sweep_row_latency_seconds", expvar.Func(func() any { return s.sweepRowHist.Snapshot() }))
+	// Run registry occupancy: live (queued + running) records and the
+	// completed records the flight recorder retains. The per-(state,
+	// scheme) breakdown renders as labeled bsmpd_runs_active series on
+	// /metrics.prom.
+	s.vars.Set("registry_live_runs", expvar.Func(func() any {
+		live, _ := s.registry.Len()
+		return live
+	}))
+	s.vars.Set("registry_retained_runs", expvar.Func(func() any {
+		_, retained := s.registry.Len()
+		return retained
+	}))
 	// Live sweep progress: how many sweeps are streaming right now and
 	// how many of their grid points are still unresolved.
 	s.vars.Set("inflight_sweeps", expvar.Func(func() any {

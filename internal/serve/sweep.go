@@ -516,6 +516,9 @@ func (s *Server) runSweepUnit(ctx context.Context, u *sweepUnit, trace bool) swe
 		if v, ok := s.cache.Get(u.key); ok {
 			resp := *v.(*RunResponse)
 			resp.Cached = true
+			// The row keeps the original execution's run_id; attribute the
+			// hit to that record rather than minting a new one.
+			s.registry.Get(resp.RunID).AddCacheHit()
 			return sweepRowOut{unit: u, resp: &resp, hit: true}
 		}
 	}
@@ -527,21 +530,29 @@ func (s *Server) runSweepUnit(ctx context.Context, u *sweepUnit, trace bool) swe
 		return sweepRowOut{unit: u, err: &detail}
 	}
 	start := time.Now()
+	rreq := creq
+	rreq.Trace = trace
 	v, err, shared := s.flight.Do(ctx, u.key, func() (any, error) {
-		return s.poolDoRetry(ctx, func(jctx context.Context) (any, error) {
+		// One registry record per executed grid point, shared with any
+		// /v1/run or concurrent sweep coalescing on the same flight key.
+		rec := s.beginRun(rreq, "sweep")
+		v, err := s.poolDoRetry(ctx, func(jctx context.Context) (any, error) {
 			rctx, rcancel := context.WithTimeout(jctx, s.cfg.RequestTimeout)
 			defer rcancel()
-			rreq := creq
-			rreq.Trace = trace
-			resp, err := s.runScheme(rctx, rreq)
+			rec.h.Running()
+			resp, err := s.runScheme(rec.attach(rctx), rreq)
 			if err == nil {
 				s.vars.Add("runs", 1)
+				resp.RunID = rec.h.ID()
 				if !trace {
 					s.cache.Add(u.key, resp)
 				}
 			}
 			return resp, err
 		})
+		resp, _ := v.(*RunResponse)
+		s.finishRun(rec, resp, err)
+		return v, err
 	})
 	wait := time.Since(start)
 	if err != nil {

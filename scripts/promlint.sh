@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Metrics lint: the serving layer's expvar counters and the Prometheus
+# surface must stay in sync.
+#
+#   1. Every counter incremented anywhere in internal/serve
+#      (vars.Add("name", ...)) must be pre-declared in
+#      internal/serve/counters.go — declaration is what makes the series
+#      render on /metrics.prom (and /metrics) as 0 from boot instead of
+#      materializing only after its first increment, which would read as
+#      a missing series to scrape-time alerting.
+#   2. Every declared counter must have at least one increment site —
+#      a declared-but-never-incremented name is dead telemetry.
+#
+# TestMetricsPromRegistrySeries pins the runtime half of this contract
+# (every declared counter actually renders on /metrics.prom); this lint
+# pins the source-level half without needing to build anything.
+#
+# Run from the repository root: scripts/promlint.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DECL=internal/serve/counters.go
+[ -f "$DECL" ] || { echo "promlint: FAIL: $DECL missing" >&2; exit 1; }
+
+used=$(grep -rhoE 'vars\.Add\("[a-z0-9_]+"' internal/serve/*.go \
+  | sed -E 's/.*"([a-z0-9_]+)".*/\1/' | sort -u)
+declared=$(grep -oE '"[a-z0-9_]+"' "$DECL" | tr -d '"' | sort -u)
+
+fail=0
+for name in $used; do
+  if ! grep -qx "$name" <<<"$declared"; then
+    echo "promlint: counter \"$name\" is incremented but not declared in $DECL" >&2
+    fail=1
+  fi
+done
+for name in $declared; do
+  if ! grep -qx "$name" <<<"$used"; then
+    echo "promlint: counter \"$name\" is declared in $DECL but never incremented" >&2
+    fail=1
+  fi
+done
+
+[ "$fail" = 0 ] || { echo "promlint: FAIL" >&2; exit 1; }
+echo "promlint: OK ($(wc -w <<<"$declared" | tr -d ' ') counters declared and incremented)"

@@ -14,6 +14,11 @@
 #     grid answers a structured 400;
 #   - a multi-faulty run echoes the fault density with a fault report,
 #     keys its own cache entry, and rejects densities outside [0, 1);
+#   - every run carries a run_id joining it to the /v1/runs registry, the
+#     cached repeat keeps the ORIGINAL run's id, the full record lands
+#     terminal with per-phase durations, and a slow run's SSE stream
+#     delivers a join snapshot, live progress events, and the terminal
+#     done event (watched from the side, without disturbing the run);
 #   - SIGTERM drains and exits cleanly.
 # Run from the repository root: scripts/smoke.sh [port]
 set -euo pipefail
@@ -70,7 +75,10 @@ TBAD="$(mktemp)"
 TSTATUS=$(curl -s -o "$TBAD" -w '%{http_code}' -X POST --data '{"scheme": "multi-theta", "d": 1, "n": 256, "p": 8, "m": 16, "steps": 64, "config": {"theta": 0.5}}' "$BASE/v1/run")
 [ "$TSTATUS" = 400 ] || fail "theta=0.5 got status $TSTATUS, want 400: $(cat "$TBAD")"
 grep -q '"field":"theta"' "$TBAD" || fail "400 body does not name field theta: $(cat "$TBAD")"
-curl -fsS "$BASE/metrics.prom" | grep -q '^bsmpd_theta_run_latency_seconds_bucket{le="+Inf"} ' || fail "theta latency histogram missing"
+# (capture before grep -q: under pipefail, grep -q's early exit would
+# SIGPIPE curl and fail the pipeline spuriously)
+PROM=$(curl -fsS "$BASE/metrics.prom")
+echo "$PROM" | grep -q '^bsmpd_theta_run_latency_seconds_bucket{le="+Inf"} ' || fail "theta latency histogram missing"
 
 # Fault-regime round trip: the multi-faulty scheme accepts the faults
 # config field, echoes it together with a fault report, keys a distinct
@@ -96,6 +104,53 @@ TRACED=$(curl -fsS -X POST --data "$VALID" "$BASE/v1/run?trace=1") || fail "trac
 echo "$TRACED" | grep -q '"cached":false' || fail "traced run served from cache: $TRACED"
 echo "$TRACED" | grep -q '"trace":' || fail "traced response carries no timeline"
 echo "$TRACED" | go run ./scripts/tracecheck || fail "trace timeline inconsistent"
+
+# Run registry round trip: the first run's run_id resolves to a full
+# terminal record with per-phase wall durations, the cached repeat kept
+# the ORIGINAL execution's id, and the registry surfaces on both metric
+# endpoints.
+RID=$(echo "$R1" | sed -En 's/.*"run_id":"([^"]+)".*/\1/p')
+[ -n "$RID" ] || fail "run response carries no run_id: $R1"
+RID2=$(echo "$R2" | sed -En 's/.*"run_id":"([^"]+)".*/\1/p')
+[ "$RID2" = "$RID" ] || fail "cached repeat run_id $RID2 != original $RID"
+REC=$(curl -fsS "$BASE/v1/runs/$RID") || fail "run record fetch errored"
+echo "$REC" | grep -q '"state":"done"' || fail "record not terminal done: $REC"
+echo "$REC" | grep -q '"phase_times":' || fail "record missing phase durations: $REC"
+echo "$REC" | grep -q '"cache_hits":1' || fail "cached repeat not credited to the record: $REC"
+DONELIST=$(curl -fsS "$BASE/v1/runs?state=done")
+echo "$DONELIST" | grep -q "\"$RID\"" || fail "done listing missing $RID"
+PROMR=$(curl -fsS "$BASE/metrics.prom")
+echo "$PROMR" | grep -q '^bsmpd_runs_completed_total{state="done"} [1-9]' || fail "registry completed counter missing"
+echo "$PROMR" | grep -q '^bsmpd_run_phase_seconds_bucket{phase=' || fail "per-phase histogram missing"
+echo "$PROMR" | grep -q '^bsmpd_run_latency_seconds_quantile{q="0.99"} ' || fail "latency quantile gauges missing"
+
+# SSE round trip: watch a slow run from the side. The stream must open
+# with a join snapshot, deliver at least one progress event while the
+# simulation advances, and close with the terminal done event; the
+# watched run itself must complete normally (the watcher is an observer,
+# never an owner).
+SLOW='{"scheme": "blocked", "d": 2, "n": 4096, "p": 1, "m": 4, "steps": 128}'
+SLOWOUT="$(mktemp)"
+curl -fsS -X POST --data "$SLOW" "$BASE/v1/run" > "$SLOWOUT" &
+SLOWPID=$!
+SSEID=""
+for _ in $(seq 1 100); do
+  SSEID=$(curl -fsS "$BASE/v1/runs?state=running&source=run" | sed -En 's/.*"id":"([^"]+)".*/\1/p')
+  [ -n "$SSEID" ] && break
+  sleep 0.05
+done
+[ -n "$SSEID" ] || fail "slow run never appeared in /v1/runs?state=running"
+SSE="$(mktemp)"
+curl -fsS -N --max-time 60 "$BASE/v1/runs/$SSEID/events?poll_ms=50" > "$SSE" || fail "SSE stream errored"
+grep -q '^event: snapshot' "$SSE" || fail "SSE stream missing join snapshot: $(cat "$SSE")"
+grep -q '^event: progress' "$SSE" || fail "SSE stream delivered no progress event: $(cat "$SSE")"
+grep -q '^event: done' "$SSE" || fail "SSE stream missing terminal done event: $(tail -5 "$SSE")"
+wait "$SLOWPID" || fail "watched run errored"
+grep -q '"time":' "$SLOWOUT" || fail "watched run returned no result: $(cat "$SLOWOUT")"
+
+# bsmptop single-frame render against the live daemon.
+TOPFRAME=$(go run ./cmd/bsmptop -addr "$BASE" -once) || fail "bsmptop -once exited non-zero"
+echo "$TOPFRAME" | grep -q 'bsmptop — ' || fail "bsmptop -once rendered no dashboard header: $TOPFRAME"
 
 # Request IDs are stamped on every response.
 curl -fsSI "$BASE/healthz" | grep -qi '^x-request-id:' || fail "missing X-Request-Id header"
@@ -130,8 +185,10 @@ SSTATUS=$(curl -s -o "$SBAD" -w '%{http_code}' -X POST --data '{"schemes": ["mul
 [ "$SSTATUS" = 400 ] || fail "malformed grid got status $SSTATUS, want 400: $(cat "$SBAD")"
 grep -q '"kind":"param"' "$SBAD" || fail "sweep 400 not a structured param error: $(cat "$SBAD")"
 grep -q 'grid point' "$SBAD" || fail "sweep 400 does not name the offending grid point: $(cat "$SBAD")"
-curl -fsS "$BASE/metrics" | grep -q '"sweep_rows": 16' || fail "sweep_rows counter wrong after two sweeps"
-curl -fsS "$BASE/metrics.prom" | grep -q '^bsmpd_sweep_row_latency_seconds_bucket{le="+Inf"} ' || fail "sweep row latency histogram missing"
+MSWEEP=$(curl -fsS "$BASE/metrics")
+echo "$MSWEEP" | grep -q '"sweep_rows": 16' || fail "sweep_rows counter wrong after two sweeps"
+PROMSW=$(curl -fsS "$BASE/metrics.prom")
+echo "$PROMSW" | grep -q '^bsmpd_sweep_row_latency_seconds_bucket{le="+Inf"} ' || fail "sweep row latency histogram missing"
 
 # Deadline cancellation: a second daemon with a tiny request budget. The
 # expired request must answer 504 AND actually stop its worker — the
